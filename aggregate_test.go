@@ -1,0 +1,80 @@
+package sampleview
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunQueryEndToEnd(t *testing.T) {
+	recs := genRecords(30_000, 31)
+	v, err := CreateFromSlice("", recs, Options{Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	q := Box1D(0, 1<<19)
+	amount := func(r *Record) float64 { return float64(r.Amount) }
+	res, err := v.RunQuery(AggQuery{
+		Predicate: q,
+		Aggregates: []AggSpec{
+			{Kind: Avg, Value: amount},
+			{Kind: Count},
+			{Kind: Quantile, Value: amount, Param: 0.5},
+		},
+		TargetRelError: 0.03,
+		ProgressEvery:  500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact answers.
+	var sum float64
+	var n float64
+	var vals []float64
+	for i := range recs {
+		if q.ContainsRecord(&recs[i]) {
+			sum += float64(recs[i].Amount)
+			n++
+			vals = append(vals, float64(recs[i].Amount))
+		}
+	}
+	truth := sum / n
+	avg := res.Groups[0].Estimates[0]
+	if math.Abs(avg.Value-truth) > 0.1*truth {
+		t.Fatalf("AVG %v vs exact %v", avg.Value, truth)
+	}
+	cnt := res.Groups[0].Estimates[1]
+	if math.Abs(cnt.Value-n) > 0.2*n {
+		t.Fatalf("COUNT %v vs exact %v", cnt.Value, n)
+	}
+	med := res.Groups[0].Estimates[2]
+	if !med.HasCI {
+		t.Fatal("median should carry an interval")
+	}
+}
+
+func TestRunQueryOverAppendedView(t *testing.T) {
+	recs := genRecords(5000, 33)
+	v, err := CreateFromSlice("", recs, Options{Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	for i := 0; i < 1000; i++ {
+		v.Append(Record{Key: int64(i), Amount: 7, Seq: uint64(1<<40 + i)})
+	}
+	res, err := v.RunQuery(AggQuery{
+		Predicate:  FullBox(1),
+		Aggregates: []AggSpec{{Kind: Count}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("exhaustive run over appended view should be exact")
+	}
+	if got := res.Groups[0].Estimates[0].Value; got != 6000 {
+		t.Fatalf("COUNT = %v, want 6000", got)
+	}
+}

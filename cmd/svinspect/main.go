@@ -1,0 +1,76 @@
+// Command svinspect prints the structure and statistics of a sample view
+// file and optionally runs a deep integrity check.
+//
+// Usage:
+//
+//	svinspect -view sale.view
+//	svinspect -view sale.view -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sampleview/internal/core"
+	"sampleview/internal/iosim"
+	"sampleview/internal/pagefile"
+)
+
+func main() {
+	var (
+		view   = flag.String("view", "", "view file to inspect (required)")
+		verify = flag.Bool("verify", false, "run the deep integrity check (full scan)")
+	)
+	flag.Parse()
+	if *view == "" {
+		fmt.Fprintln(os.Stderr, "svinspect: -view is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sim := iosim.New(iosim.DefaultModel())
+	f, err := pagefile.Open(sim, *view)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svinspect: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	t, err := core.Open(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svinspect: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("view:            %s\n", *view)
+	fmt.Printf("records:         %d\n", t.Count())
+	fmt.Printf("dimensions:      %d\n", t.Dims())
+	fmt.Printf("height:          %d (sections per leaf)\n", t.Height())
+	fmt.Printf("leaves:          %d\n", t.NumLeaves())
+	fmt.Printf("data pages:      %d (%d-byte pages)\n", t.DataPages(), f.PageSize())
+	fmt.Printf("mean section mu: %.2f records\n", t.MeanSectionSize())
+	fmt.Printf("data bounds:     %v\n", t.DataBounds())
+
+	st := t.LeafStats()
+	fmt.Printf("leaf records:    mean %.1f, std %.1f, max %d\n",
+		st.MeanRecords, st.StdRecords, st.MaxRecords)
+	fmt.Printf("leaf space util: %.1f%% (variable scheme)\n", st.VariableUtilization*100)
+
+	fmt.Printf("section totals:  ")
+	for s, n := range t.SectionHistogram() {
+		if s > 0 {
+			fmt.Printf(" ")
+		}
+		fmt.Printf("S%d=%d", s+1, n)
+	}
+	fmt.Println()
+
+	if *verify {
+		fmt.Printf("verifying...     ")
+		if err := t.Verify(); err != nil {
+			fmt.Printf("FAILED\n%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ok (all invariants hold)\n")
+	}
+}

@@ -1,0 +1,101 @@
+// Command svquery runs approximate aggregate SQL against a sample view,
+// reporting running estimates with confidence intervals as the online
+// sample grows (online aggregation a la Hellerstein et al., the paper's
+// motivating application).
+//
+// Usage:
+//
+//	svquery -view sale.view "SELECT AVG(amount) FROM sale WHERE key BETWEEN 100 AND 5000 ERROR 1"
+//	svquery -view sale.view "SELECT COUNT(*), SUM(amount) FROM sale GROUP BY bucket(key, 100000000) LIMIT 50000 SAMPLES"
+//
+// The ERROR clause (a percentage) stops the scan once every estimate's
+// confidence interval is that tight; without it the query runs until the
+// predicate is exhausted and the answers are exact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sampleview"
+	"sampleview/internal/sqlish"
+)
+
+func main() {
+	var (
+		view  = flag.String("view", "", "view file to query (required)")
+		quiet = flag.Bool("quiet", false, "suppress progress snapshots")
+	)
+	flag.Parse()
+	if *view == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: svquery -view file.view \"SELECT ...\"")
+		os.Exit(2)
+	}
+	st, err := sqlish.Parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svquery: %v\n", err)
+		os.Exit(2)
+	}
+
+	v, err := sampleview.Open(*view, sampleview.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svquery: %v\n", err)
+		os.Exit(1)
+	}
+	defer v.Close()
+	if st.Dims > v.Dims() {
+		fmt.Fprintf(os.Stderr, "svquery: query constrains %d dimensions but the view indexes %d\n",
+			st.Dims, v.Dims())
+		os.Exit(2)
+	}
+	// A 1-d query over a 2-d view needs a 2-d predicate.
+	if st.Dims == 1 && v.Dims() == 2 {
+		st.Query.Predicate = sampleview.Box2D(
+			st.Query.Predicate.Dim(0).Lo, st.Query.Predicate.Dim(0).Hi,
+			sampleview.FullBox(2).Dim(1).Lo, sampleview.FullBox(2).Dim(1).Hi,
+		)
+	}
+
+	q := st.Query
+	if !*quiet {
+		q.Progress = func(r *sampleview.AggResult) bool {
+			fmt.Printf("-- after %d samples\n", r.Samples)
+			printResult(r)
+			return true
+		}
+		q.ProgressEvery = 5000
+	}
+	res, err := v.RunQuery(q)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svquery: %v\n", err)
+		os.Exit(1)
+	}
+	if res.Exact {
+		fmt.Printf("== final (exact: predicate exhausted after %d records)\n", res.Samples)
+	} else {
+		fmt.Printf("== final (approximate, %d samples)\n", res.Samples)
+	}
+	printResult(res)
+}
+
+func printResult(r *sampleview.AggResult) {
+	for _, g := range r.Groups {
+		var cols []string
+		for _, e := range g.Estimates {
+			col := fmt.Sprintf("%v=%.4g", e.Agg.Kind, e.Value)
+			if e.HasCI && e.Lo != e.Hi {
+				col += fmt.Sprintf(" ci[%.4g, %.4g]", e.Lo, e.Hi)
+			} else if !e.HasCI {
+				col += " (observed)"
+			}
+			cols = append(cols, col)
+		}
+		if g.Key != "" {
+			fmt.Printf("  %-24s %s\n", g.Key, strings.Join(cols, "  "))
+		} else {
+			fmt.Printf("  %s\n", strings.Join(cols, "  "))
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package sampleview
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentStreamsAndAppends drives a view from many goroutines at
+// once (independent query streams, appends, estimates); run with -race.
+func TestConcurrentStreamsAndAppends(t *testing.T) {
+	recs := genRecords(20_000, 21)
+	v, err := CreateFromSlice("", recs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+
+	// Four concurrent readers with different predicates.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lo := int64(g) * (1 << 18)
+			stream, err := v.Query(Box1D(lo, lo+(1<<18)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			seen := map[uint64]bool{}
+			for i := 0; i < 1500; i++ {
+				rec, err := stream.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if seen[rec.Seq] {
+					t.Error("duplicate within a stream")
+					return
+				}
+				seen[rec.Seq] = true
+			}
+		}(g)
+	}
+	// A concurrent writer appending records.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			v.Append(Record{Key: int64(i), Amount: int64(i), Seq: uint64(1<<40 + i)})
+		}
+	}()
+	// Concurrent estimators and stats readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if _, err := v.EstimateCount(Box1D(0, 1<<19)); err != nil {
+				errs <- err
+				return
+			}
+			_ = v.Stats()
+			_ = v.Count()
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if v.PendingAppends() != 500 {
+		t.Fatalf("PendingAppends = %d", v.PendingAppends())
+	}
+}

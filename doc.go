@@ -1,0 +1,43 @@
+// Package sampleview provides materialized sample views: indexed,
+// materialized views of a relation that support efficient online random
+// sampling from arbitrary range predicates, after Joshi and Jermaine,
+// "Materialized Sample Views for Database Approximation" (ICDE 2006).
+//
+// A sample view is the moral equivalent of
+//
+//	CREATE MATERIALIZED SAMPLE VIEW MySam
+//	AS SELECT * FROM SALE
+//	INDEX ON DAY
+//
+// Once built, the view answers "give me a growing uniform random sample of
+// the records with DAY between x and y" at a rate far beyond one random
+// I/O per sample: at every instant the records returned so far are a true
+// uniform random sample, without replacement, of every record matching the
+// predicate. That online property is what approximate query processing,
+// online aggregation, and sampling-based data mining algorithms need.
+//
+// The view is stored as an ACE Tree (internal/core), the paper's index
+// structure, whose leaves each carry h nested random samples ("sections")
+// spanning exponentially shrinking key ranges. Views over one or two
+// indexed dimensions are supported; appends are absorbed by a differential
+// buffer and folded in by Compact.
+//
+// # Quick start
+//
+//	recs := make([]sampleview.Record, 0, 1_000_000)
+//	// ... fill recs, Key is the indexed attribute ...
+//	v, err := sampleview.CreateFromSlice("sale.view", recs, sampleview.Options{})
+//	if err != nil { ... }
+//	defer v.Close()
+//
+//	stream, err := v.Query(sampleview.Box1D(day1, day2))
+//	for {
+//	    rec, err := stream.Next()
+//	    if err == io.EOF { break }
+//	    // rec is the next element of an ever-growing uniform sample
+//	}
+//
+// See the examples directory for online aggregation, clustering, and
+// multi-dimensional uses, and DESIGN.md / EXPERIMENTS.md for how this
+// implementation reproduces the paper's evaluation.
+package sampleview

@@ -1,0 +1,94 @@
+// Approximate SQL: the full online-aggregation pipeline the paper
+// motivates, end to end - build a sample view, then answer an aggregate
+// SQL query with confidence intervals that tighten as the online sample
+// grows, stopping at a requested precision instead of scanning the data.
+//
+// Run with: go run ./examples/approxsql
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"sampleview"
+	"sampleview/internal/sqlish"
+)
+
+func main() {
+	// A SALE relation where AMOUNT depends on the season, so per-bucket
+	// answers differ.
+	rng := rand.New(rand.NewPCG(99, 99))
+	const n = 400_000
+	recs := make([]sampleview.Record, n)
+	for i := range recs {
+		day := rng.Int64N(365)
+		base := int64(20_000)
+		if day >= 300 || day < 60 { // holiday season
+			base = 60_000
+		}
+		recs[i] = sampleview.Record{
+			Key:    day,
+			Amount: base + rng.Int64N(30_000),
+			Seq:    uint64(i),
+		}
+	}
+	view, err := sampleview.CreateFromSlice("", recs, sampleview.Options{Seed: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer view.Close()
+
+	sql := `SELECT COUNT(*), AVG(amount), MEDIAN(amount)
+	        FROM sale
+	        WHERE key BETWEEN 240 AND 359
+	        GROUP BY bucket(key, 60)
+	        CONFIDENCE 95 ERROR 2`
+	fmt.Println("query:", sql)
+	st, err := sqlish.Parse(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := st.Query
+	q.ProgressEvery = 2000
+	q.Progress = func(r *sampleview.AggResult) bool {
+		fmt.Printf("\n-- %d samples consumed\n", r.Samples)
+		printGroups(r)
+		return true
+	}
+	res, err := view.RunQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status := "approximate"
+	if res.Exact {
+		status = "exact (predicate exhausted)"
+	}
+	fmt.Printf("\n== final after %d samples (%s)\n", res.Samples, status)
+	printGroups(res)
+
+	// Show how little data the answer needed.
+	var matching int
+	for i := range recs {
+		if q.Predicate.ContainsRecord(&recs[i]) {
+			matching++
+		}
+	}
+	fmt.Printf("\nanswered from %d samples out of %d matching records (%.1f%%)\n",
+		res.Samples, matching, 100*float64(res.Samples)/float64(matching))
+}
+
+func printGroups(r *sampleview.AggResult) {
+	for _, g := range r.Groups {
+		fmt.Printf("  day %-12s", g.Key)
+		for _, e := range g.Estimates {
+			if e.HasCI && e.Lo != e.Hi {
+				fmt.Printf("  %v=%.0f [%.0f, %.0f]", e.Agg.Kind, e.Value, e.Lo, e.Hi)
+			} else {
+				fmt.Printf("  %v=%.0f", e.Agg.Kind, e.Value)
+			}
+		}
+		fmt.Println()
+	}
+}

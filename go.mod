@@ -1,0 +1,3 @@
+module sampleview
+
+go 1.22

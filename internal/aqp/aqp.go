@@ -1,0 +1,410 @@
+// Package aqp implements approximate query processing on top of online
+// sample streams: the application that motivates the paper. An aggregate
+// query (COUNT/SUM/AVG with optional GROUP BY) is evaluated by consuming
+// a sample view's online stream, maintaining running estimators, and
+// stopping when every requested aggregate's confidence interval is
+// tighter than a target - typically after touching a tiny fraction of the
+// data - or when the predicate is exhausted, in which case the answers
+// are exact.
+package aqp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"sampleview/internal/record"
+	"sampleview/internal/stats"
+)
+
+// Source is the sampling capability the engine needs; sample views
+// implement it.
+type Source interface {
+	// SampleStream starts an online uniform sample of the records
+	// matching q.
+	SampleStream(q record.Box) (Stream, error)
+	// EstimateCount estimates the number of records matching q.
+	EstimateCount(q record.Box) (float64, error)
+}
+
+// Stream yields one sampled record at a time, io.EOF when the predicate
+// is exhausted.
+type Stream interface {
+	Next() (record.Record, error)
+}
+
+// AggKind selects an aggregate function.
+type AggKind int
+
+const (
+	Count AggKind = iota
+	Sum
+	Avg
+	Min
+	Max
+	// Quantile estimates the Param-quantile of the value distribution
+	// with a distribution-free order-statistic interval.
+	Quantile
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Quantile:
+		return "QUANTILE"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// Aggregate is one requested output column.
+type Aggregate struct {
+	Kind AggKind
+	// Value extracts the aggregated value from a record; ignored by COUNT.
+	Value func(*record.Record) float64
+	// Param carries the quantile (0,1) for Kind == Quantile.
+	Param float64
+}
+
+// Query is an approximate aggregate query.
+type Query struct {
+	// Predicate selects the records.
+	Predicate record.Box
+	// Aggregates lists the output columns (at least one).
+	Aggregates []Aggregate
+	// GroupBy, when non-nil, partitions records into groups. Group keys
+	// should have modest cardinality (each group holds an estimator).
+	GroupBy func(*record.Record) string
+	// Confidence is the interval level (default 0.95).
+	Confidence float64
+	// TargetRelError stops the scan once every aggregate's interval
+	// half-width is below this fraction of its estimate (default 0: run
+	// to exhaustion). MIN/MAX never satisfy a target; see Result.Exact.
+	TargetRelError float64
+	// MaxSamples bounds the number of consumed samples (0 = unlimited).
+	MaxSamples int64
+	// Progress, when non-nil, is invoked every ProgressEvery samples with
+	// the running result; returning false stops the query early.
+	Progress      func(*Result) bool
+	ProgressEvery int64
+}
+
+func (q *Query) withDefaults() error {
+	if len(q.Aggregates) == 0 {
+		return fmt.Errorf("aqp: query needs at least one aggregate")
+	}
+	for i, a := range q.Aggregates {
+		if a.Kind != Count && a.Value == nil {
+			return fmt.Errorf("aqp: aggregate %d (%v) needs a Value function", i, a.Kind)
+		}
+		if a.Kind == Quantile && (a.Param <= 0 || a.Param >= 1) {
+			return fmt.Errorf("aqp: aggregate %d: quantile parameter %v out of (0,1)", i, a.Param)
+		}
+	}
+	if q.Confidence == 0 {
+		q.Confidence = 0.95
+	}
+	if q.Confidence <= 0 || q.Confidence >= 1 {
+		return fmt.Errorf("aqp: confidence %v out of (0,1)", q.Confidence)
+	}
+	if q.ProgressEvery <= 0 {
+		q.ProgressEvery = 1000
+	}
+	return nil
+}
+
+// Estimate is one aggregate's current value with its confidence interval.
+type Estimate struct {
+	Agg    Aggregate
+	Value  float64
+	Lo, Hi float64
+	// HasCI reports whether Lo/Hi are meaningful (false for MIN/MAX,
+	// whose sample extremes carry no distribution-free interval).
+	HasCI bool
+}
+
+// Group is the per-group slice of a result.
+type Group struct {
+	Key       string
+	Samples   int64
+	Estimates []Estimate
+}
+
+// Result is a snapshot of a running (or finished) approximate query.
+type Result struct {
+	// Samples consumed so far.
+	Samples int64
+	// Population is the estimated number of matching records.
+	Population float64
+	// Exact is true when the predicate was exhausted: every matching
+	// record was seen, so COUNT/SUM/AVG/MIN/MAX are exact.
+	Exact bool
+	// Groups holds one entry per observed group, sorted by key. Without
+	// GROUP BY there is exactly one group with an empty key.
+	Groups []Group
+}
+
+// groupState accumulates one group's statistics.
+type groupState struct {
+	key      string
+	n        int64
+	ests     []*stats.Estimator // parallel to query aggregates (nil for COUNT)
+	sketches []*stats.QuantileSketch
+	mins     []float64
+	maxs     []float64
+}
+
+// Run executes the query against the source.
+func Run(src Source, q Query) (*Result, error) {
+	if err := q.withDefaults(); err != nil {
+		return nil, err
+	}
+	pop, err := src.EstimateCount(q.Predicate)
+	if err != nil {
+		return nil, err
+	}
+	stream, err := src.SampleStream(q.Predicate)
+	if err != nil {
+		return nil, err
+	}
+
+	groups := map[string]*groupState{}
+	order := []string{}
+	var samples int64
+	exact := false
+
+	for {
+		if q.MaxSamples > 0 && samples >= q.MaxSamples {
+			break
+		}
+		rec, err := stream.Next()
+		if err == io.EOF {
+			exact = true
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		samples++
+
+		key := ""
+		if q.GroupBy != nil {
+			key = q.GroupBy(&rec)
+		}
+		g := groups[key]
+		if g == nil {
+			g = newGroupState(key, q.Aggregates)
+			groups[key] = g
+			order = insertSorted(order, key)
+		}
+		g.n++
+		for i, a := range q.Aggregates {
+			if a.Kind == Count {
+				continue
+			}
+			v := a.Value(&rec)
+			g.ests[i].Add(v)
+			if g.sketches[i] != nil {
+				g.sketches[i].Add(v)
+			}
+			if v < g.mins[i] {
+				g.mins[i] = v
+			}
+			if v > g.maxs[i] {
+				g.maxs[i] = v
+			}
+		}
+
+		if samples%q.ProgressEvery == 0 {
+			res := snapshot(q, pop, samples, false, groups, order)
+			if q.Progress != nil && !q.Progress(res) {
+				return res, nil
+			}
+			if q.TargetRelError > 0 && converged(res, q.TargetRelError) {
+				return res, nil
+			}
+		}
+	}
+	return snapshot(q, pop, samples, exact, groups, order), nil
+}
+
+func newGroupState(key string, aggs []Aggregate) *groupState {
+	g := &groupState{
+		key:      key,
+		ests:     make([]*stats.Estimator, len(aggs)),
+		sketches: make([]*stats.QuantileSketch, len(aggs)),
+		mins:     make([]float64, len(aggs)),
+		maxs:     make([]float64, len(aggs)),
+	}
+	for i, a := range aggs {
+		if a.Kind != Count {
+			g.ests[i] = stats.NewEstimator()
+		}
+		if a.Kind == Quantile {
+			g.sketches[i] = stats.NewQuantileSketch()
+		}
+		g.mins[i] = math.Inf(1)
+		g.maxs[i] = math.Inf(-1)
+	}
+	return g
+}
+
+func insertSorted(order []string, key string) []string {
+	lo, hi := 0, len(order)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if order[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	order = append(order, "")
+	copy(order[lo+1:], order[lo:])
+	order[lo] = key
+	return order
+}
+
+// snapshot assembles a Result from the running state.
+//
+// Group-level COUNT and SUM use the standard ratio scaling: the group's
+// share of the sample estimates its share of the population, so
+// COUNT_g = Pop * n_g/n with a binomial-proportion interval, and
+// SUM_g = COUNT_g * mean_g with the two relative errors combined
+// conservatively. With no GROUP BY (n_g = n) these reduce to the exact
+// finite-population expressions.
+func snapshot(q Query, pop float64, samples int64, exact bool, groups map[string]*groupState, order []string) *Result {
+	res := &Result{Samples: samples, Population: pop, Exact: exact}
+	z := stats.NormalQuantile(0.5 + q.Confidence/2)
+	if exact && q.GroupBy == nil {
+		// Exhausted: the sample is the population.
+		pop = float64(samples)
+		res.Population = pop
+	}
+	for _, key := range order {
+		g := groups[key]
+		grp := Group{Key: key, Samples: g.n}
+		share := 0.0
+		if samples > 0 {
+			share = float64(g.n) / float64(samples)
+		}
+		// Binomial half-width of the group share.
+		shareHW := 0.0
+		if samples > 0 && !exact {
+			shareHW = z * math.Sqrt(share*(1-share)/float64(samples))
+		}
+		countEst := pop * share
+		if exact {
+			countEst = float64(g.n)
+		}
+		for i, a := range q.Aggregates {
+			e := Estimate{Agg: a, HasCI: true}
+			switch a.Kind {
+			case Count:
+				e.Value = countEst
+				e.Lo = pop * math.Max(0, share-shareHW)
+				e.Hi = pop * (share + shareHW)
+				if exact {
+					e.Lo, e.Hi = e.Value, e.Value
+				}
+			case Avg:
+				est := g.ests[i]
+				e.Value = est.Mean()
+				if exact && q.GroupBy == nil {
+					e.Lo, e.Hi = e.Value, e.Value
+				} else {
+					e.Lo, e.Hi = est.MeanInterval(q.Confidence)
+				}
+			case Sum:
+				est := g.ests[i]
+				e.Value = countEst * est.Mean()
+				if exact {
+					e.Lo, e.Hi = e.Value, e.Value
+					break
+				}
+				mLo, mHi := est.MeanInterval(q.Confidence)
+				// Combine the share and mean uncertainties conservatively.
+				cLo := pop * math.Max(0, share-shareHW)
+				cHi := pop * (share + shareHW)
+				e.Lo = math.Min(cLo*mLo, math.Min(cLo*mHi, math.Min(cHi*mLo, cHi*mHi)))
+				e.Hi = math.Max(cLo*mLo, math.Max(cLo*mHi, math.Max(cHi*mLo, cHi*mHi)))
+			case Min:
+				e.Value = g.mins[i]
+				e.HasCI = exact
+				e.Lo, e.Hi = e.Value, e.Value
+			case Max:
+				e.Value = g.maxs[i]
+				e.HasCI = exact
+				e.Lo, e.Hi = e.Value, e.Value
+			case Quantile:
+				sk := g.sketches[i]
+				if sk.Count() == 0 {
+					e.HasCI = false
+					break
+				}
+				v, err := sk.Quantile(a.Param)
+				if err != nil {
+					e.HasCI = false
+					break
+				}
+				e.Value = v
+				if exact {
+					e.Lo, e.Hi = v, v
+					break
+				}
+				lo, hi, err := sk.QuantileInterval(a.Param, q.Confidence)
+				if err != nil {
+					e.HasCI = false
+					break
+				}
+				e.Lo, e.Hi = lo, hi
+			}
+			grp.Estimates = append(grp.Estimates, e)
+		}
+		res.Groups = append(res.Groups, grp)
+	}
+	return res
+}
+
+// converged reports whether every interval-bearing aggregate of every
+// group is within the relative error target.
+func converged(res *Result, target float64) bool {
+	if len(res.Groups) == 0 {
+		return false
+	}
+	for _, g := range res.Groups {
+		// Demand a minimum of samples per group before trusting the CLT.
+		if g.Samples < 30 {
+			return false
+		}
+		for _, e := range g.Estimates {
+			if !e.HasCI {
+				if e.Agg.Kind == Min || e.Agg.Kind == Max {
+					continue // extremes never converge from samples
+				}
+				return false
+			}
+			half := (e.Hi - e.Lo) / 2
+			scale := math.Abs(e.Value)
+			if scale < 1e-12 {
+				if half > 1e-12 {
+					return false
+				}
+				continue
+			}
+			if half/scale > target {
+				return false
+			}
+		}
+	}
+	return true
+}

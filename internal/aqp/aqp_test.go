@@ -1,0 +1,307 @@
+package aqp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"sampleview/internal/core"
+	"sampleview/internal/iosim"
+	"sampleview/internal/pagefile"
+	"sampleview/internal/record"
+	"sampleview/internal/workload"
+)
+
+// treeSource adapts a core.Tree to the engine's Source interface.
+type treeSource struct{ t *core.Tree }
+
+func (s treeSource) SampleStream(q record.Box) (Stream, error) { return s.t.Query(q) }
+func (s treeSource) EstimateCount(q record.Box) (float64, error) {
+	return s.t.EstimateCount(q)
+}
+
+func buildSource(t *testing.T, n int64, seed uint64) (Source, []record.Record) {
+	t.Helper()
+	sim := iosim.New(iosim.Model{
+		RandomRead: 10 * time.Millisecond, SequentialRead: time.Millisecond,
+		RandomWrite: 10 * time.Millisecond, SequentialWrite: time.Millisecond,
+		PageSize: 8192,
+	})
+	rel, err := workload.GenerateRelation(sim, n, workload.Uniform, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := workload.CollectMatching(rel, record.FullBox(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := core.Create(pagefile.NewMem(sim), rel, core.Params{Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return treeSource{tree}, recs
+}
+
+func amount(r *record.Record) float64 { return float64(r.Amount) }
+
+func exactStats(recs []record.Record, q record.Box) (count int64, sum, mn, mx float64) {
+	mn, mx = math.Inf(1), math.Inf(-1)
+	for i := range recs {
+		if !q.ContainsRecord(&recs[i]) {
+			continue
+		}
+		count++
+		v := float64(recs[i].Amount)
+		sum += v
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	return
+}
+
+func TestRunToExhaustionIsExact(t *testing.T) {
+	src, recs := buildSource(t, 20_000, 1)
+	q := record.Box1D(0, workload.KeyDomain/3)
+	count, sum, mn, mx := exactStats(recs, q)
+
+	res, err := Run(src, Query{
+		Predicate: q,
+		Aggregates: []Aggregate{
+			{Kind: Count},
+			{Kind: Sum, Value: amount},
+			{Kind: Avg, Value: amount},
+			{Kind: Min, Value: amount},
+			{Kind: Max, Value: amount},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("exhausted run not marked exact")
+	}
+	if len(res.Groups) != 1 || res.Groups[0].Key != "" {
+		t.Fatalf("expected a single anonymous group, got %+v", res.Groups)
+	}
+	es := res.Groups[0].Estimates
+	if es[0].Value != float64(count) {
+		t.Fatalf("COUNT = %v, want %d", es[0].Value, count)
+	}
+	if math.Abs(es[1].Value-sum) > 1e-6*math.Abs(sum) {
+		t.Fatalf("SUM = %v, want %v", es[1].Value, sum)
+	}
+	if math.Abs(es[2].Value-sum/float64(count)) > 1e-6*math.Abs(es[2].Value) {
+		t.Fatalf("AVG = %v, want %v", es[2].Value, sum/float64(count))
+	}
+	if es[3].Value != mn || es[4].Value != mx {
+		t.Fatalf("MIN/MAX = %v/%v, want %v/%v", es[3].Value, es[4].Value, mn, mx)
+	}
+}
+
+func TestStoppingRuleConverges(t *testing.T) {
+	src, recs := buildSource(t, 60_000, 2)
+	q := record.Box1D(0, workload.KeyDomain/2)
+	count, sum, _, _ := exactStats(recs, q)
+
+	res, err := Run(src, Query{
+		Predicate: q,
+		Aggregates: []Aggregate{
+			{Kind: Avg, Value: amount},
+			{Kind: Count},
+		},
+		TargetRelError: 0.05,
+		ProgressEvery:  200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("stopping rule should fire before exhaustion at 5% target")
+	}
+	if res.Samples >= count {
+		t.Fatalf("consumed %d samples of %d matches", res.Samples, count)
+	}
+	avg := res.Groups[0].Estimates[0]
+	truth := sum / float64(count)
+	// The interval is a 95% interval at a 5% relative target; allow the
+	// truth to sit slightly outside with generous margin.
+	if truth < avg.Value*0.9 || truth > avg.Value*1.1 {
+		t.Fatalf("AVG estimate %v far from truth %v", avg.Value, truth)
+	}
+	cnt := res.Groups[0].Estimates[1]
+	if float64(count) < cnt.Value*0.8 || float64(count) > cnt.Value*1.2 {
+		t.Fatalf("COUNT estimate %v far from truth %d", cnt.Value, count)
+	}
+}
+
+func TestGroupByEstimates(t *testing.T) {
+	src, recs := buildSource(t, 60_000, 3)
+	q := record.FullBox(1)
+	buckets := int64(4)
+	groupOf := func(r *record.Record) string {
+		return fmt.Sprintf("g%d", r.Key*buckets/workload.KeyDomain)
+	}
+	res, err := Run(src, Query{
+		Predicate: q,
+		Aggregates: []Aggregate{
+			{Kind: Count},
+			{Kind: Sum, Value: amount},
+		},
+		GroupBy:       groupOf,
+		MaxSamples:    8000,
+		ProgressEvery: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != int(buckets) {
+		t.Fatalf("got %d groups, want %d", len(res.Groups), buckets)
+	}
+	// Exact per-group truths.
+	exactCount := map[string]float64{}
+	exactSum := map[string]float64{}
+	for i := range recs {
+		k := groupOf(&recs[i])
+		exactCount[k]++
+		exactSum[k] += float64(recs[i].Amount)
+	}
+	for _, g := range res.Groups {
+		cnt := g.Estimates[0]
+		sum := g.Estimates[1]
+		if exactCount[g.Key] < cnt.Value*0.8 || exactCount[g.Key] > cnt.Value*1.2 {
+			t.Fatalf("group %s COUNT %v vs exact %v", g.Key, cnt.Value, exactCount[g.Key])
+		}
+		if exactSum[g.Key] < sum.Value*0.75 || exactSum[g.Key] > sum.Value*1.25 {
+			t.Fatalf("group %s SUM %v vs exact %v", g.Key, sum.Value, exactSum[g.Key])
+		}
+		if !cnt.HasCI || cnt.Lo > exactCount[g.Key]*1.05 || cnt.Hi < exactCount[g.Key]*0.95 {
+			t.Fatalf("group %s COUNT interval [%v,%v] excludes exact %v",
+				g.Key, cnt.Lo, cnt.Hi, exactCount[g.Key])
+		}
+	}
+	// Groups arrive sorted by key.
+	for i := 1; i < len(res.Groups); i++ {
+		if res.Groups[i-1].Key >= res.Groups[i].Key {
+			t.Fatal("groups not sorted")
+		}
+	}
+}
+
+func TestProgressCallbackCanStop(t *testing.T) {
+	src, _ := buildSource(t, 20_000, 4)
+	calls := 0
+	res, err := Run(src, Query{
+		Predicate:     record.FullBox(1),
+		Aggregates:    []Aggregate{{Kind: Avg, Value: amount}},
+		ProgressEvery: 100,
+		Progress: func(r *Result) bool {
+			calls++
+			return calls < 3
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("progress called %d times, want 3", calls)
+	}
+	if res.Samples != 300 {
+		t.Fatalf("stopped after %d samples, want 300", res.Samples)
+	}
+}
+
+func TestMaxSamples(t *testing.T) {
+	src, _ := buildSource(t, 20_000, 5)
+	res, err := Run(src, Query{
+		Predicate:  record.FullBox(1),
+		Aggregates: []Aggregate{{Kind: Count}},
+		MaxSamples: 1234,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 1234 || res.Exact {
+		t.Fatalf("Samples=%d Exact=%v", res.Samples, res.Exact)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	src, _ := buildSource(t, 100, 6)
+	if _, err := Run(src, Query{Predicate: record.FullBox(1)}); err == nil {
+		t.Fatal("query without aggregates accepted")
+	}
+	if _, err := Run(src, Query{
+		Predicate:  record.FullBox(1),
+		Aggregates: []Aggregate{{Kind: Sum}}, // missing Value
+	}); err == nil {
+		t.Fatal("SUM without Value accepted")
+	}
+	if _, err := Run(src, Query{
+		Predicate:  record.FullBox(1),
+		Aggregates: []Aggregate{{Kind: Count}},
+		Confidence: 1.5,
+	}); err == nil {
+		t.Fatal("confidence out of range accepted")
+	}
+}
+
+func TestMinMaxHaveNoInterval(t *testing.T) {
+	src, _ := buildSource(t, 20_000, 7)
+	res, err := Run(src, Query{
+		Predicate:  record.FullBox(1),
+		Aggregates: []Aggregate{{Kind: Min, Value: amount}, {Kind: Max, Value: amount}},
+		MaxSamples: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Groups[0].Estimates {
+		if e.HasCI {
+			t.Fatalf("%v from a partial sample should not claim an interval", e.Agg.Kind)
+		}
+	}
+}
+
+func TestQuantileAggregate(t *testing.T) {
+	src, recs := buildSource(t, 40_000, 8)
+	q := record.Box1D(0, workload.KeyDomain/2)
+	res, err := Run(src, Query{
+		Predicate: q,
+		Aggregates: []Aggregate{
+			{Kind: Quantile, Value: amount, Param: 0.5},
+			{Kind: Quantile, Value: amount, Param: 0.9},
+		},
+		MaxSamples:    4000,
+		ProgressEvery: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact quantiles of the matching set.
+	var vals []float64
+	for i := range recs {
+		if q.ContainsRecord(&recs[i]) {
+			vals = append(vals, float64(recs[i].Amount))
+		}
+	}
+	sort.Float64s(vals)
+	exactMed := vals[len(vals)/2]
+	exactP90 := vals[len(vals)*9/10]
+	med := res.Groups[0].Estimates[0]
+	p90 := res.Groups[0].Estimates[1]
+	if !med.HasCI || med.Lo > exactMed || med.Hi < exactMed {
+		t.Fatalf("median interval [%v,%v] excludes exact %v", med.Lo, med.Hi, exactMed)
+	}
+	if p90.Value < exactP90*0.95 || p90.Value > exactP90*1.05 {
+		t.Fatalf("p90 estimate %v vs exact %v", p90.Value, exactP90)
+	}
+	// Validation of the parameter.
+	if _, err := Run(src, Query{
+		Predicate:  q,
+		Aggregates: []Aggregate{{Kind: Quantile, Value: amount, Param: 2}},
+	}); err == nil {
+		t.Fatal("quantile param out of range accepted")
+	}
+}

@@ -1,0 +1,179 @@
+package btree
+
+import (
+	"io"
+	"math/rand/v2"
+	"testing"
+
+	"sampleview/internal/pagefile"
+	"sampleview/internal/record"
+	"sampleview/internal/workload"
+)
+
+// buildCorrelated builds a tree over records whose Amount is strongly
+// correlated with Key, so records sharing a leaf block have similar
+// Amounts - the adversarial case for block-based sampling the paper
+// describes ("values on each block closely correlated with one another").
+func buildCorrelated(t *testing.T, n int64) *Tree {
+	t.Helper()
+	sim := testSim()
+	rel := pagefile.NewItemFile(pagefile.NewMem(sim), record.Size)
+	w := rel.NewWriter()
+	buf := make([]byte, record.Size)
+	rng := rand.New(rand.NewPCG(31, 32))
+	for i := int64(0); i < n; i++ {
+		key := rng.Int64N(1 << 20)
+		rec := record.Record{
+			Key:    key,
+			Amount: key + rng.Int64N(1000), // Amount tracks Key
+			Seq:    uint64(i),
+		}
+		rec.Marshal(buf)
+		if err := w.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(pagefile.NewMem(sim), rel, pagefile.NewPool(4096), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestBlockSamplerCoversEveryMatch(t *testing.T) {
+	sim := testSim()
+	rel, err := workload.GenerateRelation(sim, 3000, workload.Uniform, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(pagefile.NewMem(sim), rel, pagefile.NewPool(1024), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := record.Range{Lo: workload.KeyDomain / 4, Hi: workload.KeyDomain / 2}
+	want, err := workload.CountMatching(rel, record.NewBox(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tree.NewBlockSampler(q, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for {
+		block, err := s.NextBlock()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range block {
+			if !q.Contains(rec.Key) {
+				t.Fatal("block contained non-matching record")
+			}
+			if seen[rec.Seq] {
+				t.Fatal("record returned twice")
+			}
+			seen[rec.Seq] = true
+		}
+	}
+	if int64(len(seen)) != want {
+		t.Fatalf("block sampler returned %d records, want %d", len(seen), want)
+	}
+	if s.Records() != want {
+		t.Fatalf("Records() = %d", s.Records())
+	}
+}
+
+func TestBlockSamplerEmptyRange(t *testing.T) {
+	sim := testSim()
+	tree, _ := buildTestTree(t, sim, 500, 34, 64)
+	s, err := tree.NewBlockSampler(record.Range{Lo: -10, Hi: -1}, rand.New(rand.NewPCG(2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NextBlock(); err != io.EOF {
+		t.Fatal("empty range should EOF")
+	}
+	if _, err := tree.NewBlockSampler(record.FullRange(), nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+// TestBlockSamplesInflateVariance demonstrates the paper's Section II-C
+// objection quantitatively: with block-correlated values, the variance of
+// a mean estimate built from k blocks of ~m records each is far larger
+// than the variance of a truly independent sample of k*m records, so
+// confidence intervals computed under an independence assumption are
+// invalid.
+func TestBlockSamplesInflateVariance(t *testing.T) {
+	tree := buildCorrelated(t, 40_000)
+	q := record.FullRange()
+	rng := rand.New(rand.NewPCG(3, 3))
+
+	const trials = 120
+	const blocksPerTrial = 4
+
+	// Block-based estimates.
+	var blockMeans []float64
+	var perTrialN float64
+	for i := 0; i < trials; i++ {
+		s, err := tree.NewBlockSampler(q, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum, n float64
+		for b := 0; b < blocksPerTrial; b++ {
+			block, err := s.NextBlock()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rec := range block {
+				sum += float64(rec.Amount)
+				n++
+			}
+		}
+		blockMeans = append(blockMeans, sum/n)
+		perTrialN += n
+	}
+	perTrialN /= trials
+
+	// Independent estimates of the same sample size via Algorithm 1.
+	var indepMeans []float64
+	for i := 0; i < trials; i++ {
+		s, err := tree.NewSampler(q, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for k := 0; k < int(perTrialN); k++ {
+			rec, err := s.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(rec.Amount)
+		}
+		indepMeans = append(indepMeans, sum/perTrialN)
+	}
+
+	varOf := func(xs []float64) float64 {
+		var m float64
+		for _, x := range xs {
+			m += x
+		}
+		m /= float64(len(xs))
+		var v float64
+		for _, x := range xs {
+			v += (x - m) * (x - m)
+		}
+		return v / float64(len(xs)-1)
+	}
+	inflation := varOf(blockMeans) / varOf(indepMeans)
+	if inflation < 5 {
+		t.Fatalf("block-sample variance inflation %.1fx; expected large design effect", inflation)
+	}
+}

@@ -1,0 +1,462 @@
+// Package core implements the ACE Tree, the paper's primary contribution:
+// a primary file organization for materialized sample views that supports
+// online random sampling from arbitrary range predicates.
+//
+// # Structure
+//
+// An ACE Tree of height h is a complete binary tree with h levels. Levels
+// 1..h-1 are internal nodes, each carrying a split key that halves its
+// region (for multi-dimensional trees the split dimension alternates per
+// level, k-d style) and the exact counts of database records falling left
+// and right of the split. Level h consists of 2^(h-1) leaves. Every leaf
+// stores h sections; section i of leaf L holds a uniform random subset of
+// all database records falling in the region of L's level-i ancestor, so
+// L.R1 is the whole domain and the regions halve at each level
+// (exponentiality). Section membership is decided per record with an
+// independent uniform draw over 1..h, and the leaf within the ancestor's
+// subtree with an independent uniform draw, which yields the paper's
+// combinability and appendability properties.
+//
+// # On-disk layout
+//
+// The tree lives in one page file:
+//
+//	page 0:                 header (magic, count, height, dims, geometry)
+//	split region:           per internal node: split key, left/right counts
+//	directory region:       per leaf: first data page + per-section counts
+//	leaf data region:       each leaf page-aligned, records grouped by section
+//
+// The split and directory regions are small (tens of bytes per node/leaf)
+// and are read sequentially once at Open, mirroring the paper's packing of
+// binary internal nodes into disk-page-sized units.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"sampleview/internal/pagefile"
+	"sampleview/internal/record"
+)
+
+const (
+	magic = uint64(0x5356414345545231) // "SVACETR1"
+
+	// MaxHeight bounds the tree height; 2^(MaxHeight-1) leaves is far more
+	// than any laptop-scale relation needs.
+	MaxHeight = 28
+
+	splitEntrySize = 24 // split int64, cntL int64, cntR int64
+)
+
+// Params configures ACE Tree construction.
+type Params struct {
+	// Height is the tree height h (sections per leaf). 0 selects the
+	// smallest height for which the expected leaf size does not exceed one
+	// disk page, the sizing rule from Section V of the paper.
+	Height int
+	// Dims is the number of indexed dimensions (1 or 2). The default 0
+	// means 1.
+	Dims int
+	// MemPages is the page budget for the external sorts (default 64).
+	MemPages int
+	// Seed drives the randomized section and leaf assignment.
+	Seed uint64
+}
+
+func (p *Params) setDefaults() {
+	if p.Dims == 0 {
+		p.Dims = 1
+	}
+	if p.MemPages == 0 {
+		p.MemPages = 64
+	}
+}
+
+func (p *Params) validate() error {
+	if p.Dims < 1 || p.Dims > record.NumDims {
+		return fmt.Errorf("core: dims must be 1..%d, got %d", record.NumDims, p.Dims)
+	}
+	if p.Height < 0 || p.Height > MaxHeight {
+		return fmt.Errorf("core: height must be 0..%d, got %d", MaxHeight, p.Height)
+	}
+	if p.MemPages < 3 {
+		return fmt.Errorf("core: memPages must be at least 3, got %d", p.MemPages)
+	}
+	return nil
+}
+
+// AutoHeight returns the height chosen for n records and the given page
+// size: the smallest h with n*record.Size/2^(h-1) <= pageSize, at least 2
+// (and 1 for relations that fit a single page).
+func AutoHeight(n int64, pageSize int) int {
+	h := 1
+	for h < MaxHeight && n*record.Size > int64(pageSize)<<(h-1) {
+		h++
+	}
+	return h
+}
+
+// leafMeta locates one leaf on disk.
+type leafMeta struct {
+	firstPage int64
+	secCounts []int32 // per section, length h
+}
+
+func (m *leafMeta) totalRecords() int64 {
+	var n int64
+	for _, c := range m.secCounts {
+		n += int64(c)
+	}
+	return n
+}
+
+// Tree is an open ACE Tree.
+type Tree struct {
+	f     *pagefile.File
+	h     int
+	dims  int
+	count int64
+
+	// splits, cntL, cntR are heap-indexed (root = 1) over the internal
+	// nodes 1..nLeaves-1; index 0 is unused.
+	splits     []int64
+	cntL, cntR []int64
+
+	leaves  []leafMeta // by leaf ordinal 0..nLeaves-1
+	nLeaves int64
+
+	// dataMin/dataMax bound the stored coordinates per dimension; they are
+	// used to clamp edge regions when interpolating count estimates.
+	dataMin, dataMax []int64
+}
+
+// DataBounds returns the bounding box of the stored records. For an empty
+// tree the box is empty.
+func (t *Tree) DataBounds() record.Box {
+	dims := make([]record.Range, t.dims)
+	for d := 0; d < t.dims; d++ {
+		dims[d] = record.Range{Lo: t.dataMin[d], Hi: t.dataMax[d]}
+	}
+	return record.NewBox(dims...)
+}
+
+// Height returns the tree height h (= sections per leaf).
+func (t *Tree) Height() int { return t.h }
+
+// Dims returns the number of indexed dimensions.
+func (t *Tree) Dims() int { return t.dims }
+
+// Count returns the number of records in the view.
+func (t *Tree) Count() int64 { return t.count }
+
+// NumLeaves returns the number of leaves, 2^(h-1).
+func (t *Tree) NumLeaves() int64 { return t.nLeaves }
+
+// DataPages returns the number of pages in the leaf data region.
+func (t *Tree) DataPages() int64 { return t.f.NumPages() - t.leafDataStart() }
+
+// MeanSectionSize returns the observed mean section size mu.
+func (t *Tree) MeanSectionSize() float64 {
+	return float64(t.count) / float64(int64(t.h)*t.nLeaves)
+}
+
+// splitDim returns the dimension split at the given level (1-based).
+func (t *Tree) splitDim(level int) int { return (level - 1) % t.dims }
+
+// levelOf returns the level of a heap index (root = level 1).
+func levelOf(idx int64) int { return bits.Len64(uint64(idx)) }
+
+// childBox returns the region of the child obtained by splitting box at
+// the given level with the given split key.
+func (t *Tree) childBox(box record.Box, level int, split int64, right bool) record.Box {
+	d := t.splitDim(level)
+	r := box.Dim(d)
+	if right {
+		return box.WithDim(d, record.Range{Lo: split + 1, Hi: r.Hi})
+	}
+	return box.WithDim(d, record.Range{Lo: r.Lo, Hi: split})
+}
+
+// nodeBox returns the region of the heap node idx by descending from the
+// root. It is used by tests and the count estimator; queries compute boxes
+// incrementally during their stabs.
+func (t *Tree) nodeBox(idx int64) record.Box {
+	box := record.FullBox(t.dims)
+	level := levelOf(idx)
+	for l := 1; l < level; l++ {
+		ancestor := idx >> uint(level-l)
+		right := (idx>>uint(level-l-1))&1 == 1
+		box = t.childBox(box, l, t.splits[ancestor], right)
+	}
+	return box
+}
+
+// nodeCount returns the number of database records in the region of heap
+// node idx (exact, from the construction-time counts).
+func (t *Tree) nodeCount(idx int64) int64 {
+	if idx == 1 {
+		return t.count
+	}
+	parent := idx / 2
+	if idx%2 == 0 {
+		return t.cntL[parent]
+	}
+	return t.cntR[parent]
+}
+
+// geometry of the file regions.
+
+func (t *Tree) nInternal() int64 { return t.nLeaves - 1 }
+
+func (t *Tree) splitPages() int64 {
+	perPage := int64(t.f.PageSize() / splitEntrySize) // entries never span pages
+	return ceilDiv(t.nInternal(), perPage)
+}
+
+func (t *Tree) dirEntrySize() int64 { return 8 + 4*int64(t.h) }
+
+func (t *Tree) dirPages() int64 {
+	perPage := int64(t.f.PageSize()) / t.dirEntrySize()
+	return ceilDiv(t.nLeaves, perPage)
+}
+
+func (t *Tree) splitStart() int64    { return 1 }
+func (t *Tree) dirStart() int64      { return t.splitStart() + t.splitPages() }
+func (t *Tree) leafDataStart() int64 { return t.dirStart() + t.dirPages() }
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// Open opens an ACE Tree previously written by Create.
+func Open(f *pagefile.File) (*Tree, error) {
+	if f.NumPages() == 0 {
+		return nil, fmt.Errorf("core: empty file")
+	}
+	page := make([]byte, f.PageSize())
+	if err := f.Read(0, page); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(page[0:8]) != magic {
+		return nil, fmt.Errorf("core: bad magic")
+	}
+	t := &Tree{
+		f:     f,
+		count: int64(binary.LittleEndian.Uint64(page[8:16])),
+		h:     int(binary.LittleEndian.Uint64(page[16:24])),
+		dims:  int(binary.LittleEndian.Uint64(page[24:32])),
+	}
+	if t.h < 1 || t.h > MaxHeight || t.dims < 1 || t.dims > record.NumDims {
+		return nil, fmt.Errorf("core: corrupt header (h=%d dims=%d)", t.h, t.dims)
+	}
+	t.dataMin = make([]int64, t.dims)
+	t.dataMax = make([]int64, t.dims)
+	for d := 0; d < t.dims; d++ {
+		t.dataMin[d] = int64(binary.LittleEndian.Uint64(page[32+16*d : 40+16*d]))
+		t.dataMax[d] = int64(binary.LittleEndian.Uint64(page[40+16*d : 48+16*d]))
+	}
+	t.nLeaves = int64(1) << uint(t.h-1)
+	if err := t.readSplitRegion(); err != nil {
+		return nil, err
+	}
+	if err := t.readDirRegion(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Tree) writeHeader() error {
+	page := make([]byte, t.f.PageSize())
+	binary.LittleEndian.PutUint64(page[0:8], magic)
+	binary.LittleEndian.PutUint64(page[8:16], uint64(t.count))
+	binary.LittleEndian.PutUint64(page[16:24], uint64(t.h))
+	binary.LittleEndian.PutUint64(page[24:32], uint64(t.dims))
+	for d := 0; d < t.dims; d++ {
+		binary.LittleEndian.PutUint64(page[32+16*d:40+16*d], uint64(t.dataMin[d]))
+		binary.LittleEndian.PutUint64(page[40+16*d:48+16*d], uint64(t.dataMax[d]))
+	}
+	if t.f.NumPages() == 0 {
+		_, err := t.f.Append(page)
+		return err
+	}
+	return t.f.Write(0, page)
+}
+
+// regionWriter streams fixed-size entries into a pre-sized page region.
+type regionWriter struct {
+	f     *pagefile.File
+	page  []byte
+	pg    int64
+	off   int
+	limit int64 // last page of the region, exclusive
+}
+
+func (t *Tree) newRegionWriter(start, pages int64) *regionWriter {
+	return &regionWriter{f: t.f, page: make([]byte, t.f.PageSize()), pg: start, limit: start + pages}
+}
+
+func (w *regionWriter) write(entry []byte) error {
+	if w.off+len(entry) > len(w.page) {
+		if err := w.flush(); err != nil {
+			return err
+		}
+	}
+	copy(w.page[w.off:], entry)
+	w.off += len(entry)
+	return nil
+}
+
+func (w *regionWriter) flush() error {
+	if w.pg >= w.limit {
+		return fmt.Errorf("core: region overflow at page %d", w.pg)
+	}
+	if err := w.f.Write(w.pg, w.page); err != nil {
+		return err
+	}
+	for i := range w.page {
+		w.page[i] = 0
+	}
+	w.pg++
+	w.off = 0
+	return nil
+}
+
+func (w *regionWriter) close() error {
+	if w.off > 0 {
+		return w.flush()
+	}
+	return nil
+}
+
+// regionReader streams fixed-size entries out of a page region. Entries
+// never span pages, matching regionWriter.
+type regionReader struct {
+	f      *pagefile.File
+	page   []byte
+	next   int64 // next page to load
+	off    int
+	loaded bool
+}
+
+func (t *Tree) newRegionReader(start int64) *regionReader {
+	return &regionReader{f: t.f, page: make([]byte, t.f.PageSize()), next: start}
+}
+
+func (r *regionReader) read(n int) ([]byte, error) {
+	if !r.loaded || r.off+n > len(r.page) {
+		if err := r.f.Read(r.next, r.page); err != nil {
+			return nil, err
+		}
+		r.next++
+		r.off = 0
+		r.loaded = true
+	}
+	b := r.page[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (t *Tree) writeSplitRegion() error {
+	w := t.newRegionWriter(t.splitStart(), t.splitPages())
+	entry := make([]byte, splitEntrySize)
+	for i := int64(1); i < t.nLeaves; i++ {
+		binary.LittleEndian.PutUint64(entry[0:8], uint64(t.splits[i]))
+		binary.LittleEndian.PutUint64(entry[8:16], uint64(t.cntL[i]))
+		binary.LittleEndian.PutUint64(entry[16:24], uint64(t.cntR[i]))
+		if err := w.write(entry); err != nil {
+			return err
+		}
+	}
+	return w.close()
+}
+
+func (t *Tree) readSplitRegion() error {
+	t.splits = make([]int64, t.nLeaves)
+	t.cntL = make([]int64, t.nLeaves)
+	t.cntR = make([]int64, t.nLeaves)
+	r := t.newRegionReader(t.splitStart())
+	for i := int64(1); i < t.nLeaves; i++ {
+		b, err := r.read(splitEntrySize)
+		if err != nil {
+			return err
+		}
+		t.splits[i] = int64(binary.LittleEndian.Uint64(b[0:8]))
+		t.cntL[i] = int64(binary.LittleEndian.Uint64(b[8:16]))
+		t.cntR[i] = int64(binary.LittleEndian.Uint64(b[16:24]))
+	}
+	return nil
+}
+
+func (t *Tree) writeDirRegion() error {
+	w := t.newRegionWriter(t.dirStart(), t.dirPages())
+	entry := make([]byte, t.dirEntrySize())
+	for i := int64(0); i < t.nLeaves; i++ {
+		m := &t.leaves[i]
+		binary.LittleEndian.PutUint64(entry[0:8], uint64(m.firstPage))
+		for s := 0; s < t.h; s++ {
+			binary.LittleEndian.PutUint32(entry[8+4*s:12+4*s], uint32(m.secCounts[s]))
+		}
+		if err := w.write(entry); err != nil {
+			return err
+		}
+	}
+	return w.close()
+}
+
+func (t *Tree) readDirRegion() error {
+	t.leaves = make([]leafMeta, t.nLeaves)
+	r := t.newRegionReader(t.dirStart())
+	es := int(t.dirEntrySize())
+	for i := int64(0); i < t.nLeaves; i++ {
+		b, err := r.read(es)
+		if err != nil {
+			return err
+		}
+		m := &t.leaves[i]
+		m.firstPage = int64(binary.LittleEndian.Uint64(b[0:8]))
+		m.secCounts = make([]int32, t.h)
+		for s := 0; s < t.h; s++ {
+			m.secCounts[s] = int32(binary.LittleEndian.Uint32(b[8+4*s : 12+4*s]))
+		}
+	}
+	return nil
+}
+
+// readLeaf reads leaf data from disk (first page random, the rest
+// sequential) and returns the records of each section, in section order.
+func (t *Tree) readLeaf(ordinal int64) ([][]record.Record, error) {
+	if ordinal < 0 || ordinal >= t.nLeaves {
+		return nil, fmt.Errorf("core: leaf %d out of range [0,%d)", ordinal, t.nLeaves)
+	}
+	m := &t.leaves[ordinal]
+	total := m.totalRecords()
+	sections := make([][]record.Record, t.h)
+	if total == 0 {
+		return sections, nil
+	}
+	perPage := int64(t.f.PageSize() / record.Size)
+	pages := ceilDiv(total, perPage)
+	buf := make([]byte, t.f.PageSize())
+	var flat []record.Record
+	for p := int64(0); p < pages; p++ {
+		if err := t.f.Read(m.firstPage+p, buf); err != nil {
+			return nil, err
+		}
+		n := perPage
+		if rem := total - p*perPage; rem < n {
+			n = rem
+		}
+		for i := int64(0); i < n; i++ {
+			var rec record.Record
+			rec.Unmarshal(buf[i*record.Size : (i+1)*record.Size])
+			flat = append(flat, rec)
+		}
+	}
+	off := 0
+	for s := 0; s < t.h; s++ {
+		n := int(m.secCounts[s])
+		sections[s] = flat[off : off+n : off+n]
+		off += n
+	}
+	return sections, nil
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"sampleview/internal/record"
+)
+
+// EstimateCount estimates the number of records matching q from the exact
+// per-node counts stored in the internal nodes (the paper stores cntl/cntr
+// precisely so that online aggregation can know the population size it is
+// sampling from).
+//
+// Subtrees fully inside the query contribute their exact count; subtrees
+// fully outside contribute nothing; at the leaf level, partially
+// overlapping regions are interpolated by overlap fraction under a
+// local-uniformity assumption. Queries aligned with node boundaries are
+// therefore counted exactly.
+func (t *Tree) EstimateCount(q record.Box) (float64, error) {
+	if q.Dims() != t.dims {
+		return 0, fmt.Errorf("core: query has %d dims, tree has %d", q.Dims(), t.dims)
+	}
+	if q.Empty() || t.count == 0 {
+		return 0, nil
+	}
+	var est func(idx int64, level int, box record.Box, cnt int64) float64
+	est = func(idx int64, level int, box record.Box, cnt int64) float64 {
+		if cnt == 0 || !box.Overlaps(q) {
+			return 0
+		}
+		if q.ContainsBox(box) {
+			return float64(cnt)
+		}
+		if level == t.h {
+			// Partially overlapping leaf region: interpolate by volume.
+			// Regions at the domain edges are clamped to the data bounds so
+			// that the infinite root domain does not dilute the fraction.
+			clamped := box.IntersectBox(t.DataBounds())
+			if clamped.Empty() {
+				return 0
+			}
+			frac := 1.0
+			for d := 0; d < t.dims; d++ {
+				r := clamped.Dim(d)
+				frac *= r.Intersect(q.Dim(d)).Width() / r.Width()
+			}
+			return float64(cnt) * frac
+		}
+		split := t.splits[idx]
+		return est(2*idx, level+1, t.childBox(box, level, split, false), t.cntL[idx]) +
+			est(2*idx+1, level+1, t.childBox(box, level, split, true), t.cntR[idx])
+	}
+	return est(1, 1, record.FullBox(t.dims), t.count), nil
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"sampleview/internal/record"
+)
+
+// Stream is an online random sample of the records matching a range
+// predicate, produced by the paper's shuttle query algorithm
+// (Algorithms 2-4).
+//
+// Each call to NextLeaf performs one stab: a root-to-leaf traversal that at
+// every internal node alternates between the children it visited last time
+// (the lookup table's next bits), always preferring a child whose region
+// overlaps the query while it still has unread leaves. The retrieved
+// leaf's sections are then filtered and either emitted immediately (when
+// the section's region covers the query) or parked in per-region buckets;
+// whenever every level-s region intersecting the query has a parked batch,
+// one batch per region is appended, filtered and emitted.
+//
+// The guarantee, tested extensively in this package: at every instant, the
+// multiset of records emitted so far is a uniform random sample, without
+// replacement, of all records satisfying the predicate, and once every
+// leaf has been read the stream has emitted exactly the full matching set.
+type Stream struct {
+	t *Tree
+	q record.Box
+
+	// Lookup table T: next-child toggle bit per internal node, and
+	// remaining unread leaves per heap node (leaves included), which
+	// doubles as the done flag (remaining == 0).
+	nextRight []bool
+	remaining []int32
+
+	// weight and sent drive the optional weighted shuttle (nil when the
+	// paper's toggling shuttle is in use).
+	weight, sent []int32
+
+	// requiredAll[s] (0-based section index) lists the heap indices of the
+	// level-(s+1) nodes whose region overlaps the query; all of them must
+	// contribute a batch before section-s batches can be appended.
+	requiredAll [][]int64
+
+	// buckets[s] holds parked batches keyed by heap node index.
+	buckets []map[int64][][]record.Record
+	// buffered counts the records currently parked across all buckets
+	// (Figure 15's metric).
+	buffered int
+
+	out        []record.Record // emitted but not yet consumed by Next
+	outHead    int
+	leavesRead int64
+	emitted    int64
+	done       bool
+
+	// scratch for stabs
+	pathIdx []int64
+	pathBox []record.Box
+}
+
+// StreamOptions tunes the query algorithm.
+type StreamOptions struct {
+	// WeightedShuttle routes each stab toward the child with the larger
+	// deficit of visits relative to its share of query-relevant leaves,
+	// instead of the paper's strict 50/50 alternation. The paper's toggling
+	// sends equal stab streams to both sides of any split whose children
+	// both overlap the query, even when one side contains far more of the
+	// query's regions; the surplus batches then wait in the combine buckets
+	// (they can only be emitted one-per-region). Weighting removes that
+	// imbalance and increases early throughput, with an identical
+	// statistical guarantee: the emission rule is unchanged, and it is the
+	// emission rule alone that makes every prefix a uniform sample. This is
+	// an extension over the published algorithm, off by default and
+	// measured by BenchmarkAblationShuttle.
+	WeightedShuttle bool
+}
+
+// Query returns an online sample stream over the records of t matching q,
+// using the paper's shuttle exactly as published.
+func (t *Tree) Query(q record.Box) (*Stream, error) {
+	return t.QueryWithOptions(q, StreamOptions{})
+}
+
+// QueryWithOptions is Query with algorithm tuning.
+func (t *Tree) QueryWithOptions(q record.Box, opts StreamOptions) (*Stream, error) {
+	if q.Dims() != t.dims {
+		return nil, fmt.Errorf("core: query has %d dims, tree has %d", q.Dims(), t.dims)
+	}
+	s := &Stream{
+		t:         t,
+		q:         q,
+		nextRight: make([]bool, t.nLeaves),
+		remaining: make([]int32, 2*t.nLeaves),
+		buckets:   make([]map[int64][][]record.Record, t.h),
+		pathIdx:   make([]int64, t.h+1),
+		pathBox:   make([]record.Box, t.h+1),
+	}
+	for i := range s.buckets {
+		s.buckets[i] = make(map[int64][][]record.Record)
+	}
+	// remaining[i] = number of leaves below heap node i.
+	for i := int64(1); i < 2*t.nLeaves; i++ {
+		lvl := levelOf(i)
+		s.remaining[i] = int32(int64(1) << uint(t.h-lvl))
+	}
+	s.computeRequired()
+	if opts.WeightedShuttle {
+		// weight[i] = number of query-overlapping leaf regions below heap
+		// node i; sent[i] counts stabs routed through it.
+		s.weight = make([]int32, 2*t.nLeaves)
+		s.sent = make([]int32, 2*t.nLeaves)
+		for _, leafIdx := range s.requiredAll[t.h-1] {
+			for i := leafIdx; i >= 1; i /= 2 {
+				s.weight[i]++
+			}
+		}
+	}
+	if t.count == 0 || q.Empty() {
+		s.done = true
+	}
+	return s, nil
+}
+
+// computeRequired walks the tree regions top-down and records, per level,
+// which nodes overlap the query.
+func (s *Stream) computeRequired() {
+	t := s.t
+	s.requiredAll = make([][]int64, t.h)
+	if s.q.Empty() {
+		return
+	}
+	var walk func(idx int64, level int, box record.Box)
+	walk = func(idx int64, level int, box record.Box) {
+		if !box.Overlaps(s.q) {
+			return
+		}
+		s.requiredAll[level-1] = append(s.requiredAll[level-1], idx)
+		if level == t.h {
+			return
+		}
+		split := t.splits[idx]
+		walk(2*idx, level+1, t.childBox(box, level, split, false))
+		walk(2*idx+1, level+1, t.childBox(box, level, split, true))
+	}
+	walk(1, 1, record.FullBox(t.dims))
+}
+
+// Done reports whether every leaf has been read and the stream drained of
+// new batches.
+func (s *Stream) Done() bool { return s.done && s.outHead >= len(s.out) }
+
+// LeavesRead returns the number of leaf nodes retrieved so far.
+func (s *Stream) LeavesRead() int64 { return s.leavesRead }
+
+// Emitted returns the number of sample records emitted so far (consumed or
+// not).
+func (s *Stream) Emitted() int64 { return s.emitted }
+
+// Buffered returns the number of records currently parked in the combine
+// buckets: records that match the predicate but cannot yet be used
+// (Figure 15's metric).
+func (s *Stream) Buffered() int { return s.buffered }
+
+// Next returns the next sample record, performing stabs as needed. It
+// returns io.EOF once every matching record has been emitted and consumed.
+func (s *Stream) Next() (record.Record, error) {
+	for s.outHead >= len(s.out) {
+		if s.done {
+			return record.Record{}, io.EOF
+		}
+		if _, err := s.NextLeaf(); err != nil && err != io.EOF {
+			return record.Record{}, err
+		}
+	}
+	rec := s.out[s.outHead]
+	s.outHead++
+	if s.outHead >= len(s.out) {
+		s.out = s.out[:0]
+		s.outHead = 0
+	}
+	return rec, nil
+}
+
+// NextBatch returns all records emitted by the next stab (possibly none).
+// It returns io.EOF once the stream is exhausted.
+func (s *Stream) NextBatch() ([]record.Record, error) {
+	// Drain anything already queued first.
+	if s.outHead < len(s.out) {
+		batch := append([]record.Record(nil), s.out[s.outHead:]...)
+		s.out = s.out[:0]
+		s.outHead = 0
+		return batch, nil
+	}
+	n, err := s.NextLeaf()
+	if err != nil {
+		return nil, err
+	}
+	batch := append([]record.Record(nil), s.out[len(s.out)-n:]...)
+	s.out = s.out[:0]
+	s.outHead = 0
+	return batch, nil
+}
+
+// NextLeaf performs one stab (Algorithm 3), reading exactly one leaf from
+// disk, and returns how many new sample records it emitted. It returns
+// io.EOF once every leaf has been read.
+func (s *Stream) NextLeaf() (int, error) {
+	if s.done {
+		return 0, io.EOF
+	}
+	leaf := s.shuttle()
+	emitted, err := s.combineTuples(leaf)
+	if err != nil {
+		return 0, err
+	}
+	s.leavesRead++
+	if s.remaining[1] == 0 {
+		s.done = true
+	}
+	return emitted, nil
+}
+
+// shuttle picks the next leaf to read: starting at the root it prefers, at
+// every node, an undone child overlapping the query; between two eligible
+// children it alternates via the node's next bit. It records the path's
+// heap indices and regions, decrements the remaining counters, and returns
+// the leaf ordinal.
+func (s *Stream) shuttle() int64 {
+	t := s.t
+	idx := int64(1)
+	box := record.FullBox(t.dims)
+	s.pathIdx[1] = 1
+	s.pathBox[1] = box
+	s.remaining[1]--
+	for level := 1; level < t.h; level++ {
+		split := t.splits[idx]
+		left, right := 2*idx, 2*idx+1
+		leftBox := t.childBox(box, level, split, false)
+		rightBox := t.childBox(box, level, split, true)
+
+		var goRight bool
+		switch {
+		case s.remaining[left] == 0:
+			goRight = true
+		case s.remaining[right] == 0:
+			goRight = false
+		default:
+			ovlL := leftBox.Overlaps(s.q)
+			ovlR := rightBox.Overlaps(s.q)
+			switch {
+			case ovlL && !ovlR:
+				goRight = false
+			case ovlR && !ovlL:
+				goRight = true
+			case s.weight != nil && s.weight[left]+s.weight[right] > 0:
+				// Weighted shuttle: go to the child with the larger visit
+				// deficit relative to its share of query-relevant leaves;
+				// toggle on ties.
+				dl := int64(s.sent[left]) * int64(s.weight[right])
+				dr := int64(s.sent[right]) * int64(s.weight[left])
+				if dl == dr {
+					goRight = s.nextRight[idx]
+					s.nextRight[idx] = !s.nextRight[idx]
+				} else {
+					goRight = dl > dr
+				}
+			default:
+				goRight = s.nextRight[idx]
+				s.nextRight[idx] = !s.nextRight[idx]
+			}
+		}
+		if goRight {
+			idx, box = right, rightBox
+		} else {
+			idx, box = left, leftBox
+		}
+		if s.sent != nil {
+			s.sent[idx]++
+		}
+		s.remaining[idx]--
+		s.pathIdx[level+1] = idx
+		s.pathBox[level+1] = box
+	}
+	return idx - t.nLeaves // leaf ordinal
+}
+
+// combineTuples implements Algorithm 4 for the leaf just retrieved: filter
+// each section by the query, emit covering sections immediately, park
+// partially overlapping sections, and flush every bucket group that has a
+// batch for each required region.
+func (s *Stream) combineTuples(leaf int64) (int, error) {
+	t := s.t
+	sections, err := t.readLeaf(leaf)
+	if err != nil {
+		return 0, err
+	}
+	emitted := 0
+	for sec := 0; sec < t.h; sec++ {
+		level := sec + 1
+		box := s.pathBox[level]
+		if !box.Overlaps(s.q) {
+			continue // useless section: its region misses the query
+		}
+		// Filter sigma_Q over the section.
+		var batch []record.Record
+		for i := range sections[sec] {
+			if s.q.ContainsRecord(&sections[sec][i]) {
+				batch = append(batch, sections[sec][i])
+			}
+		}
+		if box.ContainsBox(s.q) {
+			// The section's region covers the query: an immediately usable
+			// random sample (combinability).
+			s.out = append(s.out, batch...)
+			emitted += len(batch)
+			s.emitted += int64(len(batch))
+			continue
+		}
+		// Partial overlap: park under this region and try to append one
+		// batch per required region (appendability).
+		nodeIdx := s.pathIdx[level]
+		s.buckets[sec][nodeIdx] = append(s.buckets[sec][nodeIdx], batch)
+		s.buffered += len(batch)
+		emitted += s.tryCombine(sec)
+	}
+	return emitted, nil
+}
+
+// tryCombine appends one parked batch from every required region of the
+// given section number, if all are present, and emits the result. It
+// repeats until some region's bucket is empty, returning the number of
+// records emitted.
+func (s *Stream) tryCombine(sec int) int {
+	emitted := 0
+	for {
+		ready := true
+		for _, idx := range s.requiredAll[sec] {
+			if len(s.buckets[sec][idx]) == 0 {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			return emitted
+		}
+		for _, idx := range s.requiredAll[sec] {
+			q := s.buckets[sec][idx]
+			batch := q[0]
+			s.buckets[sec][idx] = q[1:]
+			s.buffered -= len(batch)
+			s.out = append(s.out, batch...)
+			emitted += len(batch)
+			s.emitted += int64(len(batch))
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"io"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"sampleview/internal/pagefile"
+	"sampleview/internal/record"
+)
+
+// Property-based tests: for arbitrary (small) relations, tree shapes and
+// query boxes, the ACE Tree must return exactly the matching record set,
+// with no duplicates, and pass the deep Verify check.
+
+// buildArbitrary builds a tree over n records with pseudo-random keys
+// derived from seed.
+func buildArbitrary(t *testing.T, n int, h, dims int, seed uint64) (*Tree, []record.Record) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e37))
+	recs := make([]record.Record, n)
+	sim := testSim()
+	rel := pagefile.NewItemFile(pagefile.NewMem(sim), record.Size)
+	w := rel.NewWriter()
+	buf := make([]byte, record.Size)
+	for i := range recs {
+		recs[i] = record.Record{
+			Key:    rng.Int64N(1 << 16), // small domain: duplicates are common
+			Amount: rng.Int64N(1 << 16),
+			Seq:    uint64(i),
+		}
+		recs[i].Marshal(buf)
+		if err := w.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Create(pagefile.NewMem(sim), rel, Params{Height: h, Dims: dims, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, recs
+}
+
+func TestQuickExactSetAnyShape(t *testing.T) {
+	check := func(nRaw uint16, hRaw, dimsRaw uint8, loRaw, hiRaw uint16, seed uint64) bool {
+		n := int(nRaw%800) + 1
+		h := int(hRaw%6) + 1
+		dims := int(dimsRaw%2) + 1
+		lo, hi := int64(loRaw), int64(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tree, recs := buildArbitrary(t, n, h, dims, seed)
+
+		var q record.Box
+		if dims == 1 {
+			q = record.Box1D(lo, hi)
+		} else {
+			q = record.Box2D(lo, hi, lo/2, hi) // arbitrary second dim
+		}
+		want := map[uint64]bool{}
+		for i := range recs {
+			if q.ContainsRecord(&recs[i]) {
+				want[recs[i].Seq] = true
+			}
+		}
+		stream, err := tree.Query(q)
+		if err != nil {
+			t.Logf("query: %v", err)
+			return false
+		}
+		got := map[uint64]bool{}
+		for {
+			rec, err := stream.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Logf("next: %v", err)
+				return false
+			}
+			if !q.ContainsRecord(&rec) || got[rec.Seq] {
+				return false
+			}
+			got[rec.Seq] = true
+		}
+		if len(got) != len(want) {
+			t.Logf("n=%d h=%d dims=%d q=%v: got %d want %d", n, h, dims, q, len(got), len(want))
+			return false
+		}
+		return stream.Buffered() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVerifyAnyShape(t *testing.T) {
+	check := func(nRaw uint16, hRaw, dimsRaw uint8, seed uint64) bool {
+		n := int(nRaw % 1200)
+		h := int(hRaw%6) + 1
+		dims := int(dimsRaw%2) + 1
+		tree, _ := buildArbitrary(t, max(n, 1), h, dims, seed)
+		if err := tree.Verify(); err != nil {
+			t.Logf("verify(n=%d h=%d dims=%d): %v", n, h, dims, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEstimateNeverNegative(t *testing.T) {
+	tree, _ := buildArbitrary(t, 500, 5, 1, 77)
+	check := func(a, b uint16) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		est, err := tree.EstimateCount(record.Box1D(lo, hi))
+		if err != nil {
+			return false
+		}
+		return est >= 0 && est <= float64(tree.Count())+0.5
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	tree, _ := buildArbitrary(t, 400, 4, 1, 99)
+	if err := tree.Verify(); err != nil {
+		t.Fatalf("fresh tree fails verify: %v", err)
+	}
+	// Corrupt a stored count and expect Verify to notice.
+	tree.cntL[1]++
+	if err := tree.Verify(); err == nil {
+		t.Fatal("corrupted counts passed verification")
+	}
+	tree.cntL[1]--
+	// Corrupt a directory section count.
+	for i := range tree.leaves {
+		if tree.leaves[i].secCounts[0] > 0 {
+			tree.leaves[i].secCounts[0]--
+			break
+		}
+	}
+	if err := tree.Verify(); err == nil {
+		t.Fatal("corrupted directory passed verification")
+	}
+}

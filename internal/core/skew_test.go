@@ -1,0 +1,156 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"sampleview/internal/pagefile"
+	"sampleview/internal/record"
+	"sampleview/internal/workload"
+)
+
+// The ACE Tree splits on medians, so its balance properties must hold for
+// skewed key distributions too: counts halve per level regardless of how
+// keys are distributed, and queries still return exactly the matching set.
+
+func buildSkewed(t *testing.T, dist workload.Distribution, n int64, seed uint64) (*Tree, *pagefile.ItemFile) {
+	t.Helper()
+	sim := testSim()
+	rel, err := workload.GenerateRelation(sim, n, dist, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Create(pagefile.NewMem(sim), rel, Params{Height: 6, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, rel
+}
+
+func TestSkewedDistributionsExactSet(t *testing.T) {
+	for _, dist := range []workload.Distribution{workload.Zipf, workload.Clustered} {
+		tree, rel := buildSkewed(t, dist, 4000, 61)
+		for _, q := range []record.Box{
+			record.Box1D(0, 1000), // zipf mass concentrates near zero
+			record.Box1D(0, workload.KeyDomain/2),
+			record.FullBox(1),
+		} {
+			want, err := workload.CountMatching(rel, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := tree.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[uint64]bool{}
+			var got int64
+			for {
+				rec, err := stream.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seen[rec.Seq] {
+					t.Fatalf("%v: duplicate emission", dist)
+				}
+				seen[rec.Seq] = true
+				got++
+			}
+			if got != want {
+				t.Fatalf("%v query %v: got %d want %d", dist, q, got, want)
+			}
+			if stream.Buffered() != 0 {
+				t.Fatalf("%v: buckets not drained", dist)
+			}
+		}
+	}
+}
+
+func TestSkewedCountsStayBalanced(t *testing.T) {
+	// Median splits balance record counts even under heavy key skew. A
+	// node whose rank interval is dominated by one duplicated key value
+	// cannot split it (all duplicates compare to the same side), so a
+	// minority of degenerate nodes is expected under zipf; the test
+	// demands that the clear majority of populated nodes stay balanced.
+	for _, dist := range []workload.Distribution{workload.Zipf, workload.Clustered} {
+		tree, _ := buildSkewed(t, dist, 8000, 62)
+		balanced, populated := 0, 0
+		for i := int64(1); i < tree.nLeaves; i++ {
+			total := tree.cntL[i] + tree.cntR[i]
+			if total < 400 {
+				continue
+			}
+			populated++
+			frac := float64(tree.cntL[i]) / float64(total)
+			if frac >= 0.25 && frac <= 0.75 {
+				balanced++
+			}
+		}
+		if populated == 0 {
+			t.Fatalf("%v: no populated nodes to check", dist)
+		}
+		if balanced*3 < populated*2 {
+			t.Fatalf("%v: only %d/%d populated nodes balanced", dist, balanced, populated)
+		}
+	}
+}
+
+func TestSkewedVerify(t *testing.T) {
+	for _, dist := range []workload.Distribution{workload.Zipf, workload.Clustered} {
+		tree, _ := buildSkewed(t, dist, 3000, 63)
+		if err := tree.Verify(); err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+	}
+}
+
+func TestAllDuplicateKeys(t *testing.T) {
+	// Pathological input: every record has the same key. The tree
+	// degenerates (all splits equal) but must stay correct.
+	sim := testSim()
+	rel := pagefile.NewItemFile(pagefile.NewMem(sim), record.Size)
+	w := rel.NewWriter()
+	buf := make([]byte, record.Size)
+	for i := 0; i < 500; i++ {
+		rec := record.Record{Key: 42, Seq: uint64(i)}
+		rec.Marshal(buf)
+		if err := w.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Create(pagefile.NewMem(sim), rel, Params{Height: 4, Seed: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := tree.Query(record.Box1D(42, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	for {
+		if _, err := stream.Next(); err != nil {
+			break
+		}
+		got++
+	}
+	if got != 500 {
+		t.Fatalf("duplicate-key tree returned %d of 500", got)
+	}
+	// A query missing the duplicate key returns nothing.
+	stream, err = tree.Query(record.Box1D(43, 1<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.Next(); err != io.EOF {
+		t.Fatal("query beside the duplicates should be empty")
+	}
+}

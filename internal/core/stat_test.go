@@ -1,0 +1,273 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"sampleview/internal/pagefile"
+	"sampleview/internal/record"
+	"sampleview/internal/stats"
+	"sampleview/internal/workload"
+)
+
+// The ACE Tree's defining guarantee is that the records emitted so far are
+// at all times a uniform random sample of the matching records. The
+// randomness lives in construction (section and leaf draws), so these
+// tests rebuild the tree many times with different seeds over the same
+// relation and chi-square the inclusion frequencies of fixed-size stream
+// prefixes.
+
+// prefixInclusionCounts builds `trials` trees over rel with distinct seeds,
+// queries q, takes the first k emitted records of each stream, and counts
+// how often each matching record appears.
+func prefixInclusionCounts(t *testing.T, rel *pagefile.ItemFile, p Params, q record.Box, k, trials int) map[uint64]int64 {
+	t.Helper()
+	counts := make(map[uint64]int64)
+	for trial := 0; trial < trials; trial++ {
+		p := p
+		p.Seed = uint64(1000 + trial)
+		tree, err := Create(pagefile.NewMem(rel.File().Sim()), rel, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := tree.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			rec, err := stream.Next()
+			if err == io.EOF {
+				t.Fatalf("stream exhausted after %d records, wanted a %d-prefix", i, k)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[rec.Seq]++
+		}
+	}
+	return counts
+}
+
+func TestStreamPrefixIsUniformSample(t *testing.T) {
+	sim := testSim()
+	rel, err := workload.GenerateRelation(sim, 1500, workload.Uniform, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := record.Box1D(workload.KeyDomain/5, workload.KeyDomain*3/5) // ~40% selectivity
+	matching, err := workload.CollectMatching(rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, trials = 60, 200
+	counts := prefixInclusionCounts(t, rel, Params{Height: 5}, q, k, trials)
+	// Every record counted must match the predicate.
+	matchSet := make(map[uint64]bool, len(matching))
+	for i := range matching {
+		matchSet[matching[i].Seq] = true
+	}
+	for seq := range counts {
+		if !matchSet[seq] {
+			t.Fatalf("non-matching record %d appeared in a stream prefix", seq)
+		}
+	}
+	// Chi-square inclusion frequencies over all matching records (records
+	// never sampled contribute zero cells).
+	cells := make([]int64, 0, len(matching))
+	for i := range matching {
+		cells = append(cells, counts[matching[i].Seq])
+	}
+	// Bucket into 30 groups to keep expected counts per cell healthy.
+	const groups = 30
+	grouped := make([]int64, groups)
+	for i, c := range cells {
+		grouped[i%groups] += c
+	}
+	p, err := stats.ChiSquareUniformPValue(grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Fatalf("stream prefix not uniform over matching records: p=%v", p)
+	}
+}
+
+func TestStreamPrefixUniformAcrossKeySpace(t *testing.T) {
+	// Bucket sampled keys by position within the query range: early stream
+	// prefixes must not favour any part of the range (this is exactly what
+	// block-based B+-Tree sampling gets wrong).
+	sim := testSim()
+	rel, err := workload.GenerateRelation(sim, 2000, workload.Uniform, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := int64(workload.KeyDomain/10), int64(workload.KeyDomain*9/10)
+	q := record.Box1D(lo, hi)
+	const k, trials, buckets = 40, 150, 12
+	counts := prefixInclusionCounts(t, rel, Params{Height: 6}, q, k, trials)
+	matching, err := workload.CollectMatching(rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyOf := make(map[uint64]int64, len(matching))
+	for i := range matching {
+		keyOf[matching[i].Seq] = matching[i].Key
+	}
+	grouped := make([]int64, buckets)
+	for seq, c := range counts {
+		b := int((keyOf[seq] - lo) * buckets / (hi - lo + 1))
+		grouped[b] += c
+	}
+	// Expected counts proportional to the number of matching records per
+	// key bucket.
+	expected := make([]float64, buckets)
+	var total int64
+	for _, c := range grouped {
+		total += c
+	}
+	per := make([]int64, buckets)
+	for i := range matching {
+		per[int((matching[i].Key-lo)*buckets/(hi-lo+1))]++
+	}
+	for b := range expected {
+		expected[b] = float64(total) * float64(per[b]) / float64(len(matching))
+	}
+	p, err := stats.ChiSquarePValue(grouped, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Fatalf("early samples skewed across key space: p=%v grouped=%v", p, grouped)
+	}
+}
+
+func TestSectionAssignmentUniform(t *testing.T) {
+	// Construction property: section numbers are uniform over 1..h.
+	sim := testSim()
+	tree, _ := buildTestTree(t, sim, 4000, Params{Height: 5}, 79)
+	counts := make([]int64, tree.Height())
+	for leaf := int64(0); leaf < tree.NumLeaves(); leaf++ {
+		for s, c := range tree.leaves[leaf].secCounts {
+			counts[s] += int64(c)
+		}
+	}
+	p, err := stats.ChiSquareUniformPValue(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Fatalf("section assignment not uniform: p=%v counts=%v", p, counts)
+	}
+}
+
+func TestLeafAssignmentUniformWithinSection(t *testing.T) {
+	// Within section 1 (the full-domain section), records spread uniformly
+	// over all leaves.
+	sim := testSim()
+	tree, _ := buildTestTree(t, sim, 8000, Params{Height: 5}, 80)
+	counts := make([]int64, tree.NumLeaves())
+	for leaf := int64(0); leaf < tree.NumLeaves(); leaf++ {
+		counts[leaf] = int64(tree.leaves[leaf].secCounts[0])
+	}
+	p, err := stats.ChiSquareUniformPValue(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Fatalf("section-1 leaf assignment not uniform: p=%v", p)
+	}
+}
+
+func TestFastFirstBeatsProportionalPacing(t *testing.T) {
+	// "Fast first": for a selective query, after reading a small fraction
+	// of the leaves the stream must have emitted a far larger fraction of
+	// the matching records than the proportional pace a scan achieves.
+	// (For very wide queries ACE pacing approaches proportional, which is
+	// exactly the paper's Figure 13 regime, so selectivity matters here.)
+	sim := testSim()
+	tree, rel := buildTestTree(t, sim, 20000, Params{Height: 10}, 81)
+	domain := float64(workload.KeyDomain)
+	width := int64(0.025 * domain)
+	lo := workload.KeyDomain/2 - width/2
+	q := record.Box1D(lo, lo+width-1)
+	total, err := workload.CountMatching(rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := tree.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eighth := tree.NumLeaves() / 8
+	for i := int64(0); i < eighth; i++ {
+		if _, err := stream.NextLeaf(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leafFrac := 1.0 / 8
+	got := float64(stream.Emitted()) / float64(total)
+	if got < 2*leafFrac {
+		t.Fatalf("after 1/8 of leaves only %.1f%% of matches emitted; expected fast-first >> %.1f%%",
+			got*100, leafFrac*100)
+	}
+}
+
+func TestBufferedDrainsToZero(t *testing.T) {
+	sim := testSim()
+	tree, _ := buildTestTree(t, sim, 3000, Params{Height: 6}, 82)
+	q := record.Box1D(workload.KeyDomain/3, workload.KeyDomain/2)
+	stream, err := tree.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0
+	for {
+		if _, err := stream.NextLeaf(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if stream.Buffered() > peak {
+			peak = stream.Buffered()
+		}
+	}
+	if stream.Buffered() != 0 {
+		t.Fatalf("%d records still buffered after completion", stream.Buffered())
+	}
+	if peak == 0 {
+		t.Fatal("expected some buffering for a partially overlapping query")
+	}
+}
+
+// TestCombinabilityAcrossTwoLeaves mirrors the paper's Section IV-A
+// example: two leaves whose section-2 regions both cover the query can be
+// filtered and unioned, and the result is exactly the union of two
+// independent draws.
+func TestCombinabilityAcrossTwoLeaves(t *testing.T) {
+	sim := testSim()
+	tree, _ := buildTestTree(t, sim, 2000, Params{Height: 4}, 83)
+	// Query inside the left half so every left-subtree leaf's section 2
+	// covers it.
+	q := record.Box1D(0, tree.splits[1]/2)
+	stream, err := tree.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch1, err := stream.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch2, err := stream.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range batch1 {
+		seen[r.Seq] = true
+	}
+	for _, r := range batch2 {
+		if seen[r.Seq] {
+			t.Fatal("two leaves contributed the same record")
+		}
+	}
+}

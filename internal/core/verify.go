@@ -1,0 +1,86 @@
+package core
+
+import "fmt"
+
+// Verify performs a deep integrity check of the tree (an fsck): it reads
+// every leaf sequentially and confirms that
+//
+//  1. every record of section i of leaf L lies inside the region of L's
+//     level-i ancestor,
+//  2. the directory's per-section counts match the leaf contents,
+//  3. the total record count matches the header, and
+//  4. the per-node left/right counts stored in the split region equal the
+//     counts recomputed from the records themselves.
+//
+// It costs a full scan of the leaf data region.
+func (t *Tree) Verify() error {
+	cntL := make([]int64, t.nLeaves)
+	cntR := make([]int64, t.nLeaves)
+	var total int64
+
+	for leaf := int64(0); leaf < t.nLeaves; leaf++ {
+		sections, err := t.readLeaf(leaf)
+		if err != nil {
+			return fmt.Errorf("core: verify: reading leaf %d: %w", leaf, err)
+		}
+		heapLeaf := t.nLeaves + leaf
+		for sec := 0; sec < t.h; sec++ {
+			if got, want := len(sections[sec]), int(t.leaves[leaf].secCounts[sec]); got != want {
+				return fmt.Errorf("core: verify: leaf %d section %d holds %d records, directory says %d",
+					leaf, sec+1, got, want)
+			}
+			box := t.nodeBox(heapLeaf >> uint(t.h-sec-1))
+			for i := range sections[sec] {
+				rec := &sections[sec][i]
+				if !box.ContainsRecord(rec) {
+					return fmt.Errorf("core: verify: leaf %d section %d record (seq %d) outside region %v",
+						leaf, sec+1, rec.Seq, box)
+				}
+				// Recompute the full descent counts.
+				node := int64(1)
+				for level := 1; level < t.h; level++ {
+					if rec.Coord(t.splitDim(level)) > t.splits[node] {
+						cntR[node]++
+						node = 2*node + 1
+					} else {
+						cntL[node]++
+						node = 2 * node
+					}
+				}
+				total++
+			}
+		}
+	}
+	if total != t.count {
+		return fmt.Errorf("core: verify: leaves hold %d records, header says %d", total, t.count)
+	}
+	for i := int64(1); i < t.nLeaves; i++ {
+		if cntL[i] != t.cntL[i] || cntR[i] != t.cntR[i] {
+			return fmt.Errorf("core: verify: node %d counts (%d,%d) stored, (%d,%d) recomputed",
+				i, t.cntL[i], t.cntR[i], cntL[i], cntR[i])
+		}
+	}
+	// Data bounds must cover every stored coordinate (checked via the
+	// level-1 region, which is unbounded, so check directly).
+	if t.count > 0 {
+		b := t.DataBounds()
+		if b.Empty() {
+			return fmt.Errorf("core: verify: non-empty tree with empty data bounds")
+		}
+	}
+	return nil
+}
+
+// SectionHistogram returns, per section number (1-based index 0..h-1),
+// the total number of records stored in that section across all leaves.
+// Construction assigns sections uniformly, so the histogram should be
+// nearly flat; svinspect prints it.
+func (t *Tree) SectionHistogram() []int64 {
+	hist := make([]int64, t.h)
+	for i := range t.leaves {
+		for s, c := range t.leaves[i].secCounts {
+			hist[s] += int64(c)
+		}
+	}
+	return hist
+}

@@ -1,0 +1,216 @@
+// Package diffview implements the update strategy the paper sketches in
+// its conclusion (Section IX): the ACE Tree is bulk-built and not
+// incrementally updatable, so newly appended records are kept in a
+// differential buffer beside the main tree, and a query draws its next
+// sample from either the main view or the differential buffer with
+// probability proportional to how many matching records remain in each —
+// the hypergeometric interleaving of Brown and Haas that keeps the merged
+// stream a uniform without-replacement sample over the union. When the
+// differential buffer grows too large, Compact rebuilds the tree over the
+// union.
+package diffview
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"sampleview/internal/core"
+	"sampleview/internal/pagefile"
+	"sampleview/internal/record"
+)
+
+// View is an ACE Tree plus a differential buffer of appended records.
+type View struct {
+	main  *core.Tree
+	delta []record.Record
+}
+
+// New wraps an ACE Tree in an updatable view.
+func New(main *core.Tree) *View {
+	return &View{main: main}
+}
+
+// Main returns the underlying ACE Tree.
+func (v *View) Main() *core.Tree { return v.main }
+
+// Append adds a record to the differential buffer.
+func (v *View) Append(rec record.Record) {
+	v.delta = append(v.delta, rec)
+}
+
+// DeltaSize returns the number of buffered appended records.
+func (v *View) DeltaSize() int { return len(v.delta) }
+
+// Count returns the total number of records in the view.
+func (v *View) Count() int64 { return v.main.Count() + int64(len(v.delta)) }
+
+// EstimateCount estimates the number of records matching q across the main
+// tree and the differential buffer (the delta part is exact).
+func (v *View) EstimateCount(q record.Box) (float64, error) {
+	est, err := v.main.EstimateCount(q)
+	if err != nil {
+		return 0, err
+	}
+	for i := range v.delta {
+		if q.ContainsRecord(&v.delta[i]) {
+			est++
+		}
+	}
+	return est, nil
+}
+
+// Stream merges the main tree's online sample with the differential
+// buffer's matching records.
+type Stream struct {
+	rng       *rand.Rand
+	main      *core.Stream
+	mainEst   float64 // estimated matching records remaining in the main view
+	mainQueue []record.Record
+	mainDone  bool
+	delta     []record.Record // matching delta records, shuffled
+}
+
+// Query returns a merged online sample stream for q.
+func (v *View) Query(q record.Box, rng *rand.Rand) (*Stream, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("diffview: query needs a random source")
+	}
+	ms, err := v.main.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	est, err := v.main.EstimateCount(q)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{rng: rng, main: ms, mainEst: est}
+	for i := range v.delta {
+		if q.ContainsRecord(&v.delta[i]) {
+			s.delta = append(s.delta, v.delta[i])
+		}
+	}
+	rng.Shuffle(len(s.delta), func(i, j int) { s.delta[i], s.delta[j] = s.delta[j], s.delta[i] })
+	return s, nil
+}
+
+// Next returns the next sample of the merged stream, or io.EOF when both
+// parts are exhausted. The source of each draw is chosen with probability
+// proportional to the matching records remaining on each side (exact for
+// the delta, estimated from the internal-node counts for the main view).
+func (s *Stream) Next() (record.Record, error) {
+	for {
+		mainRem := s.mainEst
+		if mainRem < 0 {
+			mainRem = 0
+		}
+		if s.mainDone && len(s.mainQueue) == 0 {
+			mainRem = 0
+		}
+		deltaRem := float64(len(s.delta))
+		total := mainRem + deltaRem
+		if total <= 0 {
+			// The estimate may hit zero while the main stream still holds
+			// records; drain it before giving up.
+			if rec, ok, err := s.popMain(); err != nil {
+				return record.Record{}, err
+			} else if ok {
+				return rec, nil
+			}
+			if len(s.delta) > 0 {
+				return s.popDelta(), nil
+			}
+			return record.Record{}, io.EOF
+		}
+		if s.rng.Float64()*total < deltaRem {
+			return s.popDelta(), nil
+		}
+		rec, ok, err := s.popMain()
+		if err != nil {
+			return record.Record{}, err
+		}
+		if ok {
+			s.mainEst--
+			return rec, nil
+		}
+		// Main exhausted earlier than estimated: zero it and retry.
+		s.mainEst = 0
+		if len(s.delta) == 0 {
+			return record.Record{}, io.EOF
+		}
+	}
+}
+
+func (s *Stream) popDelta() record.Record {
+	rec := s.delta[len(s.delta)-1]
+	s.delta = s.delta[:len(s.delta)-1]
+	return rec
+}
+
+func (s *Stream) popMain() (record.Record, bool, error) {
+	if len(s.mainQueue) > 0 {
+		rec := s.mainQueue[0]
+		s.mainQueue = s.mainQueue[1:]
+		return rec, true, nil
+	}
+	if s.mainDone {
+		return record.Record{}, false, nil
+	}
+	rec, err := s.main.Next()
+	if err == io.EOF {
+		s.mainDone = true
+		return record.Record{}, false, nil
+	}
+	if err != nil {
+		return record.Record{}, false, err
+	}
+	return rec, true, nil
+}
+
+// Compact rebuilds the ACE Tree over the union of the main view and the
+// differential buffer, writing it to dst, and returns the fresh view. The
+// parameters play the same role as in core.Create.
+func (v *View) Compact(dst *pagefile.File, p core.Params) (*View, error) {
+	sim := dst.Sim()
+	merged := pagefile.NewItemFile(pagefile.NewMem(sim), record.Size)
+	w := merged.NewWriter()
+	buf := make([]byte, record.Size)
+
+	// Drain the main tree through a full-domain query (every record comes
+	// back exactly once).
+	full := record.FullBox(v.main.Dims())
+	stream, err := v.main.Query(full)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rec.Marshal(buf)
+		if err := w.Write(buf); err != nil {
+			return nil, err
+		}
+	}
+	for i := range v.delta {
+		v.delta[i].Marshal(buf)
+		if err := w.Write(buf); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	if p.Dims == 0 {
+		p.Dims = v.main.Dims()
+	}
+	tree, err := core.Create(dst, merged, p)
+	if err != nil {
+		return nil, err
+	}
+	return New(tree), nil
+}

@@ -1,0 +1,297 @@
+package diffview
+
+import (
+	"io"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sampleview/internal/core"
+	"sampleview/internal/iosim"
+	"sampleview/internal/pagefile"
+	"sampleview/internal/record"
+	"sampleview/internal/stats"
+	"sampleview/internal/workload"
+)
+
+func testSim() *iosim.Sim {
+	return iosim.New(iosim.Model{
+		RandomRead:      10 * time.Millisecond,
+		SequentialRead:  time.Millisecond,
+		RandomWrite:     10 * time.Millisecond,
+		SequentialWrite: time.Millisecond,
+		PageSize:        4096,
+	})
+}
+
+func buildView(t *testing.T, sim *iosim.Sim, n int64, seed uint64) (*View, *pagefile.ItemFile) {
+	t.Helper()
+	rel, err := workload.GenerateRelation(sim, n, workload.Uniform, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := core.Create(pagefile.NewMem(sim), rel, core.Params{Height: 5, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(tree), rel
+}
+
+func appendDelta(v *View, n int, seed uint64) []record.Record {
+	g := workload.NewGenerator(workload.Uniform, seed)
+	var out []record.Record
+	for i := 0; i < n; i++ {
+		rec := g.Next()
+		rec.Seq += 1 << 32 // distinguish appended records
+		v.Append(rec)
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestMergedStreamReturnsUnionExactly(t *testing.T) {
+	sim := testSim()
+	v, rel := buildView(t, sim, 2000, 1)
+	delta := appendDelta(v, 300, 2)
+	if v.Count() != 2300 || v.DeltaSize() != 300 {
+		t.Fatalf("Count=%d DeltaSize=%d", v.Count(), v.DeltaSize())
+	}
+	q := record.Box1D(0, workload.KeyDomain/2)
+	wantMain, err := workload.CountMatching(rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantDelta int64
+	for i := range delta {
+		if q.ContainsRecord(&delta[i]) {
+			wantDelta++
+		}
+	}
+	s, err := v.Query(q, rand.New(rand.NewPCG(3, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	var got int64
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.ContainsRecord(&rec) {
+			t.Fatal("merged stream emitted non-matching record")
+		}
+		if seen[rec.Seq] {
+			t.Fatal("merged stream repeated a record")
+		}
+		seen[rec.Seq] = true
+		got++
+	}
+	if got != wantMain+wantDelta {
+		t.Fatalf("merged stream returned %d, want %d+%d", got, wantMain, wantDelta)
+	}
+}
+
+func TestMergedPrefixDrawsFromBothSides(t *testing.T) {
+	// With a half-and-half split, an early prefix should contain records
+	// from both the main tree and the delta in roughly proportional
+	// amounts.
+	sim := testSim()
+	v, _ := buildView(t, sim, 1000, 4)
+	appendDelta(v, 1000, 5)
+	q := record.FullBox(1)
+	var fromDelta, total int64
+	for trial := 0; trial < 60; trial++ {
+		s, err := v.Query(q, rand.New(rand.NewPCG(uint64(trial), 9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			rec, err := s.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Seq >= 1<<32 {
+				fromDelta++
+			}
+			total++
+		}
+	}
+	frac := float64(fromDelta) / float64(total)
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("delta fraction in prefix = %v, want ~0.5", frac)
+	}
+}
+
+func TestMergedPrefixUniformOverDelta(t *testing.T) {
+	// The delta draws themselves must be uniform: chi-square the first
+	// delta records across trials.
+	sim := testSim()
+	v, _ := buildView(t, sim, 200, 6)
+	const deltaN = 400
+	appendDelta(v, deltaN, 7)
+	counts := make([]int64, 8)
+	for trial := 0; trial < 250; trial++ {
+		s, err := v.Query(record.FullBox(1), rand.New(rand.NewPCG(uint64(trial), 11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for picked := 0; picked < 10; {
+			rec, err := s.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Seq >= 1<<32 {
+				counts[(rec.Seq-(1<<32))*8/deltaN]++
+				picked++
+			}
+		}
+	}
+	p, err := stats.ChiSquareUniformPValue(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Fatalf("delta draws not uniform: p=%v counts=%v", p, counts)
+	}
+}
+
+func TestEstimateCountIncludesDelta(t *testing.T) {
+	sim := testSim()
+	v, rel := buildView(t, sim, 2000, 8)
+	delta := appendDelta(v, 500, 9)
+	q := record.Box1D(0, workload.KeyDomain/4)
+	exactMain, err := workload.CountMatching(rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exactDelta int64
+	for i := range delta {
+		if q.ContainsRecord(&delta[i]) {
+			exactDelta++
+		}
+	}
+	est, err := v.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := float64(exactMain + exactDelta)
+	if est < exact*0.85 || est > exact*1.15 {
+		t.Fatalf("EstimateCount = %v, exact %v", est, exact)
+	}
+}
+
+func TestCompactFoldsDeltaIn(t *testing.T) {
+	sim := testSim()
+	v, _ := buildView(t, sim, 1500, 10)
+	appendDelta(v, 250, 11)
+	v2, err := v.Compact(pagefile.NewMem(sim), core.Params{Height: 5, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.DeltaSize() != 0 {
+		t.Fatalf("compacted view has delta %d", v2.DeltaSize())
+	}
+	if v2.Count() != 1750 {
+		t.Fatalf("compacted count = %d", v2.Count())
+	}
+	// All records present exactly once.
+	s, err := v2.Query(record.FullBox(1), rand.New(rand.NewPCG(13, 13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[rec.Seq] {
+			t.Fatal("duplicate after compaction")
+		}
+		seen[rec.Seq] = true
+	}
+	if len(seen) != 1750 {
+		t.Fatalf("compacted view returned %d records", len(seen))
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	sim := testSim()
+	v, _ := buildView(t, sim, 100, 14)
+	if _, err := v.Query(record.FullBox(1), nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := v.Query(record.FullBox(2), rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestDeltaOnlyView(t *testing.T) {
+	// A view whose main tree is empty serves entirely from the delta.
+	sim := testSim()
+	emptyRel := pagefile.NewItemFile(pagefile.NewMem(sim), record.Size)
+	tree, err := core.Create(pagefile.NewMem(sim), emptyRel, core.Params{Height: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(tree)
+	appendDelta(v, 120, 50)
+	s, err := v.Query(record.FullBox(1), rand.New(rand.NewPCG(51, 51)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	for {
+		if _, err := s.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		got++
+	}
+	if got != 120 {
+		t.Fatalf("delta-only stream returned %d of 120", got)
+	}
+}
+
+func TestCompactPersistsToFile(t *testing.T) {
+	dir := t.TempDir()
+	sim := testSim()
+	v, _ := buildView(t, sim, 800, 52)
+	appendDelta(v, 80, 53)
+	f, err := pagefile.Create(sim, filepath.Join(dir, "compacted.view"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := v.Compact(f, core.Params{Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Count() != 880 {
+		t.Fatalf("compacted count %d", v2.Count())
+	}
+	f.Close()
+	f2, err := pagefile.Open(testSim(), filepath.Join(dir, "compacted.view"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	tree, err := core.Open(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Count() != 880 {
+		t.Fatalf("reopened compacted count %d", tree.Count())
+	}
+	if err := tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package extsort implements a two-phase multi-way external merge sort
+// (TPMMS, Garcia-Molina et al.) over fixed-size item files.
+//
+// Every construction path in the reproduction is built on this sorter, just
+// as in the paper: permuting a file is "assign a random sort key, external
+// sort"; ACE Tree construction phase 1 is an external sort by record key;
+// phase 2 is an external sort by (leaf number, section number).
+//
+// Phase 1 reads the input sequentially, sorts memory-sized chunks, and
+// writes each as a sorted run. Phase 2 merges up to fan-in runs at a time
+// with a tournament heap, reading each run and writing the output in
+// multi-page bursts so one seek is amortized over several transfers. If
+// more runs exist than the fan-in allows, intermediate merge passes are
+// inserted, so the sorter works with any memory budget of at least three
+// pages. All I/O is charged to the simulated disk through pagefile.
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+
+	"sampleview/internal/pagefile"
+)
+
+// Compare orders two encoded items: negative if a < b, zero if equal,
+// positive if a > b.
+type Compare func(a, b []byte) int
+
+// MinMemPages is the smallest usable memory budget: one input page, one
+// output page, and at least two merge inputs.
+const MinMemPages = 3
+
+// Sort reads all items from src and writes them to dst in cmp order. dst
+// must be an empty item file with the same item size as src. memPages is
+// the number of page-sized memory buffers the sorter may use.
+func Sort(dst, src *pagefile.ItemFile, cmp Compare, memPages int) error {
+	if memPages < MinMemPages {
+		return fmt.Errorf("extsort: memory budget %d pages below minimum %d", memPages, MinMemPages)
+	}
+	if dst.ItemSize() != src.ItemSize() {
+		return fmt.Errorf("extsort: item size mismatch: dst %d, src %d", dst.ItemSize(), src.ItemSize())
+	}
+	if dst.Count() != 0 {
+		return fmt.Errorf("extsort: destination already holds %d items", dst.Count())
+	}
+	runs, err := formRuns(src, cmp, memPages)
+	if err != nil {
+		return err
+	}
+	fanIn := memPages - 1
+	// Intermediate passes until the final merge fits in one pass.
+	for len(runs) > fanIn {
+		var next []*pagefile.ItemFile
+		for lo := 0; lo < len(runs); lo += fanIn {
+			hi := min(lo+fanIn, len(runs))
+			out := pagefile.NewItemFile(pagefile.NewMem(src.File().Sim()), src.ItemSize())
+			if err := mergeRuns(out, runs[lo:hi], cmp, memPages); err != nil {
+				return err
+			}
+			next = append(next, out)
+		}
+		runs = next
+	}
+	return mergeRuns(dst, runs, cmp, memPages)
+}
+
+// formRuns performs phase 1: sequential read, in-memory sort of
+// memPages-sized chunks, one sorted run file per chunk.
+func formRuns(src *pagefile.ItemFile, cmp Compare, memPages int) ([]*pagefile.ItemFile, error) {
+	itemSize := src.ItemSize()
+	chunkItems := memPages * src.PerPage()
+	arena := make([]byte, 0, chunkItems*itemSize)
+	var idx []int // item offsets into arena, reordered by the sort
+
+	var runs []*pagefile.ItemFile
+	flush := func() error {
+		if len(idx) == 0 {
+			return nil
+		}
+		sort.Slice(idx, func(i, j int) bool {
+			return cmp(arena[idx[i]:idx[i]+itemSize], arena[idx[j]:idx[j]+itemSize]) < 0
+		})
+		run := pagefile.NewItemFile(pagefile.NewMem(src.File().Sim()), itemSize)
+		w := run.NewWriter()
+		for _, off := range idx {
+			if err := w.Write(arena[off : off+itemSize]); err != nil {
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		runs = append(runs, run)
+		arena = arena[:0]
+		idx = idx[:0]
+		return nil
+	}
+
+	r := src.NewReader()
+	for {
+		item, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		off := len(arena)
+		arena = append(arena, item...)
+		idx = append(idx, off)
+		if len(idx) == chunkItems {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// mergeRuns performs one merge pass of the given runs into dst. Each run
+// is read in multi-page bursts and the output is written in multi-page
+// bursts (one seek amortized over the burst), the way a real TPMMS
+// allocates its merge buffers; page-at-a-time alternation between the
+// runs and the output would turn every access into a seek.
+func mergeRuns(dst *pagefile.ItemFile, runs []*pagefile.ItemFile, cmp Compare, memPages int) error {
+	burst := memPages / (len(runs) + 1)
+	if burst < 1 {
+		burst = 1
+	}
+	w := newBurstWriter(dst, burst)
+	h := &mergeHeap{cmp: cmp}
+	for _, run := range runs {
+		mr := newRunCursor(run, burst)
+		ok, err := mr.advance()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.entries = append(h.entries, mr)
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		e := h.entries[0]
+		if err := w.write(e.cur); err != nil {
+			return err
+		}
+		ok, err := e.advance()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return w.flush()
+}
+
+// runCursor reads one sorted run in page bursts: each refill performs one
+// seek plus burst-1 sequential transfers. Items never span pages, so the
+// cursor tracks (page, slot) within the loaded burst.
+type runCursor struct {
+	itf   *pagefile.ItemFile
+	burst int64
+	buf   []byte
+
+	pos       int64 // next item index in the run
+	remaining int64 // items left in the loaded burst
+	page      int64 // page within buf
+	slot      int64 // slot within that page
+	cur       []byte
+}
+
+func newRunCursor(itf *pagefile.ItemFile, burst int) *runCursor {
+	return &runCursor{
+		itf:   itf,
+		burst: int64(burst),
+		buf:   make([]byte, burst*itf.File().PageSize()),
+	}
+}
+
+// advance loads the next item into cur, refilling the burst buffer from
+// disk when drained; it returns false at the end of the run.
+func (c *runCursor) advance() (bool, error) {
+	if c.remaining == 0 {
+		if c.pos >= c.itf.Count() {
+			return false, nil
+		}
+		perPage := int64(c.itf.PerPage())
+		firstPage := c.itf.StartPage() + c.pos/perPage
+		lastPage := c.itf.StartPage() + c.itf.NumPages() - 1
+		pages := c.burst
+		if m := lastPage - firstPage + 1; pages > m {
+			pages = m
+		}
+		ps := c.itf.File().PageSize()
+		for p := int64(0); p < pages; p++ {
+			if err := c.itf.File().Read(firstPage+p, c.buf[int(p)*ps:]); err != nil {
+				return false, err
+			}
+		}
+		c.page = 0
+		c.slot = c.pos % perPage
+		c.remaining = pages*perPage - c.slot
+		if rem := c.itf.Count() - c.pos; c.remaining > rem {
+			c.remaining = rem
+		}
+	}
+	ps := c.itf.File().PageSize()
+	is := c.itf.ItemSize()
+	start := int(c.page)*ps + int(c.slot)*is
+	c.cur = c.buf[start : start+is]
+	c.slot++
+	if c.slot == int64(c.itf.PerPage()) {
+		c.slot = 0
+		c.page++
+	}
+	c.pos++
+	c.remaining--
+	return true, nil
+}
+
+// burstWriter buffers whole pages and writes them in one sequential run.
+type burstWriter struct {
+	itf   *pagefile.ItemFile
+	inner *pagefile.ItemWriter
+	// The ItemWriter already assembles pages; bursting is achieved by the
+	// fact that consecutive Append calls with no interleaved reads are
+	// sequential. To avoid interleaving with run refills, buffer items
+	// here and push them down in batches.
+	pending []byte
+	limit   int
+	isz     int
+}
+
+func newBurstWriter(itf *pagefile.ItemFile, burstPages int) *burstWriter {
+	return &burstWriter{
+		itf:   itf,
+		inner: itf.NewWriter(),
+		limit: burstPages * itf.PerPage() * itf.ItemSize(),
+		isz:   itf.ItemSize(),
+	}
+}
+
+func (w *burstWriter) write(item []byte) error {
+	w.pending = append(w.pending, item[:w.isz]...)
+	if len(w.pending) >= w.limit {
+		return w.push()
+	}
+	return nil
+}
+
+func (w *burstWriter) push() error {
+	for off := 0; off+w.isz <= len(w.pending); off += w.isz {
+		if err := w.inner.Write(w.pending[off : off+w.isz]); err != nil {
+			return err
+		}
+	}
+	w.pending = w.pending[:0]
+	return nil
+}
+
+func (w *burstWriter) flush() error {
+	if err := w.push(); err != nil {
+		return err
+	}
+	return w.inner.Flush()
+}
+
+type mergeHeap struct {
+	entries []*runCursor
+	cmp     Compare
+}
+
+func (h *mergeHeap) Len() int           { return len(h.entries) }
+func (h *mergeHeap) Less(i, j int) bool { return h.cmp(h.entries[i].cur, h.entries[j].cur) < 0 }
+func (h *mergeHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *mergeHeap) Push(x any)         { h.entries = append(h.entries, x.(*runCursor)) }
+func (h *mergeHeap) Pop() any {
+	n := len(h.entries)
+	e := h.entries[n-1]
+	h.entries = h.entries[:n-1]
+	return e
+}

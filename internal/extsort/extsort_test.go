@@ -1,0 +1,292 @@
+package extsort
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sampleview/internal/iosim"
+	"sampleview/internal/pagefile"
+)
+
+func testSim() *iosim.Sim {
+	return iosim.New(iosim.Model{
+		RandomRead:      10 * time.Millisecond,
+		SequentialRead:  time.Millisecond,
+		RandomWrite:     10 * time.Millisecond,
+		SequentialWrite: time.Millisecond,
+		PageSize:        256,
+	})
+}
+
+const itemSize = 16
+
+func cmpUint64(a, b []byte) int {
+	x := binary.LittleEndian.Uint64(a)
+	y := binary.LittleEndian.Uint64(b)
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// writeItems writes the given uint64 keys as items (key + sequence tail so
+// duplicates are distinguishable) and returns the item file.
+func writeItems(t *testing.T, sim *iosim.Sim, keys []uint64) *pagefile.ItemFile {
+	t.Helper()
+	itf := pagefile.NewItemFile(pagefile.NewMem(sim), itemSize)
+	w := itf.NewWriter()
+	item := make([]byte, itemSize)
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(item[0:8], k)
+		binary.LittleEndian.PutUint64(item[8:16], uint64(i))
+		if err := w.Write(item); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return itf
+}
+
+func readKeys(t *testing.T, itf *pagefile.ItemFile) []uint64 {
+	t.Helper()
+	var keys []uint64
+	r := itf.NewReader()
+	for {
+		item, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, binary.LittleEndian.Uint64(item[0:8]))
+	}
+	return keys
+}
+
+func checkSorted(t *testing.T, keys []uint64, wantLen int) {
+	t.Helper()
+	if len(keys) != wantLen {
+		t.Fatalf("got %d items, want %d", len(keys), wantLen)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("output not sorted")
+	}
+}
+
+func sortHelper(t *testing.T, keys []uint64, memPages int) []uint64 {
+	t.Helper()
+	sim := testSim()
+	src := writeItems(t, sim, keys)
+	dst := pagefile.NewItemFile(pagefile.NewMem(sim), itemSize)
+	if err := Sort(dst, src, cmpUint64, memPages); err != nil {
+		t.Fatal(err)
+	}
+	return readKeys(t, dst)
+}
+
+func TestSortSmall(t *testing.T) {
+	got := sortHelper(t, []uint64{5, 3, 9, 1, 1, 7}, 3)
+	want := []uint64{1, 1, 3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortEmpty(t *testing.T) {
+	got := sortHelper(t, nil, 3)
+	if len(got) != 0 {
+		t.Fatalf("sorting empty input produced %d items", len(got))
+	}
+}
+
+func TestSortSingleRun(t *testing.T) {
+	// 20 items fit in one 16-items-per-page * 4 page chunk: single run path.
+	rng := rand.New(rand.NewPCG(1, 1))
+	keys := make([]uint64, 20)
+	for i := range keys {
+		keys[i] = rng.Uint64N(1000)
+	}
+	checkSorted(t, sortHelper(t, keys, 4), 20)
+}
+
+func TestSortManyRunsMinimalMemory(t *testing.T) {
+	// 16 items/page, 3 memory pages: 48-item runs, fan-in 2, so 5000 items
+	// force several multi-pass merges.
+	rng := rand.New(rand.NewPCG(2, 2))
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	checkSorted(t, sortHelper(t, keys, 3), 5000)
+}
+
+func TestSortPreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	keys := make([]uint64, 2000)
+	counts := map[uint64]int{}
+	for i := range keys {
+		keys[i] = rng.Uint64N(50) // heavy duplication
+		counts[keys[i]]++
+	}
+	got := sortHelper(t, keys, 4)
+	checkSorted(t, got, 2000)
+	for _, k := range got {
+		counts[k]--
+	}
+	for k, c := range counts {
+		if c != 0 {
+			t.Fatalf("key %d count off by %d", k, c)
+		}
+	}
+}
+
+func TestSortAlreadySortedAndReversed(t *testing.T) {
+	n := 1000
+	asc := make([]uint64, n)
+	desc := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		asc[i] = uint64(i)
+		desc[i] = uint64(n - i)
+	}
+	checkSorted(t, sortHelper(t, asc, 3), n)
+	checkSorted(t, sortHelper(t, desc, 3), n)
+}
+
+func TestSortPropertyRandomised(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	for trial := 0; trial < 25; trial++ {
+		n := int(rng.Uint64N(3000))
+		mem := 3 + int(rng.Uint64N(6))
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = rng.Uint64N(1 << 20)
+		}
+		got := sortHelper(t, keys, mem)
+		want := append([]uint64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length %d want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSortRejectsBadArguments(t *testing.T) {
+	sim := testSim()
+	src := writeItems(t, sim, []uint64{1})
+	dst := pagefile.NewItemFile(pagefile.NewMem(sim), itemSize)
+	if err := Sort(dst, src, cmpUint64, 2); err == nil {
+		t.Fatal("memory budget below minimum should be rejected")
+	}
+	dst8 := pagefile.NewItemFile(pagefile.NewMem(sim), 8)
+	if err := Sort(dst8, src, cmpUint64, 3); err == nil {
+		t.Fatal("item size mismatch should be rejected")
+	}
+	// Non-empty destination rejected.
+	full := writeItems(t, sim, []uint64{9})
+	if err := Sort(full, src, cmpUint64, 3); err == nil {
+		t.Fatal("non-empty destination should be rejected")
+	}
+}
+
+func TestSortStableBytesComparator(t *testing.T) {
+	// Sorting by full item bytes must produce bytewise-sorted output.
+	sim := testSim()
+	rng := rand.New(rand.NewPCG(5, 5))
+	itf := pagefile.NewItemFile(pagefile.NewMem(sim), itemSize)
+	w := itf.NewWriter()
+	item := make([]byte, itemSize)
+	for i := 0; i < 500; i++ {
+		rng := rng.Uint64()
+		binary.BigEndian.PutUint64(item[0:8], rng)
+		w.Write(item)
+	}
+	w.Flush()
+	dst := pagefile.NewItemFile(pagefile.NewMem(sim), itemSize)
+	if err := Sort(dst, itf, bytes.Compare, 4); err != nil {
+		t.Fatal(err)
+	}
+	r := dst.NewReader()
+	prev := make([]byte, 0, itemSize)
+	for {
+		it, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(prev) > 0 && bytes.Compare(prev, it) > 0 {
+			t.Fatal("bytewise order violated")
+		}
+		prev = append(prev[:0], it...)
+	}
+}
+
+func TestSortChargesSimulatedTime(t *testing.T) {
+	sim := testSim()
+	rng := rand.New(rand.NewPCG(6, 6))
+	keys := make([]uint64, 4000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	src := writeItems(t, sim, keys)
+	before := sim.Now()
+	dst := pagefile.NewItemFile(pagefile.NewMem(sim), itemSize)
+	if err := Sort(dst, src, cmpUint64, 8); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Now() == before {
+		t.Fatal("external sort performed no charged I/O")
+	}
+	c := sim.Counters()
+	if c.Reads() == 0 || c.Writes() == 0 {
+		t.Fatalf("expected both reads and writes, got %+v", c)
+	}
+}
+
+func TestSortQuickProperty(t *testing.T) {
+	// testing/quick: for arbitrary key multisets and memory budgets, the
+	// external sort agrees with the standard library sort.
+	check := func(keysRaw []uint32, memRaw uint8) bool {
+		mem := 3 + int(memRaw%8)
+		keys := make([]uint64, len(keysRaw))
+		for i, k := range keysRaw {
+			keys[i] = uint64(k % 512) // force duplicates
+		}
+		got := sortHelper(t, keys, mem)
+		want := append([]uint64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package figures
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"sampleview/internal/workload"
+)
+
+// fig1D produces Figures 11-13: average sampling rate of the ACE Tree, the
+// ranked B+-Tree and the permuted file over `Queries` one-dimensional
+// predicates at the given selectivity, plotted over the first
+// maxFrac*scan-time of execution.
+func fig1D(cfg Config, id string, sel, maxFrac float64) (*Figure, error) {
+	wb, err := NewWorkbench(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	return Fig1DOn(wb, id, sel, maxFrac)
+}
+
+// Fig1DOn is fig1D against an existing one-dimensional workbench.
+func Fig1DOn(wb *Workbench, id string, sel, maxFrac float64) (*Figure, error) {
+	if wb.Dims != 1 {
+		return nil, fmt.Errorf("figures: figure %s needs a 1-d workbench", id)
+	}
+	cfg := wb.Cfg
+	limit := time.Duration(float64(wb.ScanTime) * maxFrac)
+	qg := workload.NewQueryGen(cfg.Seed + 10)
+	rng := rand.New(rand.NewPCG(cfg.Seed+11, cfg.Seed+12))
+
+	var ace, bt, perm []curve
+	for i := 0; i < cfg.Queries; i++ {
+		q := qg.Range1D(sel)
+		c, err := wb.runACE(q, limit)
+		if err != nil {
+			return nil, err
+		}
+		ace = append(ace, c)
+		c, err = wb.runBTree(q.Dim(0), limit, rng)
+		if err != nil {
+			return nil, err
+		}
+		bt = append(bt, c)
+		c, err = wb.runPerm(q, limit)
+		if err != nil {
+			return nil, err
+		}
+		perm = append(perm, c)
+	}
+
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Sampling rate, 1-d predicate, %.2f%% selectivity", sel*100),
+		XLabel: "% of time required to scan relation",
+		YLabel: "% of total number of records in the relation",
+	}
+	for _, m := range []struct {
+		name   string
+		curves []curve
+	}{
+		{"ACE Tree", ace},
+		{"B+ Tree", bt},
+		{"Randomly permuted file", perm},
+	} {
+		xs, ys := resampleMean(m.curves, wb.ScanTime, maxFrac, cfg.GridPoints)
+		fig.Series = append(fig.Series, Series{Name: m.name, X: xs, Y: ys})
+	}
+	return fig, nil
+}
+
+// fig14 produces Figure 14: the 2.5%-selectivity experiment run until all
+// three methods have returned every matching record, exposing the late
+// crossover points.
+func fig14(cfg Config) (*Figure, error) {
+	wb, err := NewWorkbench(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	return Fig14On(wb)
+}
+
+// Fig14On is fig14 against an existing one-dimensional workbench.
+func Fig14On(wb *Workbench) (*Figure, error) {
+	if wb.Dims != 1 {
+		return nil, fmt.Errorf("figures: figure 14 needs a 1-d workbench")
+	}
+	cfg := wb.Cfg
+	const sel = 0.025
+	noLimit := time.Duration(1<<62 - 1)
+	qg := workload.NewQueryGen(cfg.Seed + 20)
+	rng := rand.New(rand.NewPCG(cfg.Seed+21, cfg.Seed+22))
+
+	var ace, bt, perm []curve
+	var longest time.Duration
+	for i := 0; i < cfg.Queries; i++ {
+		q := qg.Range1D(sel)
+		a, err := wb.runACE(q, noLimit)
+		if err != nil {
+			return nil, err
+		}
+		b, err := wb.runBTree(q.Dim(0), noLimit, rng)
+		if err != nil {
+			return nil, err
+		}
+		p, err := wb.runPerm(q, noLimit)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range []curve{a, b, p} {
+			if n := len(c.ts); n > 0 && c.ts[n-1] > longest {
+				longest = c.ts[n-1]
+			}
+		}
+		ace = append(ace, a)
+		bt = append(bt, b)
+		perm = append(perm, p)
+	}
+	maxFrac := float64(longest)/float64(wb.ScanTime)*1.02 + 0.01
+
+	fig := &Figure{
+		ID:     "14",
+		Title:  "Sampling rate to completion, 1-d predicate, 2.50% selectivity",
+		XLabel: "% of time required to scan relation",
+		YLabel: "% of total number of records in the relation",
+	}
+	for _, m := range []struct {
+		name   string
+		curves []curve
+	}{
+		{"ACE Tree", ace},
+		{"B+ Tree", bt},
+		{"Randomly permuted file", perm},
+	} {
+		xs, ys := resampleMean(m.curves, wb.ScanTime, maxFrac, cfg.GridPoints)
+		fig.Series = append(fig.Series, Series{Name: m.name, X: xs, Y: ys})
+	}
+	return fig, nil
+}
+
+// fig15 produces Figure 15(a)/(b): minimum, average and maximum number of
+// records the ACE query algorithm buffers (as a fraction of the relation)
+// over ten queries at the given selectivity.
+func fig15(cfg Config, id string, sel float64) (*Figure, error) {
+	wb, err := NewWorkbench(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	return Fig15On(wb, id, sel)
+}
+
+// Fig15On is fig15 against an existing one-dimensional workbench.
+func Fig15On(wb *Workbench, id string, sel float64) (*Figure, error) {
+	if wb.Dims != 1 {
+		return nil, fmt.Errorf("figures: figure %s needs a 1-d workbench", id)
+	}
+	cfg := wb.Cfg
+	const maxFrac = 0.11 // the paper plots to ~11% of scan time
+	limit := time.Duration(float64(wb.ScanTime) * maxFrac)
+	qg := workload.NewQueryGen(cfg.Seed + 30)
+
+	var curves []curve
+	for i := 0; i < cfg.Queries; i++ {
+		c, err := wb.runACEBuffered(qg.Range1D(sel), limit)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, c)
+	}
+	xs, mins, means, maxs := resampleMinMeanMax(curves, wb.ScanTime, maxFrac, cfg.GridPoints)
+	return &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Records buffered by the ACE Tree, %.2f%% selectivity", sel*100),
+		XLabel: "% of time required to scan relation",
+		YLabel: "fraction of total number of records in the relation",
+		Series: []Series{
+			{Name: "Minimum of queries", X: xs, Y: mins},
+			{Name: "Average across queries", X: xs, Y: means},
+			{Name: "Maximum of queries", X: xs, Y: maxs},
+		},
+	}, nil
+}

@@ -1,0 +1,70 @@
+package figures
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"sampleview/internal/workload"
+)
+
+// fig2D produces Figures 16-18: the two-dimensional experiment, where a
+// k-d ACE Tree over (DAY, AMOUNT) competes against an STR-packed R-Tree
+// and the permuted file on square box predicates at the given selectivity.
+func fig2D(cfg Config, id string, sel, maxFrac float64) (*Figure, error) {
+	wb, err := NewWorkbench(cfg, 2)
+	if err != nil {
+		return nil, err
+	}
+	return Fig2DOn(wb, id, sel, maxFrac)
+}
+
+// Fig2DOn is fig2D against an existing two-dimensional workbench.
+func Fig2DOn(wb *Workbench, id string, sel, maxFrac float64) (*Figure, error) {
+	if wb.Dims != 2 {
+		return nil, fmt.Errorf("figures: figure %s needs a 2-d workbench", id)
+	}
+	cfg := wb.Cfg
+	limit := time.Duration(float64(wb.ScanTime) * maxFrac)
+	qg := workload.NewQueryGen(cfg.Seed + 40)
+	rng := rand.New(rand.NewPCG(cfg.Seed+41, cfg.Seed+42))
+
+	var ace, rt, perm []curve
+	for i := 0; i < cfg.Queries; i++ {
+		q := qg.Box2D(sel)
+		c, err := wb.runACE(q, limit)
+		if err != nil {
+			return nil, err
+		}
+		ace = append(ace, c)
+		c, err = wb.runRTree(q, limit, rng)
+		if err != nil {
+			return nil, err
+		}
+		rt = append(rt, c)
+		c, err = wb.runPerm(q, limit)
+		if err != nil {
+			return nil, err
+		}
+		perm = append(perm, c)
+	}
+
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Sampling rate, 2-d predicate, %.2f%% selectivity", sel*100),
+		XLabel: "% of time required to scan relation",
+		YLabel: "% of total number of records in the relation",
+	}
+	for _, m := range []struct {
+		name   string
+		curves []curve
+	}{
+		{"ACE Tree", ace},
+		{"R Tree", rt},
+		{"Randomly permuted file", perm},
+	} {
+		xs, ys := resampleMean(m.curves, wb.ScanTime, maxFrac, cfg.GridPoints)
+		fig.Series = append(fig.Series, Series{Name: m.name, X: xs, Y: ys})
+	}
+	return fig, nil
+}

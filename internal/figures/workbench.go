@@ -1,0 +1,138 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"sampleview/internal/btree"
+	"sampleview/internal/core"
+	"sampleview/internal/iosim"
+	"sampleview/internal/pagefile"
+	"sampleview/internal/permfile"
+	"sampleview/internal/rtree"
+	"sampleview/internal/workload"
+)
+
+// Workbench holds the competing structures built over one SALE relation.
+// Figures 11-15 share a one-dimensional workbench, Figures 16-18 a
+// two-dimensional one; building is by far the most expensive step, so
+// callers (cmd/svbench, bench_test.go) build each workbench once and run
+// several figures against it.
+//
+// Every structure lives on its own simulated disk so that the clocks of
+// the competing methods are independent.
+type Workbench struct {
+	Cfg  Config
+	Dims int
+
+	AceSim *iosim.Sim
+	Ace    *core.Tree
+
+	BtSim *iosim.Sim
+	Bt    *btree.Tree // 1-d only
+
+	RtSim *iosim.Sim
+	Rt    *rtree.Tree // 2-d only
+
+	PermSim *iosim.Sim
+	Perm    *permfile.File
+
+	BtPool *pagefile.Pool
+	RtPool *pagefile.Pool
+
+	// RelPages is the size of the raw relation in pages; ScanTime is the
+	// paper's baseline, the time a sequential scan of the relation takes.
+	RelPages int64
+	ScanTime time.Duration
+
+	// DrawOverhead is the CPU time charged per iterative rank-based draw,
+	// scale-matched unless cfg.Physical is set.
+	DrawOverhead time.Duration
+}
+
+// poolPages resolves the sampler buffer pool size.
+func (wb *Workbench) poolPages() int {
+	if wb.Cfg.PoolPages > 0 {
+		return wb.Cfg.PoolPages
+	}
+	return autoPoolPages(wb.RelPages)
+}
+
+// NewWorkbench generates the relation and builds the structures for the
+// given dimensionality (1 or 2).
+func NewWorkbench(cfg Config, dims int) (*Workbench, error) {
+	cfg = cfg.withDefaults()
+	if dims != 1 && dims != 2 {
+		return nil, fmt.Errorf("figures: dims must be 1 or 2, got %d", dims)
+	}
+	wb := &Workbench{Cfg: cfg, Dims: dims}
+
+	recsPerPage := int64(cfg.Model.PageSize / 100)
+	wb.RelPages = (cfg.N + recsPerPage - 1) / recsPerPage
+
+	wb.DrawOverhead = DefaultDrawOverhead
+	if !cfg.Physical {
+		// Geometry-preserving downscaling: pin the random:sequential cost
+		// ratio at the paper's 8.33 for the configured page size. (The
+		// per-draw CPU and the pool fraction are already scale-invariant;
+		// the remaining knob, leaves-per-window, is controlled by the page
+		// size - svbench defaults to 8 KB pages for this reason.)
+		rr := time.Duration(float64(cfg.Model.SequentialRead) * paperRandSeqRatio)
+		cfg.Model.RandomRead = rr
+		cfg.Model.RandomWrite = rr
+		wb.Cfg = cfg
+	}
+
+	// ACE Tree.
+	wb.AceSim = iosim.New(cfg.Model)
+	rel, err := workload.GenerateRelation(wb.AceSim, cfg.N, workload.Uniform, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wb.Ace, err = core.Create(pagefile.NewMem(wb.AceSim), rel, core.Params{
+		Dims:     dims,
+		MemPages: cfg.MemPages,
+		Seed:     cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figures: building ACE tree: %w", err)
+	}
+	wb.ScanTime = wb.AceSim.ScanCost(wb.RelPages)
+
+	// Rank-based comparator: B+-Tree for 1-d, R-Tree for 2-d.
+	if dims == 1 {
+		wb.BtSim = iosim.New(cfg.Model)
+		relBt, err := workload.GenerateRelation(wb.BtSim, cfg.N, workload.Uniform, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		wb.BtPool = pagefile.NewPool(wb.poolPages())
+		wb.Bt, err = btree.Build(pagefile.NewMem(wb.BtSim), relBt, wb.BtPool, cfg.MemPages)
+		if err != nil {
+			return nil, fmt.Errorf("figures: building B+ tree: %w", err)
+		}
+	} else {
+		wb.RtSim = iosim.New(cfg.Model)
+		relRt, err := workload.GenerateRelation(wb.RtSim, cfg.N, workload.Uniform, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		wb.RtPool = pagefile.NewPool(wb.poolPages())
+		wb.Rt, err = rtree.Build(pagefile.NewMem(wb.RtSim), relRt, wb.RtPool, cfg.MemPages)
+		if err != nil {
+			return nil, fmt.Errorf("figures: building R tree: %w", err)
+		}
+	}
+
+	// Randomly permuted file.
+	wb.PermSim = iosim.New(cfg.Model)
+	relPerm, err := workload.GenerateRelation(wb.PermSim, cfg.N, workload.Uniform, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wb.Perm, err = permfile.Build(pagefile.NewMem(wb.PermSim), relPerm, cfg.MemPages, cfg.Seed+2)
+	if err != nil {
+		return nil, fmt.Errorf("figures: building permuted file: %w", err)
+	}
+	return wb, nil
+}

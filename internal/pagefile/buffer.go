@@ -1,0 +1,96 @@
+package pagefile
+
+import "container/list"
+
+// PoolStats reports buffer pool activity.
+type PoolStats struct {
+	Hits, Misses, Evictions int64
+}
+
+// Pool is an LRU page cache. Reads that hit the pool cost no simulated
+// time, which is exactly the behaviour the paper's B+-Tree and R-Tree
+// sampling results depend on: once the leaf pages relevant to a small query
+// range are resident, sample draws become free.
+//
+// A Pool may cache pages from multiple files. It is not safe for concurrent
+// use.
+type Pool struct {
+	capacity int
+	lru      *list.List // front = most recently used; values are *frame
+	frames   map[frameKey]*list.Element
+	stats    PoolStats
+}
+
+type frameKey struct {
+	file *File
+	page int64
+}
+
+type frame struct {
+	key  frameKey
+	data []byte
+}
+
+// NewPool returns a pool holding up to capacity pages. A capacity of zero
+// disables caching (every Read misses).
+func NewPool(capacity int) *Pool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Pool{
+		capacity: capacity,
+		lru:      list.New(),
+		frames:   make(map[frameKey]*list.Element),
+	}
+}
+
+// Capacity returns the maximum number of cached pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Stats returns a snapshot of hit/miss counters.
+func (p *Pool) Stats() PoolStats { return p.stats }
+
+// Read returns the contents of the given page, reading it from f (and
+// charging simulated time) only on a miss. The returned slice is owned by
+// the pool and must not be modified or retained across subsequent pool
+// operations.
+func (p *Pool) Read(f *File, page int64) ([]byte, error) {
+	key := frameKey{file: f, page: page}
+	if el, ok := p.frames[key]; ok {
+		p.stats.Hits++
+		p.lru.MoveToFront(el)
+		return el.Value.(*frame).data, nil
+	}
+	p.stats.Misses++
+	data := make([]byte, f.PageSize())
+	if err := f.Read(page, data); err != nil {
+		return nil, err
+	}
+	if p.capacity == 0 {
+		return data, nil
+	}
+	if p.lru.Len() >= p.capacity {
+		oldest := p.lru.Back()
+		p.lru.Remove(oldest)
+		delete(p.frames, oldest.Value.(*frame).key)
+		p.stats.Evictions++
+	}
+	p.frames[key] = p.lru.PushFront(&frame{key: key, data: data})
+	return data, nil
+}
+
+// Contains reports whether the given page is currently cached.
+func (p *Pool) Contains(f *File, page int64) bool {
+	_, ok := p.frames[frameKey{file: f, page: page}]
+	return ok
+}
+
+// Len returns the number of cached pages.
+func (p *Pool) Len() int { return p.lru.Len() }
+
+// Reset drops all cached pages and zeroes the statistics.
+func (p *Pool) Reset() {
+	p.lru.Init()
+	p.frames = make(map[frameKey]*list.Element)
+	p.stats = PoolStats{}
+}

@@ -1,0 +1,187 @@
+// Package pagefile provides page-oriented storage charged against a
+// simulated disk (internal/iosim), an LRU buffer pool, and fixed-size item
+// files layered on pages. Every index structure in this repository performs
+// its I/O through this package so that the benchmark harness can observe the
+// exact access pattern each algorithm generates.
+//
+// Two backends are provided: an in-memory backend used by tests and
+// benchmarks, and an OS-file backend used by the command-line tools so that
+// built sample views persist on real disk. The simulated clock is charged
+// identically for both.
+package pagefile
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"sampleview/internal/iosim"
+)
+
+// ErrPageOutOfRange is returned when a page index is outside the file.
+var ErrPageOutOfRange = errors.New("pagefile: page index out of range")
+
+// Backend stores raw pages. Implementations do not charge simulated time;
+// File does.
+type Backend interface {
+	// ReadPage copies page i into dst (exactly one page long).
+	ReadPage(i int64, dst []byte) error
+	// WritePage stores src (exactly one page long) as page i, extending the
+	// backend if i is the current page count.
+	WritePage(i int64, src []byte) error
+	// NumPages returns the number of pages currently stored.
+	NumPages() int64
+	// Close releases backend resources.
+	Close() error
+}
+
+// File is a page file on a simulated disk.
+type File struct {
+	sim      *iosim.Sim
+	id       iosim.FileID
+	pageSize int
+	backend  Backend
+}
+
+// NewMem creates an empty in-memory page file on sim.
+func NewMem(sim *iosim.Sim) *File {
+	return &File{
+		sim:      sim,
+		id:       sim.Register(),
+		pageSize: sim.Model().PageSize,
+		backend:  &memBackend{pageSize: sim.Model().PageSize},
+	}
+}
+
+// Create creates (or truncates) an OS-backed page file at path on sim.
+func Create(sim *iosim.Sim, path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagefile: create %s: %w", path, err)
+	}
+	return &File{
+		sim:      sim,
+		id:       sim.Register(),
+		pageSize: sim.Model().PageSize,
+		backend:  &osBackend{f: f, pageSize: sim.Model().PageSize},
+	}, nil
+}
+
+// Open opens an existing OS-backed page file at path on sim. The file size
+// must be a whole number of pages.
+func Open(sim *iosim.Sim, path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagefile: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: stat %s: %w", path, err)
+	}
+	ps := int64(sim.Model().PageSize)
+	if st.Size()%ps != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: %s size %d is not a multiple of page size %d", path, st.Size(), ps)
+	}
+	return &File{
+		sim:      sim,
+		id:       sim.Register(),
+		pageSize: sim.Model().PageSize,
+		backend:  &osBackend{f: f, pageSize: sim.Model().PageSize, npages: st.Size() / ps},
+	}, nil
+}
+
+// PageSize returns the page size in bytes.
+func (f *File) PageSize() int { return f.pageSize }
+
+// NumPages returns the number of pages in the file.
+func (f *File) NumPages() int64 { return f.backend.NumPages() }
+
+// Sim returns the simulated disk this file lives on.
+func (f *File) Sim() *iosim.Sim { return f.sim }
+
+// Read reads page i into dst (at least one page long), charging the clock.
+func (f *File) Read(i int64, dst []byte) error {
+	if i < 0 || i >= f.backend.NumPages() {
+		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, i, f.backend.NumPages())
+	}
+	f.sim.ReadPage(f.id, i)
+	return f.backend.ReadPage(i, dst[:f.pageSize])
+}
+
+// Write writes page i from src (at least one page long), charging the
+// clock. Writing page NumPages() extends the file by one page.
+func (f *File) Write(i int64, src []byte) error {
+	if i < 0 || i > f.backend.NumPages() {
+		return fmt.Errorf("%w: write page %d of %d", ErrPageOutOfRange, i, f.backend.NumPages())
+	}
+	f.sim.WritePage(f.id, i)
+	return f.backend.WritePage(i, src[:f.pageSize])
+}
+
+// Append writes src as a new page at the end of the file and returns its
+// page index.
+func (f *File) Append(src []byte) (int64, error) {
+	i := f.backend.NumPages()
+	if err := f.Write(i, src); err != nil {
+		return 0, err
+	}
+	return i, nil
+}
+
+// Close releases the backing storage.
+func (f *File) Close() error { return f.backend.Close() }
+
+// memBackend stores pages in memory.
+type memBackend struct {
+	pageSize int
+	pages    [][]byte
+}
+
+func (m *memBackend) ReadPage(i int64, dst []byte) error {
+	copy(dst, m.pages[i])
+	return nil
+}
+
+func (m *memBackend) WritePage(i int64, src []byte) error {
+	if i == int64(len(m.pages)) {
+		p := make([]byte, m.pageSize)
+		copy(p, src)
+		m.pages = append(m.pages, p)
+		return nil
+	}
+	copy(m.pages[i], src)
+	return nil
+}
+
+func (m *memBackend) NumPages() int64 { return int64(len(m.pages)) }
+func (m *memBackend) Close() error    { m.pages = nil; return nil }
+
+// osBackend stores pages in an operating-system file.
+type osBackend struct {
+	f        *os.File
+	pageSize int
+	npages   int64
+}
+
+func (o *osBackend) ReadPage(i int64, dst []byte) error {
+	_, err := o.f.ReadAt(dst, i*int64(o.pageSize))
+	if err != nil {
+		return fmt.Errorf("pagefile: read page %d: %w", i, err)
+	}
+	return nil
+}
+
+func (o *osBackend) WritePage(i int64, src []byte) error {
+	if _, err := o.f.WriteAt(src, i*int64(o.pageSize)); err != nil {
+		return fmt.Errorf("pagefile: write page %d: %w", i, err)
+	}
+	if i == o.npages {
+		o.npages++
+	}
+	return nil
+}
+
+func (o *osBackend) NumPages() int64 { return o.npages }
+func (o *osBackend) Close() error    { return o.f.Close() }

@@ -1,0 +1,392 @@
+package pagefile
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sampleview/internal/iosim"
+)
+
+func testSim() *iosim.Sim {
+	return iosim.New(iosim.Model{
+		RandomRead:      10 * time.Millisecond,
+		SequentialRead:  time.Millisecond,
+		RandomWrite:     10 * time.Millisecond,
+		SequentialWrite: time.Millisecond,
+		PageSize:        512,
+	})
+}
+
+func fill(n int, b byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestMemFileReadWrite(t *testing.T) {
+	sim := testSim()
+	f := NewMem(sim)
+	if _, err := f.Append(fill(512, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append(fill(512, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumPages() != 2 {
+		t.Fatalf("NumPages = %d", f.NumPages())
+	}
+	buf := make([]byte, 512)
+	if err := f.Read(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, fill(512, 2)) {
+		t.Fatal("page 1 contents wrong")
+	}
+	if err := f.Write(0, fill(512, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 9 {
+		t.Fatal("overwrite not visible")
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	f := NewMem(testSim())
+	buf := make([]byte, 512)
+	if err := f.Read(0, buf); err == nil {
+		t.Fatal("reading an empty file should fail")
+	}
+	if err := f.Write(5, buf); err == nil {
+		t.Fatal("writing past the end+1 should fail")
+	}
+}
+
+func TestOSBackendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.pf")
+	sim := testSim()
+	f, err := Create(sim, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(0); i < 5; i++ {
+		if _, err := f.Append(fill(512, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := Open(testSim(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.NumPages() != 5 {
+		t.Fatalf("reopened NumPages = %d", g.NumPages())
+	}
+	buf := make([]byte, 512)
+	for i := byte(0); i < 5; i++ {
+		if err := g.Read(int64(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != i+1 || buf[511] != i+1 {
+			t.Fatalf("page %d contents wrong: %d", i, buf[0])
+		}
+	}
+}
+
+func TestOpenRejectsRaggedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ragged")
+	sim := testSim()
+	f, err := Create(sim, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Append(fill(512, 1))
+	f.Close()
+	// Open with a different page size so the size check fails.
+	badSim := iosim.New(iosim.Model{
+		RandomRead: time.Millisecond, SequentialRead: time.Millisecond,
+		RandomWrite: time.Millisecond, SequentialWrite: time.Millisecond,
+		PageSize: 500,
+	})
+	if _, err := Open(badSim, path); err == nil {
+		t.Fatal("Open should reject a file that is not a whole number of pages")
+	}
+}
+
+func TestFileChargesClock(t *testing.T) {
+	sim := testSim()
+	f := NewMem(sim)
+	f.Append(fill(512, 1))
+	f.Append(fill(512, 2)) // sequential write
+	start := sim.Now()
+	buf := make([]byte, 512)
+	f.Read(0, buf) // random (head after page 1)
+	f.Read(1, buf) // sequential
+	elapsed := sim.Now() - start
+	want := 10*time.Millisecond + time.Millisecond
+	if elapsed != want {
+		t.Fatalf("read cost %v, want %v", elapsed, want)
+	}
+}
+
+func TestPoolHitsAreFree(t *testing.T) {
+	sim := testSim()
+	f := NewMem(sim)
+	f.Append(fill(512, 7))
+	pool := NewPool(4)
+	if _, err := pool.Read(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := sim.Now()
+	data, err := pool.Read(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Now() != before {
+		t.Fatal("pool hit charged simulated time")
+	}
+	if data[0] != 7 {
+		t.Fatal("pool returned wrong data")
+	}
+	st := pool.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolEviction(t *testing.T) {
+	sim := testSim()
+	f := NewMem(sim)
+	for i := 0; i < 4; i++ {
+		f.Append(fill(512, byte(i)))
+	}
+	pool := NewPool(2)
+	pool.Read(f, 0)
+	pool.Read(f, 1)
+	pool.Read(f, 2) // evicts 0
+	if pool.Contains(f, 0) {
+		t.Fatal("page 0 should have been evicted")
+	}
+	if !pool.Contains(f, 1) || !pool.Contains(f, 2) {
+		t.Fatal("pages 1,2 should be resident")
+	}
+	// Touch 1, then read 3: 2 is now the LRU victim.
+	pool.Read(f, 1)
+	pool.Read(f, 3)
+	if pool.Contains(f, 2) || !pool.Contains(f, 1) {
+		t.Fatal("LRU order not respected")
+	}
+	if pool.Stats().Evictions != 2 {
+		t.Fatalf("evictions = %d", pool.Stats().Evictions)
+	}
+}
+
+func TestPoolZeroCapacity(t *testing.T) {
+	sim := testSim()
+	f := NewMem(sim)
+	f.Append(fill(512, 1))
+	pool := NewPool(0)
+	pool.Read(f, 0)
+	pool.Read(f, 0)
+	if st := pool.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("zero-capacity pool should never hit: %+v", st)
+	}
+}
+
+func TestPoolReset(t *testing.T) {
+	sim := testSim()
+	f := NewMem(sim)
+	f.Append(fill(512, 1))
+	pool := NewPool(2)
+	pool.Read(f, 0)
+	pool.Reset()
+	if pool.Len() != 0 || pool.Stats() != (PoolStats{}) {
+		t.Fatal("Reset did not clear the pool")
+	}
+}
+
+func TestItemFileWriteRead(t *testing.T) {
+	sim := testSim()
+	f := NewMem(sim)
+	itf := NewItemFile(f, 100) // 5 items per 512-byte page
+	w := itf.NewWriter()
+	for i := 0; i < 12; i++ {
+		item := fill(100, byte(i+1))
+		if err := w.Write(item); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if itf.Count() != 12 {
+		t.Fatalf("Count = %d", itf.Count())
+	}
+	if itf.NumPages() != 3 {
+		t.Fatalf("NumPages = %d", itf.NumPages())
+	}
+
+	r := itf.NewReader()
+	for i := 0; i < 12; i++ {
+		item, err := r.Next()
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if item[0] != byte(i+1) || item[99] != byte(i+1) {
+			t.Fatalf("item %d contents wrong", i)
+		}
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("reader should be exhausted")
+	}
+}
+
+func TestItemFileGet(t *testing.T) {
+	sim := testSim()
+	f := NewMem(sim)
+	itf := NewItemFile(f, 100)
+	w := itf.NewWriter()
+	for i := 0; i < 7; i++ {
+		w.Write(fill(100, byte(10+i)))
+	}
+	w.Flush()
+	dst := make([]byte, 100)
+	if err := itf.Get(6, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 16 {
+		t.Fatalf("Get(6) = %d", dst[0])
+	}
+	if err := itf.Get(7, dst); err == nil {
+		t.Fatal("Get past end should fail")
+	}
+	pool := NewPool(2)
+	if err := itf.GetPooled(pool, 3, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 13 {
+		t.Fatalf("GetPooled(3) = %d", dst[0])
+	}
+}
+
+func TestItemReaderAt(t *testing.T) {
+	sim := testSim()
+	f := NewMem(sim)
+	itf := NewItemFile(f, 100)
+	w := itf.NewWriter()
+	for i := 0; i < 11; i++ {
+		w.Write(fill(100, byte(i)))
+	}
+	w.Flush()
+	r := itf.NewReaderAt(7) // mid-page start
+	item, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item[0] != 7 {
+		t.Fatalf("NewReaderAt(7) first item = %d", item[0])
+	}
+	if r.Pos() != 8 {
+		t.Fatalf("Pos = %d", r.Pos())
+	}
+}
+
+func TestItemScanIsSequential(t *testing.T) {
+	sim := testSim()
+	f := NewMem(sim)
+	itf := NewItemFile(f, 100)
+	w := itf.NewWriter()
+	for i := 0; i < 50; i++ { // 10 pages
+		w.Write(fill(100, 1))
+	}
+	w.Flush()
+	base := sim.Counters()
+	r := itf.NewReader()
+	for {
+		if _, err := r.Next(); err != nil {
+			break
+		}
+	}
+	c := sim.Counters()
+	randomReads := c.RandomReads - base.RandomReads
+	seqReads := c.SequentialReads - base.SequentialReads
+	if randomReads != 1 || seqReads != 9 {
+		t.Fatalf("scan did %d random + %d sequential reads, want 1+9", randomReads, seqReads)
+	}
+}
+
+func TestItemFileWithHeaderOffset(t *testing.T) {
+	// Structures write a header page first; the item region starts after
+	// it and locate() must account for the offset.
+	sim := testSim()
+	f := NewMem(sim)
+	header := fill(512, 0xAA)
+	if _, err := f.Append(header); err != nil {
+		t.Fatal(err)
+	}
+	itf := NewItemFile(f, 100) // region starts at page 1
+	if itf.StartPage() != 1 {
+		t.Fatalf("StartPage = %d", itf.StartPage())
+	}
+	w := itf.NewWriter()
+	for i := 0; i < 9; i++ {
+		w.Write(fill(100, byte(i+1)))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Header page untouched.
+	buf := make([]byte, 512)
+	if err := f.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAA {
+		t.Fatal("header page overwritten by item writes")
+	}
+	// Random and sequential access respect the offset.
+	dst := make([]byte, 100)
+	if err := itf.Get(7, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 8 {
+		t.Fatalf("Get(7) = %d", dst[0])
+	}
+	reopened := OpenItemFile(f, 100, 1, 9)
+	r := reopened.NewReader()
+	for i := 0; i < 9; i++ {
+		item, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if item[0] != byte(i+1) {
+			t.Fatalf("item %d = %d", i, item[0])
+		}
+	}
+}
+
+func TestItemWriterGuards(t *testing.T) {
+	sim := testSim()
+	f := NewMem(sim)
+	itf := NewItemFile(f, 100)
+	w := itf.NewWriter()
+	w.Write(fill(100, 1))
+	w.Flush() // 1 item: region ends mid-page
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWriter on a mid-page region should panic")
+		}
+	}()
+	itf.NewWriter()
+}

@@ -1,0 +1,30 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalMarshal checks that decoding arbitrary bytes never panics
+// and that decode-encode is the identity on any Size-byte buffer.
+func FuzzUnmarshalMarshal(f *testing.F) {
+	f.Add(bytes.Repeat([]byte{0x00}, Size))
+	f.Add(bytes.Repeat([]byte{0xff}, Size))
+	seed := make([]byte, Size)
+	for i := range seed {
+		seed[i] = byte(i)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < Size {
+			return
+		}
+		var r Record
+		r.Unmarshal(data)
+		out := make([]byte, Size)
+		r.Marshal(out)
+		if !bytes.Equal(out, data[:Size]) {
+			t.Fatalf("decode-encode not identity")
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package sqlish
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that accepted
+// statements produce structurally sane queries. Run the seeds with
+// `go test`; explore with `go test -fuzz=FuzzParse ./internal/sqlish`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT AVG(amount) FROM sale",
+		"SELECT COUNT(*) FROM v WHERE key BETWEEN 1 AND 2 GROUP BY bucket(key, 10)",
+		"select sum(amount), median(key) from t where amount >= -3 confidence 90 error 1 limit 10 samples",
+		"SELECT QUANTILE(amount, 0.99) FROM v WHERE key = 5",
+		"SELECT)(*,,",
+		"SELECT COUNT(*) FROM v WHERE key BETWEEN 9223372036854775807 AND -9223372036854775808",
+		"\x00\xff SELECT",
+		"SELECT MIN(day) FROM v WHERE key < 5 AND key > 1 AND amount <= 9",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if len(st.Query.Aggregates) == 0 {
+			t.Fatalf("accepted statement %q with no aggregates", input)
+		}
+		if st.Dims != 1 && st.Dims != 2 {
+			t.Fatalf("accepted statement %q with dims=%d", input, st.Dims)
+		}
+		if st.Query.Predicate.Dims() != st.Dims {
+			t.Fatalf("dims mismatch for %q", input)
+		}
+	})
+}

@@ -1,0 +1,424 @@
+// Package sqlish parses a small SQL dialect for approximate aggregate
+// queries over sample views, the interface the paper's introduction
+// imagines ("CREATE MATERIALIZED SAMPLE VIEW ... SELECT ..."):
+//
+//	SELECT AVG(amount), COUNT(*), SUM(amount)
+//	FROM view
+//	WHERE key BETWEEN 100 AND 5000 AND amount >= 250
+//	GROUP BY bucket(key, 1000)
+//	CONFIDENCE 95
+//	ERROR 2
+//	LIMIT 100000 SAMPLES
+//
+// Attributes are the record's two indexed columns, `key` (alias `day`)
+// and `amount`. GROUP BY takes `bucket(attr, width)`. CONFIDENCE and
+// ERROR are percentages; ERROR sets the relative-half-width stopping
+// rule. The parser produces an aqp.Query ready to run against any view
+// whose dimensionality covers the referenced attributes.
+package sqlish
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sampleview/internal/aqp"
+	"sampleview/internal/record"
+)
+
+// Statement is a parsed query.
+type Statement struct {
+	// Query is ready for aqp.Run; its Predicate covers Dims dimensions.
+	Query aqp.Query
+	// Dims is 1 if only `key` is constrained/used, 2 if `amount` appears
+	// in the WHERE clause (2-d views can serve both).
+	Dims int
+	// Text reproduces a normalized form of the statement.
+	Text string
+}
+
+// Parse parses one statement.
+func Parse(input string) (*Statement, error) {
+	p := &parser{toks: lex(input)}
+	st, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("sqlish: %w", err)
+	}
+	return st, nil
+}
+
+// lexing
+
+type token struct {
+	kind string // "word", "num", "punct", "eof"
+	text string
+}
+
+func lex(s string) []token {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '*':
+			toks = append(toks, token{"punct", string(c)})
+			i++
+		case c == '>' || c == '<':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{"punct", s[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, token{"punct", string(c)})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{"punct", "="})
+			i++
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i + 1
+			for j < len(s) && ((s[j] >= '0' && s[j] <= '9') || s[j] == '.' || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{"num", strings.ReplaceAll(s[i:j], "_", "")})
+			i = j
+		default:
+			j := i
+			for j < len(s) && (isAlpha(s[j]) || (j > i && s[j] >= '0' && s[j] <= '9')) {
+				j++
+			}
+			if j == i {
+				toks = append(toks, token{"punct", string(c)})
+				i++
+			} else {
+				toks = append(toks, token{"word", strings.ToLower(s[i:j])})
+				i = j
+			}
+		}
+	}
+	return append(toks, token{"eof", ""})
+}
+
+func isAlpha(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_'
+}
+
+// parsing
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expectWord(w string) error {
+	t := p.next()
+	if t.kind != "word" || t.text != w {
+		return fmt.Errorf("expected %q, got %q", strings.ToUpper(w), t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != "punct" || t.text != s {
+		return fmt.Errorf("expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) number() (float64, error) {
+	t := p.next()
+	if t.kind != "num" {
+		return 0, fmt.Errorf("expected a number, got %q", t.text)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) intNumber() (int64, error) {
+	v, err := p.number()
+	if err != nil {
+		return 0, err
+	}
+	return int64(v), nil
+}
+
+// attribute handling: dimension 0 = key (alias day), 1 = amount.
+
+func attrDim(name string) (int, bool) {
+	switch name {
+	case "key", "day":
+		return 0, true
+	case "amount":
+		return 1, true
+	default:
+		return 0, false
+	}
+}
+
+func attrValue(dim int) func(*record.Record) float64 {
+	return func(r *record.Record) float64 { return float64(r.Coord(dim)) }
+}
+
+func (p *parser) parse() (*Statement, error) {
+	if err := p.expectWord("select"); err != nil {
+		return nil, err
+	}
+	st := &Statement{Dims: 1}
+	var norm []string
+
+	// Aggregate list.
+	for {
+		agg, text, err := p.aggregate()
+		if err != nil {
+			return nil, err
+		}
+		st.Query.Aggregates = append(st.Query.Aggregates, agg)
+		norm = append(norm, text)
+		if p.peek().kind == "punct" && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+
+	if err := p.expectWord("from"); err != nil {
+		return nil, err
+	}
+	from := p.next()
+	if from.kind != "word" {
+		return nil, fmt.Errorf("expected a view name after FROM, got %q", from.text)
+	}
+
+	// WHERE: conjunction of per-attribute constraints.
+	ranges := [record.NumDims]record.Range{record.FullRange(), record.FullRange()}
+	usedDim2 := false
+	if p.peek().kind == "word" && p.peek().text == "where" {
+		p.next()
+		for {
+			dim, lo, hi, err := p.condition()
+			if err != nil {
+				return nil, err
+			}
+			if dim == 1 {
+				usedDim2 = true
+			}
+			ranges[dim] = ranges[dim].Intersect(record.Range{Lo: lo, Hi: hi})
+			if p.peek().kind == "word" && p.peek().text == "and" {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	// GROUP BY bucket(attr, width).
+	if p.peek().kind == "word" && p.peek().text == "group" {
+		p.next()
+		if err := p.expectWord("by"); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("bucket"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		attr := p.next()
+		dim, ok := attrDim(attr.text)
+		if !ok {
+			return nil, fmt.Errorf("unknown attribute %q in GROUP BY", attr.text)
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		width, err := p.intNumber()
+		if err != nil {
+			return nil, err
+		}
+		if width <= 0 {
+			return nil, fmt.Errorf("bucket width must be positive, got %d", width)
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		st.Query.GroupBy = func(r *record.Record) string {
+			b := r.Coord(dim) / width
+			return fmt.Sprintf("[%d,%d]", b*width, (b+1)*width-1)
+		}
+		norm = append(norm, fmt.Sprintf("GROUP BY bucket(%s, %d)", attr.text, width))
+	}
+
+	// Trailing clauses in any order: CONFIDENCE n, ERROR n, LIMIT n SAMPLES.
+	for p.peek().kind == "word" {
+		switch p.peek().text {
+		case "confidence":
+			p.next()
+			v, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			if v <= 0 || v >= 100 {
+				return nil, fmt.Errorf("CONFIDENCE must be in (0,100), got %v", v)
+			}
+			st.Query.Confidence = v / 100
+		case "error":
+			p.next()
+			v, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			if v <= 0 {
+				return nil, fmt.Errorf("ERROR must be positive, got %v", v)
+			}
+			st.Query.TargetRelError = v / 100
+		case "limit":
+			p.next()
+			v, err := p.intNumber()
+			if err != nil {
+				return nil, err
+			}
+			if v <= 0 {
+				return nil, fmt.Errorf("LIMIT must be positive, got %d", v)
+			}
+			if err := p.expectWord("samples"); err != nil {
+				return nil, err
+			}
+			st.Query.MaxSamples = v
+		default:
+			return nil, fmt.Errorf("unexpected %q", p.peek().text)
+		}
+	}
+	if t := p.next(); t.kind != "eof" {
+		return nil, fmt.Errorf("trailing input at %q", t.text)
+	}
+
+	if usedDim2 {
+		st.Dims = 2
+		st.Query.Predicate = record.NewBox(ranges[0], ranges[1])
+	} else {
+		st.Query.Predicate = record.NewBox(ranges[0])
+	}
+	st.Text = "SELECT " + strings.Join(norm, ", ") + " FROM " + from.text
+	return st, nil
+}
+
+// aggregate parses COUNT(*) | SUM(attr) | AVG(attr) | MIN(attr) | MAX(attr).
+func (p *parser) aggregate() (aqp.Aggregate, string, error) {
+	t := p.next()
+	if t.kind != "word" {
+		return aqp.Aggregate{}, "", fmt.Errorf("expected an aggregate, got %q", t.text)
+	}
+	var kind aqp.AggKind
+	param := 0.0
+	switch t.text {
+	case "count":
+		kind = aqp.Count
+	case "sum":
+		kind = aqp.Sum
+	case "avg":
+		kind = aqp.Avg
+	case "min":
+		kind = aqp.Min
+	case "max":
+		kind = aqp.Max
+	case "median":
+		kind = aqp.Quantile
+		param = 0.5
+	case "quantile":
+		kind = aqp.Quantile
+	default:
+		return aqp.Aggregate{}, "", fmt.Errorf("unknown aggregate %q", t.text)
+	}
+	if err := p.expectPunct("("); err != nil {
+		return aqp.Aggregate{}, "", err
+	}
+	if kind == aqp.Count {
+		if err := p.expectPunct("*"); err != nil {
+			return aqp.Aggregate{}, "", err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return aqp.Aggregate{}, "", err
+		}
+		return aqp.Aggregate{Kind: aqp.Count}, "COUNT(*)", nil
+	}
+	attr := p.next()
+	dim, ok := attrDim(attr.text)
+	if !ok {
+		return aqp.Aggregate{}, "", fmt.Errorf("unknown attribute %q", attr.text)
+	}
+	text := fmt.Sprintf("%s(%s)", strings.ToUpper(t.text), attr.text)
+	if t.text == "quantile" {
+		// QUANTILE(attr, p) with p in (0,1).
+		if err := p.expectPunct(","); err != nil {
+			return aqp.Aggregate{}, "", err
+		}
+		v, err := p.number()
+		if err != nil {
+			return aqp.Aggregate{}, "", err
+		}
+		if v <= 0 || v >= 1 {
+			return aqp.Aggregate{}, "", fmt.Errorf("quantile parameter %v out of (0,1)", v)
+		}
+		param = v
+		text = fmt.Sprintf("QUANTILE(%s, %v)", attr.text, v)
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return aqp.Aggregate{}, "", err
+	}
+	return aqp.Aggregate{Kind: kind, Value: attrValue(dim), Param: param}, text, nil
+}
+
+// condition parses attr BETWEEN a AND b | attr >= a | attr <= a | attr = a
+// | attr > a | attr < a and returns the implied closed range.
+func (p *parser) condition() (dim int, lo, hi int64, err error) {
+	attr := p.next()
+	d, ok := attrDim(attr.text)
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("unknown attribute %q in WHERE", attr.text)
+	}
+	op := p.next()
+	switch {
+	case op.kind == "word" && op.text == "between":
+		a, err := p.intNumber()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if err := p.expectWord("and"); err != nil {
+			return 0, 0, 0, err
+		}
+		b, err := p.intNumber()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if a > b {
+			return 0, 0, 0, fmt.Errorf("BETWEEN bounds reversed (%d > %d)", a, b)
+		}
+		return d, a, b, nil
+	case op.kind == "punct":
+		v, err := p.intNumber()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		switch op.text {
+		case ">=":
+			return d, v, record.FullRange().Hi, nil
+		case ">":
+			return d, v + 1, record.FullRange().Hi, nil
+		case "<=":
+			return d, record.FullRange().Lo, v, nil
+		case "<":
+			return d, record.FullRange().Lo, v - 1, nil
+		case "=":
+			return d, v, v, nil
+		}
+	}
+	return 0, 0, 0, fmt.Errorf("unsupported operator %q", op.text)
+}

@@ -1,0 +1,184 @@
+package sqlish
+
+import (
+	"strings"
+	"testing"
+
+	"sampleview/internal/aqp"
+	"sampleview/internal/record"
+)
+
+func mustParse(t *testing.T, s string) *Statement {
+	t.Helper()
+	st, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return st
+}
+
+func TestParseBasicSelect(t *testing.T) {
+	st := mustParse(t, "SELECT AVG(amount) FROM sale WHERE key BETWEEN 10 AND 99")
+	if st.Dims != 1 {
+		t.Fatalf("Dims = %d", st.Dims)
+	}
+	if len(st.Query.Aggregates) != 1 || st.Query.Aggregates[0].Kind != aqp.Avg {
+		t.Fatalf("aggregates = %+v", st.Query.Aggregates)
+	}
+	if got := st.Query.Predicate.Dim(0); got != (record.Range{Lo: 10, Hi: 99}) {
+		t.Fatalf("predicate = %v", got)
+	}
+	rec := record.Record{Amount: 42}
+	if st.Query.Aggregates[0].Value(&rec) != 42 {
+		t.Fatal("value extractor wrong")
+	}
+}
+
+func TestParseMultipleAggregates(t *testing.T) {
+	st := mustParse(t, "select count(*), sum(amount), min(key), max(day) from v")
+	kinds := []aqp.AggKind{aqp.Count, aqp.Sum, aqp.Min, aqp.Max}
+	if len(st.Query.Aggregates) != len(kinds) {
+		t.Fatalf("got %d aggregates", len(st.Query.Aggregates))
+	}
+	for i, k := range kinds {
+		if st.Query.Aggregates[i].Kind != k {
+			t.Fatalf("aggregate %d kind %v, want %v", i, st.Query.Aggregates[i].Kind, k)
+		}
+	}
+	// day aliases key.
+	rec := record.Record{Key: 7}
+	if st.Query.Aggregates[3].Value(&rec) != 7 {
+		t.Fatal("day alias broken")
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	cases := []struct {
+		sql    string
+		lo, hi int64
+	}{
+		{"key >= 5", 5, record.FullRange().Hi},
+		{"key > 5", 6, record.FullRange().Hi},
+		{"key <= 5", record.FullRange().Lo, 5},
+		{"key < 5", record.FullRange().Lo, 4},
+		{"key = 5", 5, 5},
+	}
+	for _, c := range cases {
+		st := mustParse(t, "SELECT COUNT(*) FROM v WHERE "+c.sql)
+		if got := st.Query.Predicate.Dim(0); got != (record.Range{Lo: c.lo, Hi: c.hi}) {
+			t.Fatalf("%q -> %v, want [%d,%d]", c.sql, got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestParseConjunctionAndTwoDims(t *testing.T) {
+	st := mustParse(t, `SELECT COUNT(*) FROM v
+		WHERE key BETWEEN 0 AND 100 AND key >= 10 AND amount BETWEEN 5 AND 7`)
+	if st.Dims != 2 {
+		t.Fatalf("Dims = %d", st.Dims)
+	}
+	if got := st.Query.Predicate.Dim(0); got != (record.Range{Lo: 10, Hi: 100}) {
+		t.Fatalf("key range %v", got)
+	}
+	if got := st.Query.Predicate.Dim(1); got != (record.Range{Lo: 5, Hi: 7}) {
+		t.Fatalf("amount range %v", got)
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	st := mustParse(t, "SELECT COUNT(*) FROM v GROUP BY bucket(key, 100)")
+	if st.Query.GroupBy == nil {
+		t.Fatal("GroupBy not set")
+	}
+	rec := record.Record{Key: 250}
+	if got := st.Query.GroupBy(&rec); got != "[200,299]" {
+		t.Fatalf("group key = %q", got)
+	}
+	rec.Key = 99
+	if got := st.Query.GroupBy(&rec); got != "[0,99]" {
+		t.Fatalf("group key = %q", got)
+	}
+}
+
+func TestParseTrailingClauses(t *testing.T) {
+	st := mustParse(t, "SELECT AVG(amount) FROM v CONFIDENCE 99 ERROR 0.5 LIMIT 5000 SAMPLES")
+	if st.Query.Confidence != 0.99 {
+		t.Fatalf("confidence = %v", st.Query.Confidence)
+	}
+	if st.Query.TargetRelError != 0.005 {
+		t.Fatalf("target = %v", st.Query.TargetRelError)
+	}
+	if st.Query.MaxSamples != 5000 {
+		t.Fatalf("limit = %v", st.Query.MaxSamples)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	st := mustParse(t, "SELECT COUNT(*) FROM v WHERE key BETWEEN -100 AND -10")
+	if got := st.Query.Predicate.Dim(0); got != (record.Range{Lo: -100, Hi: -10}) {
+		t.Fatalf("range %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM v",
+		"SELECT COUNT(*) v",
+		"SELECT COUNT(amount) FROM v",          // COUNT takes *
+		"SELECT SUM(*) FROM v",                 // SUM takes an attribute
+		"SELECT STDDEV(amount) FROM v",         // unknown aggregate
+		"SELECT SUM(price) FROM v",             // unknown attribute
+		"SELECT COUNT(*) FROM v WHERE foo = 1", // unknown attribute
+		"SELECT COUNT(*) FROM v WHERE key BETWEEN 9 AND 3",
+		"SELECT COUNT(*) FROM v GROUP BY bucket(key, 0)",
+		"SELECT COUNT(*) FROM v CONFIDENCE 120",
+		"SELECT COUNT(*) FROM v ERROR -1",
+		"SELECT COUNT(*) FROM v LIMIT 10", // missing SAMPLES
+		"SELECT COUNT(*) FROM v garbage",
+		"SELECT COUNT(*) FROM v WHERE key LIKE 3",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestNormalizedText(t *testing.T) {
+	st := mustParse(t, "select avg(amount), count(*) from sale where key >= 1")
+	if !strings.Contains(st.Text, "AVG(amount)") || !strings.Contains(st.Text, "COUNT(*)") {
+		t.Fatalf("normalized text %q", st.Text)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	a := mustParse(t, "SELECT AVG(AMOUNT) FROM V WHERE KEY BETWEEN 1 AND 2")
+	b := mustParse(t, "select avg(amount) from v where key between 1 and 2")
+	if a.Query.Predicate.Dim(0) != b.Query.Predicate.Dim(0) {
+		t.Fatal("case sensitivity detected")
+	}
+}
+
+func TestParseMedianAndQuantile(t *testing.T) {
+	st := mustParse(t, "SELECT MEDIAN(amount), QUANTILE(amount, 0.9) FROM v")
+	if st.Query.Aggregates[0].Kind != aqp.Quantile || st.Query.Aggregates[0].Param != 0.5 {
+		t.Fatalf("median parsed as %+v", st.Query.Aggregates[0])
+	}
+	if st.Query.Aggregates[1].Kind != aqp.Quantile || st.Query.Aggregates[1].Param != 0.9 {
+		t.Fatalf("quantile parsed as %+v", st.Query.Aggregates[1])
+	}
+	if !strings.Contains(st.Text, "QUANTILE(amount, 0.9)") {
+		t.Fatalf("normalized text %q", st.Text)
+	}
+	for _, bad := range []string{
+		"SELECT QUANTILE(amount) FROM v",
+		"SELECT QUANTILE(amount, 0) FROM v",
+		"SELECT QUANTILE(amount, 1.5) FROM v",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", bad)
+		}
+	}
+}

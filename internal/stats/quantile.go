@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QuantileSketch estimates quantiles of a population from a uniform
+// random sample with distribution-free (binomial order-statistic)
+// confidence intervals: if X(1) <= ... <= X(n) is the sorted sample, the
+// p-quantile lies between X(r1) and X(r2) with the requested confidence,
+// where r1, r2 bracket n*p by z*sqrt(n*p*(1-p)).
+//
+// The sketch stores the sample values; online-aggregation samples are
+// small by design (that is the point of sampling), so the O(n) memory is
+// acceptable and keeps the estimator exact.
+type QuantileSketch struct {
+	vals   []float64
+	sorted bool
+}
+
+// NewQuantileSketch returns an empty sketch.
+func NewQuantileSketch() *QuantileSketch { return &QuantileSketch{} }
+
+// Add consumes one sampled value.
+func (s *QuantileSketch) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// Count returns the number of values consumed.
+func (s *QuantileSketch) Count() int64 { return int64(len(s.vals)) }
+
+func (s *QuantileSketch) sort() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the sample p-quantile, 0 <= p <= 1.
+func (s *QuantileSketch) Quantile(p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", p)
+	}
+	if len(s.vals) == 0 {
+		return 0, fmt.Errorf("stats: quantile of an empty sample")
+	}
+	s.sort()
+	r := int(p * float64(len(s.vals)-1))
+	return s.vals[r], nil
+}
+
+// QuantileInterval returns a confidence interval for the population
+// p-quantile at the given confidence level. With fewer than ~10 samples
+// the interval degenerates to the full observed range.
+func (s *QuantileSketch) QuantileInterval(p, confidence float64) (lo, hi float64, err error) {
+	if p < 0 || p > 1 {
+		return 0, 0, fmt.Errorf("stats: quantile %v out of [0,1]", p)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence %v out of (0,1)", confidence)
+	}
+	n := len(s.vals)
+	if n == 0 {
+		return 0, 0, fmt.Errorf("stats: quantile of an empty sample")
+	}
+	s.sort()
+	z := NormalQuantile(0.5 + confidence/2)
+	mean := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	r1 := int(math.Floor(mean - z*sd))
+	r2 := int(math.Ceil(mean + z*sd))
+	if r1 < 0 {
+		r1 = 0
+	}
+	if r2 > n-1 {
+		r2 = n - 1
+	}
+	return s.vals[r1], s.vals[r2], nil
+}

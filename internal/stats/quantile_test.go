@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	s := NewQuantileSketch()
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if s.Count() != 100 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	med, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med < 49 || med > 51 {
+		t.Fatalf("median = %v", med)
+	}
+	q0, _ := s.Quantile(0)
+	q1, _ := s.Quantile(1)
+	if q0 != 1 || q1 != 100 {
+		t.Fatalf("extremes %v, %v", q0, q1)
+	}
+}
+
+func TestQuantileValidation(t *testing.T) {
+	s := NewQuantileSketch()
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Fatal("empty sketch accepted")
+	}
+	s.Add(1)
+	if _, err := s.Quantile(1.5); err == nil {
+		t.Fatal("p out of range accepted")
+	}
+	if _, _, err := s.QuantileInterval(0.5, 1.5); err == nil {
+		t.Fatal("confidence out of range accepted")
+	}
+	if _, _, err := s.QuantileInterval(-1, 0.95); err == nil {
+		t.Fatal("p out of range accepted")
+	}
+}
+
+func TestQuantileIntervalCoverage(t *testing.T) {
+	// ~95% of 95% intervals for the median of an exponential-ish
+	// distribution should cover the true median.
+	rng := rand.New(rand.NewPCG(1, 1))
+	trueMedian := math.Ln2 // of Exp(1)
+	const trials, n = 300, 400
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		s := NewQuantileSketch()
+		for i := 0; i < n; i++ {
+			s.Add(rng.ExpFloat64())
+		}
+		lo, hi, err := s.QuantileInterval(0.5, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo <= trueMedian && trueMedian <= hi {
+			covered++
+		}
+	}
+	if covered < int(0.89*trials) {
+		t.Fatalf("median interval covered %d/%d, want ~95%%", covered, trials)
+	}
+}
+
+func TestQuantileIntervalShrinks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	width := func(n int) float64 {
+		s := NewQuantileSketch()
+		for i := 0; i < n; i++ {
+			s.Add(rng.Float64())
+		}
+		lo, hi, err := s.QuantileInterval(0.9, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hi - lo
+	}
+	if w1, w2 := width(100), width(10000); w2 >= w1 {
+		t.Fatalf("interval did not shrink: %v -> %v", w1, w2)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	s := NewQuantileSketch()
+	for i := 0; i < 5000; i++ {
+		s.Add(rng.NormFloat64())
+	}
+	prev := math.Inf(-1)
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v, err := s.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("quantiles not monotone at p=%v", p)
+		}
+		prev = v
+	}
+}

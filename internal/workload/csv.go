@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sampleview/internal/record"
+)
+
+// CSVReader streams records from "key,amount[,seq]" lines. Blank lines
+// and lines starting with '#' are skipped; malformed lines are reported
+// through the Err callback (or ignored when it is nil) and skipped.
+type CSVReader struct {
+	sc   *bufio.Scanner
+	line int64
+	seq  uint64
+	// Err, when non-nil, receives a diagnostic for every skipped line.
+	Err func(line int64, msg string)
+}
+
+// NewCSVReader wraps r.
+func NewCSVReader(r io.Reader) *CSVReader {
+	return &CSVReader{sc: bufio.NewScanner(r)}
+}
+
+// Next returns the next record, or io.EOF.
+func (c *CSVReader) Next() (record.Record, error) {
+	for c.sc.Scan() {
+		c.line++
+		text := strings.TrimSpace(c.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		rec, err := c.parse(text)
+		if err != nil {
+			if c.Err != nil {
+				c.Err(c.line, err.Error())
+			}
+			continue
+		}
+		return rec, nil
+	}
+	if err := c.sc.Err(); err != nil {
+		return record.Record{}, err
+	}
+	return record.Record{}, io.EOF
+}
+
+func (c *CSVReader) parse(text string) (record.Record, error) {
+	parts := strings.Split(text, ",")
+	if len(parts) < 2 {
+		return record.Record{}, fmt.Errorf("need key,amount")
+	}
+	key, err1 := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	amt, err2 := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+	if err1 != nil || err2 != nil {
+		return record.Record{}, fmt.Errorf("bad numbers")
+	}
+	rec := record.Record{Key: key, Amount: amt, Seq: c.seq}
+	c.seq++
+	if len(parts) >= 3 {
+		if seq, err := strconv.ParseUint(strings.TrimSpace(parts[2]), 10, 64); err == nil {
+			rec.Seq = seq
+		} else {
+			return record.Record{}, fmt.Errorf("bad sequence number")
+		}
+	}
+	return rec, nil
+}

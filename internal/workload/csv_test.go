@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestCSVReaderBasics(t *testing.T) {
+	in := `# a comment
+10,20
+ 30 , 40 , 99
+
+-5,-6
+`
+	r := NewCSVReader(strings.NewReader(in))
+	rec, err := r.Next()
+	if err != nil || rec.Key != 10 || rec.Amount != 20 || rec.Seq != 0 {
+		t.Fatalf("first record %+v, %v", rec, err)
+	}
+	rec, err = r.Next()
+	if err != nil || rec.Key != 30 || rec.Amount != 40 || rec.Seq != 99 {
+		t.Fatalf("second record %+v, %v", rec, err)
+	}
+	rec, err = r.Next()
+	if err != nil || rec.Key != -5 || rec.Amount != -6 {
+		t.Fatalf("third record %+v, %v", rec, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestCSVReaderSkipsMalformed(t *testing.T) {
+	in := `1,2
+garbage
+3
+4,notanumber
+5,6,badseq
+7,8
+`
+	var diags []int64
+	r := NewCSVReader(strings.NewReader(in))
+	r.Err = func(line int64, msg string) { diags = append(diags, line) }
+	var keys []int64
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, rec.Key)
+	}
+	if len(keys) != 2 || keys[0] != 1 || keys[1] != 7 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if len(diags) != 4 {
+		t.Fatalf("diagnostics for lines %v, want 4 bad lines", diags)
+	}
+}
+
+func TestCSVReaderAutoSequence(t *testing.T) {
+	r := NewCSVReader(strings.NewReader("1,1\n2,2\n3,3\n"))
+	var seqs []uint64
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			break
+		}
+		seqs = append(seqs, rec.Seq)
+	}
+	if len(seqs) != 3 || seqs[0] != 0 || seqs[1] != 1 || seqs[2] != 2 {
+		t.Fatalf("seqs = %v", seqs)
+	}
+}

@@ -1,0 +1,340 @@
+package sampleview
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sync"
+
+	"sampleview/internal/core"
+	"sampleview/internal/diffview"
+	"sampleview/internal/iosim"
+	"sampleview/internal/pagefile"
+	"sampleview/internal/record"
+	"sampleview/internal/stats"
+)
+
+// Re-exported data types. Record is the fixed 100-byte tuple the view
+// stores; Key is the primary indexed attribute and Amount the secondary
+// one used by two-dimensional views.
+type (
+	// Record is one tuple of the view.
+	Record = record.Record
+	// Range is a closed interval over one key dimension.
+	Range = record.Range
+	// Box is a (1- or 2-dimensional) range predicate.
+	Box = record.Box
+	// Estimator consumes an online sample and maintains running aggregate
+	// estimates with confidence intervals.
+	Estimator = stats.Estimator
+)
+
+// Box1D returns a one-dimensional predicate over [lo, hi] on Key.
+func Box1D(lo, hi int64) Box { return record.Box1D(lo, hi) }
+
+// Box2D returns a two-dimensional predicate over Key and Amount.
+func Box2D(keyLo, keyHi, amtLo, amtHi int64) Box {
+	return record.Box2D(keyLo, keyHi, amtLo, amtHi)
+}
+
+// FullBox returns the predicate matching everything in ndims dimensions.
+func FullBox(ndims int) Box { return record.FullBox(ndims) }
+
+// Options configures view creation.
+type Options struct {
+	// Dims is the number of indexed dimensions, 1 (Key only, the default)
+	// or 2 (Key and Amount).
+	Dims int
+	// Height overrides the ACE Tree height; 0 sizes leaves to one disk
+	// page, the paper's rule.
+	Height int
+	// MemPages is the construction sort's page budget (default 64).
+	MemPages int
+	// Seed drives the randomized construction. Views built with different
+	// seeds over the same data give independent samples.
+	Seed uint64
+	// DiskModel overrides the simulated disk cost model used for I/O
+	// accounting. Zero value selects iosim.DefaultModel.
+	DiskModel iosim.Model
+}
+
+func (o Options) model() iosim.Model {
+	if o.DiskModel.PageSize == 0 {
+		return iosim.DefaultModel()
+	}
+	return o.DiskModel
+}
+
+func (o Options) params() core.Params {
+	return core.Params{Dims: o.Dims, Height: o.Height, MemPages: o.MemPages, Seed: o.Seed}
+}
+
+// Source supplies records to Create one at a time; it returns false when
+// exhausted.
+type Source func() (Record, bool)
+
+// SliceSource adapts a slice to a Source.
+func SliceSource(recs []Record) Source {
+	i := 0
+	return func() (Record, bool) {
+		if i >= len(recs) {
+			return Record{}, false
+		}
+		r := recs[i]
+		i++
+		return r, true
+	}
+}
+
+// View is an open materialized sample view. A View and every Stream
+// created from it may be used from multiple goroutines: all operations
+// serialize on one mutex (the underlying page file and simulated clock
+// are single-threaded by design, matching the paper's single-disk model).
+type View struct {
+	mu   sync.Mutex
+	sim  *iosim.Sim
+	file *pagefile.File
+	tree *core.Tree
+	diff *diffview.View
+	rng  *rand.Rand
+	path string
+}
+
+// Create builds a sample view over the records produced by src and stores
+// it in a file at path. An empty path keeps the view in memory.
+func Create(path string, src Source, opts Options) (*View, error) {
+	sim := iosim.New(opts.model())
+	rel := pagefile.NewItemFile(pagefile.NewMem(sim), record.Size)
+	w := rel.NewWriter()
+	buf := make([]byte, record.Size)
+	for {
+		rec, ok := src()
+		if !ok {
+			break
+		}
+		rec.Marshal(buf)
+		if err := w.Write(buf); err != nil {
+			return nil, fmt.Errorf("sampleview: staging records: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+
+	var f *pagefile.File
+	var err error
+	if path == "" {
+		f = pagefile.NewMem(sim)
+	} else if f, err = pagefile.Create(sim, path); err != nil {
+		return nil, err
+	}
+	tree, err := core.Create(f, rel, opts.params())
+	if err != nil {
+		if path != "" {
+			f.Close()
+		}
+		return nil, err
+	}
+	return newView(sim, f, tree, path, opts.Seed), nil
+}
+
+// CreateFromSlice builds a sample view over the given records.
+func CreateFromSlice(path string, recs []Record, opts Options) (*View, error) {
+	return Create(path, SliceSource(recs), opts)
+}
+
+// Open opens a view previously stored by Create.
+func Open(path string, opts Options) (*View, error) {
+	sim := iosim.New(opts.model())
+	f, err := pagefile.Open(sim, path)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := core.Open(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newView(sim, f, tree, path, opts.Seed), nil
+}
+
+func newView(sim *iosim.Sim, f *pagefile.File, tree *core.Tree, path string, seed uint64) *View {
+	return &View{
+		sim:  sim,
+		file: f,
+		tree: tree,
+		diff: diffview.New(tree),
+		rng:  rand.New(rand.NewPCG(seed^0x5eedf00d, seed+1)),
+		path: path,
+	}
+}
+
+// Close releases the view's backing file.
+func (v *View) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.file.Close()
+}
+
+// Count returns the number of records in the view, including appended ones.
+func (v *View) Count() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.diff.Count()
+}
+
+// Dims returns the number of indexed dimensions.
+func (v *View) Dims() int { return v.tree.Dims() }
+
+// Height returns the ACE Tree height (sections per leaf).
+func (v *View) Height() int { return v.tree.Height() }
+
+// PendingAppends returns how many appended records await compaction.
+func (v *View) PendingAppends() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.diff.DeltaSize()
+}
+
+// Append adds a record to the view's differential buffer. The record
+// participates in all subsequent queries; call Compact periodically to
+// fold the buffer into the tree.
+func (v *View) Append(rec Record) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.diff.Append(rec)
+}
+
+// Compact rebuilds the view over the union of the tree and the
+// differential buffer, writing the result to path (empty = in memory),
+// and returns the new view. The receiver remains open.
+func (v *View) Compact(path string, opts Options) (*View, error) {
+	if opts.Dims == 0 {
+		opts.Dims = v.Dims()
+	}
+	sim := iosim.New(opts.model())
+	var f *pagefile.File
+	var err error
+	if path == "" {
+		f = pagefile.NewMem(sim)
+	} else if f, err = pagefile.Create(sim, path); err != nil {
+		return nil, err
+	}
+	nd, err := v.diff.Compact(f, opts.params())
+	if err != nil {
+		if path != "" {
+			f.Close()
+		}
+		return nil, err
+	}
+	return newView(sim, f, nd.Main(), path, opts.Seed), nil
+}
+
+// EstimateCount estimates the number of records matching q from the
+// view's internal counts (exact for boundary-aligned predicates).
+func (v *View) EstimateCount(q Box) (float64, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.diff.EstimateCount(q)
+}
+
+// NewEstimator returns an online-aggregation estimator whose population
+// size is preset from EstimateCount(q), so Sum and Count estimates work
+// out of the box.
+func (v *View) NewEstimator(q Box) (*Estimator, error) {
+	pop, err := v.EstimateCount(q)
+	if err != nil {
+		return nil, err
+	}
+	e := stats.NewEstimator()
+	e.SetPopulation(int64(pop + 0.5))
+	return e, nil
+}
+
+// Stream is an online random sample: every prefix of the records it has
+// returned is a uniform random sample, without replacement, of all records
+// matching the predicate. It ends with io.EOF once the full matching set
+// has been returned.
+type Stream struct {
+	mu   *sync.Mutex      // the owning view's mutex
+	core *core.Stream     // set when the view has no pending appends
+	diff *diffview.Stream // set otherwise
+}
+
+// Query starts an online sample stream for predicate q. Records appended
+// after the stream was created do not join it; start a new stream to see
+// them.
+func (v *View) Query(q Box) (*Stream, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.diff.DeltaSize() == 0 {
+		cs, err := v.tree.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		return &Stream{mu: &v.mu, core: cs}, nil
+	}
+	ds, err := v.diff.Query(q, rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64())))
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{mu: &v.mu, diff: ds}, nil
+}
+
+// Next returns the next sample record, or io.EOF when the predicate is
+// exhausted.
+func (s *Stream) Next() (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.core != nil {
+		return s.core.Next()
+	}
+	return s.diff.Next()
+}
+
+// Sample collects up to n records from the stream (fewer if the predicate
+// exhausts first).
+func (s *Stream) Sample(n int) ([]Record, error) {
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096 // the predicate may exhaust long before n
+	}
+	out := make([]Record, 0, capHint)
+	for len(out) < n {
+		rec, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Buffered returns the number of records parked in the combine buckets
+// (zero for streams over views with pending appends, whose buffering is
+// internal to the merge).
+func (s *Stream) Buffered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.core != nil {
+		return s.core.Buffered()
+	}
+	return 0
+}
+
+// IOStats summarizes the I/O activity and simulated time of the view's
+// disk.
+type IOStats struct {
+	Counters iosim.Counters
+	SimTime  string
+}
+
+// Stats returns a snapshot of the view's simulated I/O counters.
+func (v *View) Stats() IOStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return IOStats{Counters: v.sim.Counters(), SimTime: v.sim.Now().String()}
+}
