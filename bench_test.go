@@ -11,6 +11,7 @@ package sampleview
 import (
 	"io"
 	"math/rand/v2"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -162,6 +163,7 @@ func BenchmarkFig18(b *testing.B) { benchFig2D(b, "18", 0.25, 0.05) }
 func BenchmarkAblationBufferPool(b *testing.B) {
 	for _, poolPages := range []int{4, 16, 64, 256} {
 		b.Run("pool"+itoa(poolPages), func(b *testing.B) {
+			b.ReportAllocs()
 			sim := iosim.New(iosim.DefaultModel())
 			rel, err := workload.GenerateRelation(sim, 120_000, workload.Uniform, 9)
 			if err != nil {
@@ -237,6 +239,7 @@ func BenchmarkAblationDifferential(b *testing.B) {
 	}
 	for _, deltaFrac := range []float64{0, 0.05, 0.20} {
 		b.Run("delta"+itoa(int(deltaFrac*100))+"pct", func(b *testing.B) {
+			b.ReportAllocs()
 			v := diffview.New(tree)
 			g := workload.NewGenerator(workload.Uniform, 14)
 			for i := 0; i < int(deltaFrac*100_000); i++ {
@@ -327,6 +330,7 @@ func BenchmarkAblationShuttle(b *testing.B) {
 			name = "weighted"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var early, late float64
 			for i := 0; i < b.N; i++ {
 				stream, err := tree.QueryWithOptions(q, core.StreamOptions{WeightedShuttle: weighted})
@@ -364,6 +368,62 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkBuildParallel measures wall-clock bulk-construction time at
+// increasing worker counts over one fixed relation. The built view is
+// byte-identical at every setting (TestBuildParallelismByteIdentical), so
+// this isolates the construction pipeline's parallel scaling: run formation,
+// tag assignment and leaf rendering all fan out across the workers.
+func BenchmarkBuildParallel(b *testing.B) {
+	const n = 400_000
+	counts := []int{1, 2, 4}
+	if c := runtime.NumCPU(); c > 4 {
+		counts = append(counts, c)
+	}
+	for _, workers := range counts {
+		b.Run("p"+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			sim := iosim.New(iosim.DefaultModel())
+			rel, err := workload.GenerateRelation(sim, n, workload.Uniform, 51)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Create(pagefile.NewMem(sim), rel, core.Params{
+					Seed:        52,
+					Parallelism: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFiguresParallel measures wall-clock figure regeneration
+// (workbench build plus Figure 11) at increasing worker counts.
+func BenchmarkFiguresParallel(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if c := runtime.NumCPU(); c > 4 {
+		counts = append(counts, c)
+	}
+	for _, workers := range counts {
+		b.Run("p"+itoa(workers), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Parallel = workers
+			for i := 0; i < b.N; i++ {
+				wb, err := figures.NewWorkbench(cfg, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := figures.Fig1DOn(wb, "11", 0.0025, 0.04); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkConstruction measures bulk-construction cost in units of

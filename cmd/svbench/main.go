@@ -33,11 +33,13 @@ func main() {
 		pool     = flag.Int("pool", 0, "buffer pool pages for rank-based samplers (0 = auto)")
 		pageSize = flag.Int("pagesize", 8192, "disk page size in bytes (smaller pages refine leaf granularity)")
 		physical = flag.Bool("physical", false, "charge the raw disk model instead of the scale-matched one")
+		parallel = flag.Int("par", 0, "worker goroutines for builds and per-figure queries (0 or 1 = sequential)")
 	)
 	flag.Parse()
 
 	cfg := figures.DefaultConfig()
 	cfg.Physical = *physical
+	cfg.Parallel = *parallel
 	if *pageSize > 0 {
 		m := cfg.Model
 		// Keep the sequential transfer rate (~53 MB/s) of the paper's

@@ -66,8 +66,9 @@ func (s *BlockSampler) NextBlock() ([]record.Record, error) {
 	}
 	pg := s.pages[s.next]
 	s.next++
-	buf, err := s.t.pool.Read(s.t.f, pg)
-	if err != nil {
+	buf := s.t.f.PageBuf()
+	defer s.t.f.PutPageBuf(buf)
+	if err := s.t.pool.ReadInto(s.t.f, pg, buf); err != nil {
 		return nil, err
 	}
 	first := (pg - s.t.items.StartPage()) * int64(s.t.items.PerPage())

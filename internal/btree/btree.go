@@ -209,8 +209,9 @@ func (t *Tree) writeLevel(entries []entry, level int) ([]entry, error) {
 
 // readNode reads an internal node page through the buffer pool.
 func (t *Tree) readNode(pg int64) ([]entry, int, error) {
-	buf, err := t.pool.Read(t.f, pg)
-	if err != nil {
+	buf := t.f.PageBuf()
+	defer t.f.PutPageBuf(buf)
+	if err := t.pool.ReadInto(t.f, pg, buf); err != nil {
 		return nil, 0, err
 	}
 	n := int(binary.LittleEndian.Uint32(buf[0:4]))
@@ -268,8 +269,9 @@ func (t *Tree) RankGE(k int64) (int64, error) {
 		pg = entries[idx].child
 	}
 	// pg is now a data page: binary search for the first key >= k.
-	buf, err := t.pool.Read(t.f, pg)
-	if err != nil {
+	buf := t.f.PageBuf()
+	defer t.f.PutPageBuf(buf)
+	if err := t.pool.ReadInto(t.f, pg, buf); err != nil {
 		return 0, err
 	}
 	first := (pg - t.items.StartPage()) * int64(t.items.PerPage())
@@ -327,8 +329,9 @@ func (t *Tree) RecordByRank(rank int64) (record.Record, error) {
 		}
 		pg = entries[i].child
 	}
-	buf, err := t.pool.Read(t.f, pg)
-	if err != nil {
+	buf := t.f.PageBuf()
+	defer t.f.PutPageBuf(buf)
+	if err := t.pool.ReadInto(t.f, pg, buf); err != nil {
 		return rec, err
 	}
 	rec.Unmarshal(buf[rem*record.Size : (rem+1)*record.Size])

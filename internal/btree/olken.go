@@ -106,8 +106,9 @@ func (s *OlkenSampler) attempt() (rec record.Record, idx int64, ok bool, err err
 	if slot >= n {
 		return rec, 0, false, nil // phantom slot on the short page
 	}
-	buf, err := s.t.pool.Read(s.t.f, pg)
-	if err != nil {
+	buf := s.t.f.PageBuf()
+	defer s.t.f.PutPageBuf(buf)
+	if err := s.t.pool.ReadInto(s.t.f, pg, buf); err != nil {
 		return rec, 0, false, err
 	}
 	rec.Unmarshal(buf[slot*record.Size : (slot+1)*record.Size])

@@ -58,10 +58,15 @@ func Create(dst *pagefile.File, src *pagefile.ItemFile, p Params) (*Tree, error)
 		t.dataMax[d] = -1 << 63
 	}
 
+	workers := p.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+
 	// Phase 1: split keys.
 	var err error
 	if t.dims == 1 {
-		err = t.phase1External(src, p.MemPages)
+		err = t.phase1External(src, p.MemPages, workers)
 	} else {
 		err = t.phase1KD(src)
 	}
@@ -71,14 +76,19 @@ func Create(dst *pagefile.File, src *pagefile.ItemFile, p Params) (*Tree, error)
 
 	// Phase 2a: tag every record with (leaf, section) and accumulate the
 	// per-node counts.
-	tagged, err := t.assignTags(src, p.Seed)
+	var tagged *pagefile.ItemFile
+	if workers > 1 {
+		tagged, err = t.assignTagsParallel(src, p.Seed, workers)
+	} else {
+		tagged, err = t.assignTags(src, p.Seed)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2 assignment: %w", err)
 	}
 
 	// Phase 2b: external sort by (leaf, section).
 	sorted := pagefile.NewItemFile(pagefile.NewMem(dst.Sim()), taggedSize)
-	if err := extsort.Sort(sorted, tagged, cmpTag, p.MemPages); err != nil {
+	if err := extsort.SortWorkers(sorted, tagged, cmpTag, p.MemPages, workers); err != nil {
 		return nil, fmt.Errorf("core: phase 2 sort: %w", err)
 	}
 
@@ -97,7 +107,12 @@ func Create(dst *pagefile.File, src *pagefile.ItemFile, p Params) (*Tree, error)
 			return nil, err
 		}
 	}
-	if err := t.writeLeafData(sorted); err != nil {
+	if workers > 1 {
+		err = t.writeLeafDataParallel(sorted, workers)
+	} else {
+		err = t.writeLeafData(sorted)
+	}
+	if err != nil {
 		return nil, err
 	}
 	if err := t.writeDirRegion(); err != nil {
@@ -138,7 +153,7 @@ func cmpTag(a, b []byte) int {
 // phase1External computes one-dimensional split keys with an external sort
 // by key followed by a single sequential pass that picks the medians of
 // every dyadic rank interval (Figure 7 of the paper).
-func (t *Tree) phase1External(src *pagefile.ItemFile, memPages int) error {
+func (t *Tree) phase1External(src *pagefile.ItemFile, memPages, workers int) error {
 	if t.nLeaves == 1 {
 		return nil // no internal nodes
 	}
@@ -155,7 +170,7 @@ func (t *Tree) phase1External(src *pagefile.ItemFile, memPages int) error {
 			return 0
 		}
 	}
-	if err := extsort.Sort(sorted, src, cmp, memPages); err != nil {
+	if err := extsort.SortWorkers(sorted, src, cmp, memPages, workers); err != nil {
 		return err
 	}
 

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"sampleview/internal/iosim"
 	"sampleview/internal/pagefile"
 	"sampleview/internal/record"
 )
@@ -63,6 +64,12 @@ type Params struct {
 	MemPages int
 	// Seed drives the randomized section and leaf assignment.
 	Seed uint64
+	// Parallelism is the number of worker goroutines the construction
+	// pipeline (sorted-run formation, tag assignment, leaf rendering) may
+	// use; 0 or 1 builds sequentially. The built view file is byte-identical
+	// for every value: randomness is pre-drawn in sequential order and work
+	// is split at fixed boundaries, so only wall-clock time changes.
+	Parallelism int
 }
 
 func (p *Params) setDefaults() {
@@ -83,6 +90,9 @@ func (p *Params) validate() error {
 	}
 	if p.MemPages < 3 {
 		return fmt.Errorf("core: memPages must be at least 3, got %d", p.MemPages)
+	}
+	if p.Parallelism < 0 {
+		return fmt.Errorf("core: parallelism must be non-negative, got %d", p.Parallelism)
 	}
 	return nil
 }
@@ -130,6 +140,16 @@ type Tree struct {
 	// dataMin/dataMax bound the stored coordinates per dimension; they are
 	// used to clamp edge regions when interpolating count estimates.
 	dataMin, dataMax []int64
+}
+
+// WithClock returns a view of the tree whose I/O is charged to the given
+// per-stream clock instead of the shared simulated disk. The view shares
+// all in-memory metadata (which is read-only after construction), so any
+// number of clocked views may serve queries concurrently.
+func (t *Tree) WithClock(c *iosim.Clock) *Tree {
+	v := *t
+	v.f = t.f.OnClock(c)
+	return &v
 }
 
 // DataBounds returns the bounding box of the stored records. For an empty
@@ -436,7 +456,8 @@ func (t *Tree) readLeaf(ordinal int64) ([][]record.Record, error) {
 	}
 	perPage := int64(t.f.PageSize() / record.Size)
 	pages := ceilDiv(total, perPage)
-	buf := make([]byte, t.f.PageSize())
+	buf := t.f.PageBuf()
+	defer t.f.PutPageBuf(buf)
 	var flat []record.Record
 	for p := int64(0); p < pages; p++ {
 		if err := t.f.Read(m.firstPage+p, buf); err != nil {

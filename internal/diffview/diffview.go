@@ -16,6 +16,7 @@ import (
 	"math/rand/v2"
 
 	"sampleview/internal/core"
+	"sampleview/internal/iosim"
 	"sampleview/internal/pagefile"
 	"sampleview/internal/record"
 )
@@ -73,14 +74,26 @@ type Stream struct {
 
 // Query returns a merged online sample stream for q.
 func (v *View) Query(q record.Box, rng *rand.Rand) (*Stream, error) {
+	return v.queryOn(v.main, q, rng)
+}
+
+// QueryClocked is Query with the main tree's page reads charged to the
+// given per-stream clock instead of directly to the shared simulated disk,
+// so that several merged streams can run concurrently (the delta side is
+// in-memory and costs no I/O).
+func (v *View) QueryClocked(c *iosim.Clock, q record.Box, rng *rand.Rand) (*Stream, error) {
+	return v.queryOn(v.main.WithClock(c), q, rng)
+}
+
+func (v *View) queryOn(main *core.Tree, q record.Box, rng *rand.Rand) (*Stream, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("diffview: query needs a random source")
 	}
-	ms, err := v.main.Query(q)
+	ms, err := main.Query(q)
 	if err != nil {
 		return nil, err
 	}
-	est, err := v.main.EstimateCount(q)
+	est, err := main.EstimateCount(q)
 	if err != nil {
 		return nil, err
 	}

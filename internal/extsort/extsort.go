@@ -13,15 +13,25 @@
 // more runs exist than the fan-in allows, intermediate merge passes are
 // inserted, so the sorter works with any memory budget of at least three
 // pages. All I/O is charged to the simulated disk through pagefile.
+//
+// SortWorkers spreads phase 1 (and the independent groups of intermediate
+// merge passes) over a pool of goroutines. Chunk boundaries depend only on
+// the memory budget, runs are collected in chunk order, and the merge
+// consumes them in that fixed order, so the sorted output is byte-for-byte
+// identical for every worker count. Each chunk and each merge group charges
+// its I/O to a private clock forked from the shared simulated disk
+// (iosim.Sim.Fork), so the simulated cost is also independent of how chunks
+// happen to be scheduled over workers.
 package extsort
 
 import (
-	"container/heap"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"sampleview/internal/pagefile"
+	"sampleview/internal/par"
 )
 
 // Compare orders two encoded items: negative if a < b, zero if equal,
@@ -36,6 +46,14 @@ const MinMemPages = 3
 // must be an empty item file with the same item size as src. memPages is
 // the number of page-sized memory buffers the sorter may use.
 func Sort(dst, src *pagefile.ItemFile, cmp Compare, memPages int) error {
+	return SortWorkers(dst, src, cmp, memPages, 1)
+}
+
+// SortWorkers is Sort with run formation and intermediate merge passes
+// spread over up to workers goroutines (each holding its own memPages of
+// sort memory). The output is byte-identical to Sort's; workers <= 1 runs
+// the exact sequential path.
+func SortWorkers(dst, src *pagefile.ItemFile, cmp Compare, memPages, workers int) error {
 	if memPages < MinMemPages {
 		return fmt.Errorf("extsort: memory budget %d pages below minimum %d", memPages, MinMemPages)
 	}
@@ -45,21 +63,35 @@ func Sort(dst, src *pagefile.ItemFile, cmp Compare, memPages int) error {
 	if dst.Count() != 0 {
 		return fmt.Errorf("extsort: destination already holds %d items", dst.Count())
 	}
-	runs, err := formRuns(src, cmp, memPages)
+	var runs []*pagefile.ItemFile
+	var err error
+	if workers > 1 {
+		runs, err = formRunsParallel(src, cmp, memPages, workers)
+	} else {
+		runs, err = formRuns(src, cmp, memPages)
+	}
 	if err != nil {
 		return err
 	}
 	fanIn := memPages - 1
 	// Intermediate passes until the final merge fits in one pass.
 	for len(runs) > fanIn {
-		var next []*pagefile.ItemFile
-		for lo := 0; lo < len(runs); lo += fanIn {
-			hi := min(lo+fanIn, len(runs))
-			out := pagefile.NewItemFile(pagefile.NewMem(src.File().Sim()), src.ItemSize())
-			if err := mergeRuns(out, runs[lo:hi], cmp, memPages); err != nil {
+		ngroups := (len(runs) + fanIn - 1) / fanIn
+		next := make([]*pagefile.ItemFile, ngroups)
+		if workers > 1 {
+			if err := mergeGroupsParallel(next, runs, cmp, memPages, fanIn, workers); err != nil {
 				return err
 			}
-			next = append(next, out)
+		} else {
+			for g := 0; g < ngroups; g++ {
+				lo := g * fanIn
+				hi := min(lo+fanIn, len(runs))
+				out := pagefile.NewItemFile(pagefile.NewMem(src.File().Sim()), src.ItemSize())
+				if err := mergeRuns(out, runs[lo:hi], cmp, memPages); err != nil {
+					return err
+				}
+				next[g] = out
+			}
 		}
 		runs = next
 	}
@@ -122,6 +154,134 @@ func formRuns(src *pagefile.ItemFile, cmp Compare, memPages int) ([]*pagefile.It
 	return runs, nil
 }
 
+// formRunsParallel is phase 1 over a worker pool. The input is cut into the
+// same memPages-sized chunks as formRuns (boundaries are page-aligned, so no
+// source page is read by two workers); each chunk is read, sorted and
+// written as a run on a clock forked per chunk, and runs are collected in
+// chunk order so the subsequent merge sees exactly the sequential run list.
+func formRunsParallel(src *pagefile.ItemFile, cmp Compare, memPages, workers int) ([]*pagefile.ItemFile, error) {
+	itemSize := src.ItemSize()
+	chunkItems := int64(memPages * src.PerPage())
+	n := src.Count()
+	if n == 0 {
+		return nil, nil
+	}
+	nchunks := int((n + chunkItems - 1) / chunkItems)
+	runs := make([]*pagefile.ItemFile, nchunks)
+	sim := src.File().Sim()
+
+	var fail par.First
+	var wg sync.WaitGroup
+	chunks := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arena := make([]byte, 0, int(chunkItems)*itemSize)
+			var idx []int
+			for k := range chunks {
+				if fail.Failed() {
+					continue
+				}
+				lo := int64(k) * chunkItems
+				hi := min(lo+chunkItems, n)
+				ck := sim.Fork()
+				// Read the whole chunk in one burst; a wider read-ahead
+				// would spill into the next worker's chunk.
+				r := src.OnClock(ck).NewReaderBurst(lo, memPages)
+				arena = arena[:0]
+				idx = idx[:0]
+				for i := lo; i < hi; i++ {
+					item, err := r.Next()
+					if err != nil {
+						fail.Set(err)
+						break
+					}
+					off := len(arena)
+					arena = append(arena, item...)
+					idx = append(idx, off)
+				}
+				if fail.Failed() {
+					continue
+				}
+				sort.Slice(idx, func(i, j int) bool {
+					return cmp(arena[idx[i]:idx[i]+itemSize], arena[idx[j]:idx[j]+itemSize]) < 0
+				})
+				mem := pagefile.NewMem(sim)
+				run := pagefile.NewItemFile(mem.OnClock(ck), itemSize)
+				rw := run.NewWriter()
+				for _, off := range idx {
+					if err := rw.Write(arena[off : off+itemSize]); err != nil {
+						fail.Set(err)
+						break
+					}
+				}
+				if fail.Failed() {
+					continue
+				}
+				if err := rw.Flush(); err != nil {
+					fail.Set(err)
+					continue
+				}
+				// Rewrap on the unclocked file so the merge pass charges the
+				// caller's clock, not this chunk's.
+				runs[k] = pagefile.OpenItemFile(mem, itemSize, 0, run.Count())
+			}
+		}()
+	}
+	for k := 0; k < nchunks; k++ {
+		chunks <- k
+	}
+	close(chunks)
+	wg.Wait()
+	if err := fail.Err(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// mergeGroupsParallel runs the independent groups of one intermediate merge
+// pass concurrently, each group on its own forked clock, filling next[g]
+// with the merged run for group g.
+func mergeGroupsParallel(next, runs []*pagefile.ItemFile, cmp Compare, memPages, fanIn, workers int) error {
+	itemSize := runs[0].ItemSize()
+	sim := runs[0].File().Sim()
+	var fail par.First
+	var wg sync.WaitGroup
+	groups := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range groups {
+				if fail.Failed() {
+					continue
+				}
+				lo := g * fanIn
+				hi := min(lo+fanIn, len(runs))
+				ck := sim.Fork()
+				clocked := make([]*pagefile.ItemFile, hi-lo)
+				for i, r := range runs[lo:hi] {
+					clocked[i] = r.OnClock(ck)
+				}
+				mem := pagefile.NewMem(sim)
+				out := pagefile.NewItemFile(mem.OnClock(ck), itemSize)
+				if err := mergeRuns(out, clocked, cmp, memPages); err != nil {
+					fail.Set(err)
+					continue
+				}
+				next[g] = pagefile.OpenItemFile(mem, itemSize, 0, out.Count())
+			}
+		}()
+	}
+	for g := 0; g < len(next); g++ {
+		groups <- g
+	}
+	close(groups)
+	wg.Wait()
+	return fail.Err()
+}
+
 // mergeRuns performs one merge pass of the given runs into dst. Each run
 // is read in multi-page bursts and the output is written in multi-page
 // bursts (one seek amortized over the burst), the way a real TPMMS
@@ -144,8 +304,8 @@ func mergeRuns(dst *pagefile.ItemFile, runs []*pagefile.ItemFile, cmp Compare, m
 			h.entries = append(h.entries, mr)
 		}
 	}
-	heap.Init(h)
-	for h.Len() > 0 {
+	h.init()
+	for len(h.entries) > 0 {
 		e := h.entries[0]
 		if err := w.write(e.cur); err != nil {
 			return err
@@ -155,9 +315,9 @@ func mergeRuns(dst *pagefile.ItemFile, runs []*pagefile.ItemFile, cmp Compare, m
 			return err
 		}
 		if !ok {
-			heap.Pop(h)
+			h.pop()
 		} else {
-			heap.Fix(h, 0)
+			h.fix()
 		}
 	}
 	return w.flush()
@@ -274,18 +434,54 @@ func (w *burstWriter) flush() error {
 	return w.inner.Flush()
 }
 
+// mergeHeap is a typed binary min-heap of run cursors. It replaces the
+// previous container/heap implementation: the direct calls avoid an
+// interface dispatch per comparison on the innermost merge loop, and the
+// sift procedures mirror container/heap's exactly, so ties between equal
+// keys resolve in the same order and merge output stays byte-identical.
 type mergeHeap struct {
 	entries []*runCursor
 	cmp     Compare
 }
 
-func (h *mergeHeap) Len() int           { return len(h.entries) }
-func (h *mergeHeap) Less(i, j int) bool { return h.cmp(h.entries[i].cur, h.entries[j].cur) < 0 }
-func (h *mergeHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
-func (h *mergeHeap) Push(x any)         { h.entries = append(h.entries, x.(*runCursor)) }
-func (h *mergeHeap) Pop() any {
+func (h *mergeHeap) less(i, j int) bool { return h.cmp(h.entries[i].cur, h.entries[j].cur) < 0 }
+
+func (h *mergeHeap) init() {
 	n := len(h.entries)
-	e := h.entries[n-1]
-	h.entries = h.entries[:n-1]
-	return e
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
 }
+
+// down sifts entry i toward the leaves within the first n entries, using
+// the same child-selection and termination rules as container/heap.down.
+func (h *mergeHeap) down(i, n int) {
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+		i = j
+	}
+}
+
+// pop removes the root (the minimum) as container/heap.Pop does: swap it
+// with the last entry, sift the new root down over the shortened heap.
+func (h *mergeHeap) pop() {
+	n := len(h.entries) - 1
+	h.entries[0], h.entries[n] = h.entries[n], h.entries[0]
+	h.down(0, n)
+	h.entries = h.entries[:n]
+}
+
+// fix restores the heap after the root's key advanced (container/heap.Fix
+// at index 0: a sift-up from the root is a no-op, so only down is needed).
+func (h *mergeHeap) fix() { h.down(0, len(h.entries)) }

@@ -5,6 +5,8 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"sampleview/internal/par"
+	"sampleview/internal/record"
 	"sampleview/internal/workload"
 )
 
@@ -20,6 +22,18 @@ func fig1D(cfg Config, id string, sel, maxFrac float64) (*Figure, error) {
 	return Fig1DOn(wb, id, sel, maxFrac)
 }
 
+// queries1D pre-draws the figure's predicate set, so the per-method chains
+// can run it in any order (or concurrently) while consuming the query
+// generator's stream exactly as the original interleaved loop did.
+func queries1D(seed uint64, n int, sel float64) []record.Box {
+	qg := workload.NewQueryGen(seed)
+	qs := make([]record.Box, n)
+	for i := range qs {
+		qs[i] = qg.Range1D(sel)
+	}
+	return qs
+}
+
 // Fig1DOn is fig1D against an existing one-dimensional workbench.
 func Fig1DOn(wb *Workbench, id string, sel, maxFrac float64) (*Figure, error) {
 	if wb.Dims != 1 {
@@ -27,27 +41,45 @@ func Fig1DOn(wb *Workbench, id string, sel, maxFrac float64) (*Figure, error) {
 	}
 	cfg := wb.Cfg
 	limit := time.Duration(float64(wb.ScanTime) * maxFrac)
-	qg := workload.NewQueryGen(cfg.Seed + 10)
+	qs := queries1D(cfg.Seed+10, cfg.Queries, sel)
 	rng := rand.New(rand.NewPCG(cfg.Seed+11, cfg.Seed+12))
 
-	var ace, bt, perm []curve
-	for i := 0; i < cfg.Queries; i++ {
-		q := qg.Range1D(sel)
-		c, err := wb.runACE(q, limit)
-		if err != nil {
-			return nil, err
-		}
-		ace = append(ace, c)
-		c, err = wb.runBTree(q.Dim(0), limit, rng)
-		if err != nil {
-			return nil, err
-		}
-		bt = append(bt, c)
-		c, err = wb.runPerm(q, limit)
-		if err != nil {
-			return nil, err
-		}
-		perm = append(perm, c)
+	workers := cfg.workers()
+	runAce, runPerm := wb.runACE, wb.runPerm
+	if workers > 1 {
+		runAce, runPerm = wb.runACEForked, wb.runPermForked
+	}
+	ace := make([]curve, cfg.Queries)
+	bt := make([]curve, cfg.Queries)
+	perm := make([]curve, cfg.Queries)
+	err := wb.runChains(
+		func() error { // ACE Tree: independent streams, fan out per query
+			return par.ForEach(cfg.Queries, workers, func(i int) error {
+				var err error
+				ace[i], err = runAce(qs[i], limit)
+				return err
+			})
+		},
+		func() error { // B+-Tree: one chain (shared draw rng and pool)
+			for i := range qs {
+				c, err := wb.runBTree(qs[i].Dim(0), limit, rng)
+				if err != nil {
+					return err
+				}
+				bt[i] = c
+			}
+			return nil
+		},
+		func() error { // permuted file: independent scans, fan out
+			return par.ForEach(cfg.Queries, workers, func(i int) error {
+				var err error
+				perm[i], err = runPerm(qs[i], limit)
+				return err
+			})
+		},
+	)
+	if err != nil {
+		return nil, err
 	}
 
 	fig := &Figure{
@@ -89,33 +121,53 @@ func Fig14On(wb *Workbench) (*Figure, error) {
 	cfg := wb.Cfg
 	const sel = 0.025
 	noLimit := time.Duration(1<<62 - 1)
-	qg := workload.NewQueryGen(cfg.Seed + 20)
+	qs := queries1D(cfg.Seed+20, cfg.Queries, sel)
 	rng := rand.New(rand.NewPCG(cfg.Seed+21, cfg.Seed+22))
 
-	var ace, bt, perm []curve
+	workers := cfg.workers()
+	runAce, runPerm := wb.runACE, wb.runPerm
+	if workers > 1 {
+		runAce, runPerm = wb.runACEForked, wb.runPermForked
+	}
+	ace := make([]curve, cfg.Queries)
+	bt := make([]curve, cfg.Queries)
+	perm := make([]curve, cfg.Queries)
+	err := wb.runChains(
+		func() error {
+			return par.ForEach(cfg.Queries, workers, func(i int) error {
+				var err error
+				ace[i], err = runAce(qs[i], noLimit)
+				return err
+			})
+		},
+		func() error {
+			for i := range qs {
+				c, err := wb.runBTree(qs[i].Dim(0), noLimit, rng)
+				if err != nil {
+					return err
+				}
+				bt[i] = c
+			}
+			return nil
+		},
+		func() error {
+			return par.ForEach(cfg.Queries, workers, func(i int) error {
+				var err error
+				perm[i], err = runPerm(qs[i], noLimit)
+				return err
+			})
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
 	var longest time.Duration
-	for i := 0; i < cfg.Queries; i++ {
-		q := qg.Range1D(sel)
-		a, err := wb.runACE(q, noLimit)
-		if err != nil {
-			return nil, err
-		}
-		b, err := wb.runBTree(q.Dim(0), noLimit, rng)
-		if err != nil {
-			return nil, err
-		}
-		p, err := wb.runPerm(q, noLimit)
-		if err != nil {
-			return nil, err
-		}
-		for _, c := range []curve{a, b, p} {
+	for _, curves := range [][]curve{ace, bt, perm} {
+		for _, c := range curves {
 			if n := len(c.ts); n > 0 && c.ts[n-1] > longest {
 				longest = c.ts[n-1]
 			}
 		}
-		ace = append(ace, a)
-		bt = append(bt, b)
-		perm = append(perm, p)
 	}
 	maxFrac := float64(longest)/float64(wb.ScanTime)*1.02 + 0.01
 
@@ -158,15 +210,20 @@ func Fig15On(wb *Workbench, id string, sel float64) (*Figure, error) {
 	cfg := wb.Cfg
 	const maxFrac = 0.11 // the paper plots to ~11% of scan time
 	limit := time.Duration(float64(wb.ScanTime) * maxFrac)
-	qg := workload.NewQueryGen(cfg.Seed + 30)
+	qs := queries1D(cfg.Seed+30, cfg.Queries, sel)
 
-	var curves []curve
-	for i := 0; i < cfg.Queries; i++ {
-		c, err := wb.runACEBuffered(qg.Range1D(sel), limit)
-		if err != nil {
-			return nil, err
-		}
-		curves = append(curves, c)
+	workers := cfg.workers()
+	runAce := wb.runACEBuffered
+	if workers > 1 {
+		runAce = wb.runACEBufferedForked
+	}
+	curves := make([]curve, cfg.Queries)
+	if err := par.ForEach(cfg.Queries, workers, func(i int) error {
+		var err error
+		curves[i], err = runAce(qs[i], limit)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	xs, mins, means, maxs := resampleMinMeanMax(curves, wb.ScanTime, maxFrac, cfg.GridPoints)
 	return &Figure{

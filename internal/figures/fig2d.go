@@ -5,6 +5,8 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"sampleview/internal/par"
+	"sampleview/internal/record"
 	"sampleview/internal/workload"
 )
 
@@ -27,26 +29,48 @@ func Fig2DOn(wb *Workbench, id string, sel, maxFrac float64) (*Figure, error) {
 	cfg := wb.Cfg
 	limit := time.Duration(float64(wb.ScanTime) * maxFrac)
 	qg := workload.NewQueryGen(cfg.Seed + 40)
+	qs := make([]record.Box, cfg.Queries)
+	for i := range qs {
+		qs[i] = qg.Box2D(sel)
+	}
 	rng := rand.New(rand.NewPCG(cfg.Seed+41, cfg.Seed+42))
 
-	var ace, rt, perm []curve
-	for i := 0; i < cfg.Queries; i++ {
-		q := qg.Box2D(sel)
-		c, err := wb.runACE(q, limit)
-		if err != nil {
-			return nil, err
-		}
-		ace = append(ace, c)
-		c, err = wb.runRTree(q, limit, rng)
-		if err != nil {
-			return nil, err
-		}
-		rt = append(rt, c)
-		c, err = wb.runPerm(q, limit)
-		if err != nil {
-			return nil, err
-		}
-		perm = append(perm, c)
+	workers := cfg.workers()
+	runAce, runPerm := wb.runACE, wb.runPerm
+	if workers > 1 {
+		runAce, runPerm = wb.runACEForked, wb.runPermForked
+	}
+	ace := make([]curve, cfg.Queries)
+	rt := make([]curve, cfg.Queries)
+	perm := make([]curve, cfg.Queries)
+	err := wb.runChains(
+		func() error { // ACE Tree: independent streams, fan out per query
+			return par.ForEach(cfg.Queries, workers, func(i int) error {
+				var err error
+				ace[i], err = runAce(qs[i], limit)
+				return err
+			})
+		},
+		func() error { // R-Tree: one chain (shared draw rng and pool)
+			for i := range qs {
+				c, err := wb.runRTree(qs[i], limit, rng)
+				if err != nil {
+					return err
+				}
+				rt[i] = c
+			}
+			return nil
+		},
+		func() error { // permuted file: independent scans, fan out
+			return par.ForEach(cfg.Queries, workers, func(i int) error {
+				var err error
+				perm[i], err = runPerm(qs[i], limit)
+				return err
+			})
+		},
+	)
+	if err != nil {
+		return nil, err
 	}
 
 	fig := &Figure{

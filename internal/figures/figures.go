@@ -43,6 +43,21 @@ type Config struct {
 	PoolPages int
 	// GridPoints is the number of x-axis samples per reported series.
 	GridPoints int
+	// Parallel is the number of worker goroutines used to regenerate a
+	// figure: the workbench's competing structures build concurrently (and
+	// the ACE construction pipeline itself fans out, see
+	// core.Params.Parallelism), and a figure's averaged queries run
+	// concurrently per method on forked per-stream clocks (iosim.Sim.Fork).
+	// 0 or 1 runs everything on the calling goroutine, exactly reproducing
+	// the harness's original sequential charge order. Parallel runs are
+	// deterministic for a fixed seed: every query stream is charged to its
+	// own clock, whose cost is the stream's single-disk cost regardless of
+	// goroutine scheduling. They can differ microscopically from the
+	// sequential run, because a forked stream starts with the disk head
+	// unpositioned while the sequential harness lets one query inherit the
+	// previous query's head position (and the parallel ACE build's
+	// read-ahead is block-bounded).
+	Parallel int
 	// Physical disables scale matching. The paper's normalized curves
 	// (percent-of-scan-time axes) are governed by dimensionless ratios:
 	// random access cost over sequential page transfer (8.33 on the

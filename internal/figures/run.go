@@ -5,6 +5,9 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"sampleview/internal/core"
+	"sampleview/internal/par"
+	"sampleview/internal/permfile"
 	"sampleview/internal/record"
 )
 
@@ -29,20 +32,60 @@ func autoPoolPages(relPages int64) int {
 	return int(p)
 }
 
+// workers resolves the configured parallelism to a worker count.
+func (c Config) workers() int {
+	if c.Parallel > 1 {
+		return c.Parallel
+	}
+	return 1
+}
+
+// runChains executes the per-method query chains of one figure. A chain
+// owns one competing method's whole query sequence; distinct chains charge
+// distinct simulated disks, so they run inline and in order on a
+// sequential workbench and concurrently on a parallel one with identical
+// results.
+func (wb *Workbench) runChains(chains ...func() error) error {
+	if wb.Cfg.workers() <= 1 {
+		for _, fn := range chains {
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var g par.Group
+	for _, fn := range chains {
+		g.Go(fn)
+	}
+	return g.Wait()
+}
+
 // runACE executes one ACE Tree query, recording the cumulative emitted
 // sample count (as percent of the relation) after every leaf retrieval,
 // until the elapsed simulated time exceeds limit or the stream completes.
 func (wb *Workbench) runACE(q record.Box, limit time.Duration) (curve, error) {
+	return runACEOn(wb.Ace, wb.AceSim.Now, wb.Cfg.N, q, limit)
+}
+
+// runACEForked is runACE charged to a clock forked for this one query, so
+// that several queries can stream from the shared tree concurrently.
+func (wb *Workbench) runACEForked(q record.Box, limit time.Duration) (curve, error) {
+	ck := wb.AceSim.Fork()
+	return runACEOn(wb.Ace.WithClock(ck), ck.Now, wb.Cfg.N, q, limit)
+}
+
+func runACEOn(tree *core.Tree, now func() time.Duration, n int64, q record.Box, limit time.Duration) (curve, error) {
 	var c curve
-	stream, err := wb.Ace.Query(q)
+	stream, err := tree.Query(q)
 	if err != nil {
 		return c, err
 	}
-	t0 := wb.AceSim.Now()
+	t0 := now()
 	c.add(0, 0)
-	scale := 100 / float64(wb.Cfg.N)
+	scale := 100 / float64(n)
 	for !stream.Done() {
-		if wb.AceSim.Now()-t0 >= limit {
+		if now()-t0 >= limit {
 			break
 		}
 		if _, err := stream.NextLeaf(); err == io.EOF {
@@ -50,7 +93,7 @@ func (wb *Workbench) runACE(q record.Box, limit time.Duration) (curve, error) {
 		} else if err != nil {
 			return c, err
 		}
-		c.add(wb.AceSim.Now()-t0, float64(stream.Emitted())*scale)
+		c.add(now()-t0, float64(stream.Emitted())*scale)
 	}
 	return c, nil
 }
@@ -58,16 +101,26 @@ func (wb *Workbench) runACE(q record.Box, limit time.Duration) (curve, error) {
 // runACEBuffered is runACE but records the buffered-record count (as a
 // fraction of the relation), Figure 15's metric.
 func (wb *Workbench) runACEBuffered(q record.Box, limit time.Duration) (curve, error) {
+	return runACEBufferedOn(wb.Ace, wb.AceSim.Now, wb.Cfg.N, q, limit)
+}
+
+// runACEBufferedForked is runACEBuffered on a per-query forked clock.
+func (wb *Workbench) runACEBufferedForked(q record.Box, limit time.Duration) (curve, error) {
+	ck := wb.AceSim.Fork()
+	return runACEBufferedOn(wb.Ace.WithClock(ck), ck.Now, wb.Cfg.N, q, limit)
+}
+
+func runACEBufferedOn(tree *core.Tree, now func() time.Duration, n int64, q record.Box, limit time.Duration) (curve, error) {
 	var c curve
-	stream, err := wb.Ace.Query(q)
+	stream, err := tree.Query(q)
 	if err != nil {
 		return c, err
 	}
-	t0 := wb.AceSim.Now()
+	t0 := now()
 	c.add(0, 0)
-	scale := 1 / float64(wb.Cfg.N)
+	scale := 1 / float64(n)
 	for !stream.Done() {
-		if wb.AceSim.Now()-t0 >= limit {
+		if now()-t0 >= limit {
 			break
 		}
 		if _, err := stream.NextLeaf(); err == io.EOF {
@@ -75,13 +128,15 @@ func (wb *Workbench) runACEBuffered(q record.Box, limit time.Duration) (curve, e
 		} else if err != nil {
 			return c, err
 		}
-		c.add(wb.AceSim.Now()-t0, float64(stream.Buffered())*scale)
+		c.add(now()-t0, float64(stream.Buffered())*scale)
 	}
 	return c, nil
 }
 
 // runBTree executes one Algorithm-1 sampling run over the ranked B+-Tree
-// with a cold buffer pool, charging DrawOverhead of CPU per draw.
+// with a cold buffer pool, charging DrawOverhead of CPU per draw. B+-Tree
+// runs share the pool and the draw rng, so they always form one
+// sequential chain.
 func (wb *Workbench) runBTree(q record.Range, limit time.Duration, rng *rand.Rand) (curve, error) {
 	var c curve
 	wb.BtPool.Reset()
@@ -138,20 +193,30 @@ func (wb *Workbench) runRTree(q record.Box, limit time.Duration, rng *rand.Rand)
 // runPerm executes one scan of the randomly permuted file, recording each
 // matching record against the sequential clock.
 func (wb *Workbench) runPerm(q record.Box, limit time.Duration) (curve, error) {
+	return runPermOn(wb.Perm, wb.PermSim.Now, wb.Cfg.N, q, limit)
+}
+
+// runPermForked is runPerm on a per-query forked clock.
+func (wb *Workbench) runPermForked(q record.Box, limit time.Duration) (curve, error) {
+	ck := wb.PermSim.Fork()
+	return runPermOn(wb.Perm.OnClock(ck), ck.Now, wb.Cfg.N, q, limit)
+}
+
+func runPermOn(pf *permfile.File, now func() time.Duration, n int64, q record.Box, limit time.Duration) (curve, error) {
 	var c curve
-	sc := wb.Perm.Query(q)
-	t0 := wb.PermSim.Now()
+	sc := pf.Query(q)
+	t0 := now()
 	c.add(0, 0)
-	scale := 100 / float64(wb.Cfg.N)
-	var n float64
-	for wb.PermSim.Now()-t0 < limit {
+	scale := 100 / float64(n)
+	var cnt float64
+	for now()-t0 < limit {
 		if _, err := sc.Next(); err == io.EOF {
 			break
 		} else if err != nil {
 			return c, err
 		}
-		n++
-		c.add(wb.PermSim.Now()-t0, n*scale)
+		cnt++
+		c.add(now()-t0, cnt*scale)
 	}
 	return c, nil
 }

@@ -83,56 +83,69 @@ func NewWorkbench(cfg Config, dims int) (*Workbench, error) {
 		wb.Cfg = cfg
 	}
 
-	// ACE Tree.
-	wb.AceSim = iosim.New(cfg.Model)
-	rel, err := workload.GenerateRelation(wb.AceSim, cfg.N, workload.Uniform, cfg.Seed)
-	if err != nil {
-		return nil, err
+	// The three competing structures live on independent simulated disks
+	// over identical relations, so their builds are independent; a parallel
+	// workbench builds them concurrently (and the ACE construction pipeline
+	// additionally fans out internally, byte-identically - see core.Create).
+	buildAce := func() error {
+		wb.AceSim = iosim.New(cfg.Model)
+		rel, err := workload.GenerateRelation(wb.AceSim, cfg.N, workload.Uniform, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		wb.Ace, err = core.Create(pagefile.NewMem(wb.AceSim), rel, core.Params{
+			Dims:        dims,
+			MemPages:    cfg.MemPages,
+			Seed:        cfg.Seed + 1,
+			Parallelism: cfg.Parallel,
+		})
+		if err != nil {
+			return fmt.Errorf("figures: building ACE tree: %w", err)
+		}
+		wb.ScanTime = wb.AceSim.ScanCost(wb.RelPages)
+		return nil
 	}
-	wb.Ace, err = core.Create(pagefile.NewMem(wb.AceSim), rel, core.Params{
-		Dims:     dims,
-		MemPages: cfg.MemPages,
-		Seed:     cfg.Seed + 1,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("figures: building ACE tree: %w", err)
-	}
-	wb.ScanTime = wb.AceSim.ScanCost(wb.RelPages)
-
 	// Rank-based comparator: B+-Tree for 1-d, R-Tree for 2-d.
-	if dims == 1 {
-		wb.BtSim = iosim.New(cfg.Model)
-		relBt, err := workload.GenerateRelation(wb.BtSim, cfg.N, workload.Uniform, cfg.Seed)
-		if err != nil {
-			return nil, err
+	buildRanked := func() error {
+		if dims == 1 {
+			wb.BtSim = iosim.New(cfg.Model)
+			relBt, err := workload.GenerateRelation(wb.BtSim, cfg.N, workload.Uniform, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			wb.BtPool = pagefile.NewPool(wb.poolPages())
+			wb.Bt, err = btree.Build(pagefile.NewMem(wb.BtSim), relBt, wb.BtPool, cfg.MemPages)
+			if err != nil {
+				return fmt.Errorf("figures: building B+ tree: %w", err)
+			}
+			return nil
 		}
-		wb.BtPool = pagefile.NewPool(wb.poolPages())
-		wb.Bt, err = btree.Build(pagefile.NewMem(wb.BtSim), relBt, wb.BtPool, cfg.MemPages)
-		if err != nil {
-			return nil, fmt.Errorf("figures: building B+ tree: %w", err)
-		}
-	} else {
 		wb.RtSim = iosim.New(cfg.Model)
 		relRt, err := workload.GenerateRelation(wb.RtSim, cfg.N, workload.Uniform, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		wb.RtPool = pagefile.NewPool(wb.poolPages())
 		wb.Rt, err = rtree.Build(pagefile.NewMem(wb.RtSim), relRt, wb.RtPool, cfg.MemPages)
 		if err != nil {
-			return nil, fmt.Errorf("figures: building R tree: %w", err)
+			return fmt.Errorf("figures: building R tree: %w", err)
 		}
+		return nil
 	}
-
-	// Randomly permuted file.
-	wb.PermSim = iosim.New(cfg.Model)
-	relPerm, err := workload.GenerateRelation(wb.PermSim, cfg.N, workload.Uniform, cfg.Seed)
-	if err != nil {
+	buildPerm := func() error {
+		wb.PermSim = iosim.New(cfg.Model)
+		relPerm, err := workload.GenerateRelation(wb.PermSim, cfg.N, workload.Uniform, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		wb.Perm, err = permfile.Build(pagefile.NewMem(wb.PermSim), relPerm, cfg.MemPages, cfg.Seed+2)
+		if err != nil {
+			return fmt.Errorf("figures: building permuted file: %w", err)
+		}
+		return nil
+	}
+	if err := wb.runChains(buildAce, buildRanked, buildPerm); err != nil {
 		return nil, err
-	}
-	wb.Perm, err = permfile.Build(pagefile.NewMem(wb.PermSim), relPerm, cfg.MemPages, cfg.Seed+2)
-	if err != nil {
-		return nil, fmt.Errorf("figures: building permuted file: %w", err)
 	}
 	return wb, nil
 }

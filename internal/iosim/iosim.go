@@ -14,10 +14,27 @@
 // Structures never look at the clock to make decisions; it exists purely so
 // the benchmark harness can plot samples-retrieved against simulated time on
 // the same axes the paper uses.
+//
+// # Concurrency
+//
+// A Sim is safe for concurrent use. Because random-versus-sequential
+// classification depends on the order in which accesses move the disk head,
+// charging a shared Sim from several goroutines would make the split between
+// the counters (and hence the clock) depend on goroutine scheduling. Workers
+// that need deterministic accounting therefore charge a private Clock
+// obtained from Sim.Fork: each Clock classifies accesses against its own
+// head state (deterministic for a single stream regardless of what other
+// streams do) and contributes every charge to the parent Sim's totals with
+// atomic additions, which commute. The parent's aggregate clock and counters
+// are thus the same for any interleaving and any worker count, while each
+// stream's own elapsed time is exactly what a single-stream run would
+// measure.
 package iosim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -76,18 +93,38 @@ func (c Counters) Reads() int64 { return c.RandomReads + c.SequentialReads }
 // Writes returns the total number of page writes.
 func (c Counters) Writes() int64 { return c.RandomWrites + c.SequentialWrites }
 
-// Sim is a simulated disk: a virtual clock plus head-position tracking.
-// A Sim is not safe for concurrent use; each experiment owns one.
-type Sim struct {
-	model    Model
-	now      time.Duration
-	counters Counters
+// Charger charges simulated time for page accesses. Both *Sim (shared,
+// synchronized) and *Clock (private, per stream) implement it; pagefile
+// routes every access through one.
+type Charger interface {
+	ReadPage(f FileID, page int64)
+	WritePage(f FileID, page int64)
+}
 
+// Sim is a simulated disk: a virtual clock plus head-position tracking.
+// All methods are safe for concurrent use.
+type Sim struct {
+	model Model
+
+	now      atomic.Int64 // accumulated nanoseconds
+	counters [4]atomic.Int64
+
+	// mu guards the head state used to classify accesses charged directly
+	// to the Sim (Clock forks keep their own head state).
+	mu sync.Mutex
 	// head tracks, per registered file, the page index immediately after the
 	// last page accessed, or -1 if the head is not positioned in that file.
 	head     []int64
 	headFile FileID // file the head is currently in, or -1
 }
+
+// indices into the counter array.
+const (
+	cRandomRead = iota
+	cSeqRead
+	cRandomWrite
+	cSeqWrite
+)
 
 // New returns a Sim using the given model. It panics if the model is
 // invalid, which indicates a programming error in experiment setup.
@@ -103,28 +140,44 @@ func (s *Sim) Model() Model { return s.model }
 
 // Register allocates a FileID for a new file on this disk.
 func (s *Sim) Register() FileID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	id := FileID(len(s.head))
 	s.head = append(s.head, -1)
 	return id
 }
 
-// Now returns the current simulated time.
-func (s *Sim) Now() time.Duration { return s.now }
+// Now returns the current simulated time: the total disk-busy time of every
+// access charged to the Sim, directly or through a forked Clock.
+func (s *Sim) Now() time.Duration { return time.Duration(s.now.Load()) }
 
 // Counters returns a snapshot of the I/O counters.
-func (s *Sim) Counters() Counters { return s.counters }
+func (s *Sim) Counters() Counters {
+	return Counters{
+		RandomReads:      s.counters[cRandomRead].Load(),
+		SequentialReads:  s.counters[cSeqRead].Load(),
+		RandomWrites:     s.counters[cRandomWrite].Load(),
+		SequentialWrites: s.counters[cSeqWrite].Load(),
+	}
+}
 
 // Advance adds d of pure computation time to the clock. The reproduction is
 // I/O-bound like the paper's testbed, so this is rarely used, but it lets
 // harnesses model CPU-heavy consumers if desired.
 func (s *Sim) Advance(d time.Duration) {
 	if d > 0 {
-		s.now += d
+		s.now.Add(int64(d))
 	}
 }
 
+// charge records one access of the given kind (a counter index).
+func (s *Sim) charge(kind int, d time.Duration) {
+	s.counters[kind].Add(1)
+	s.now.Add(int64(d))
+}
+
 // sequential reports whether accessing page of file f continues the current
-// head position, and updates the head either way.
+// head position, and updates the head either way. Callers hold mu.
 func (s *Sim) sequential(f FileID, page int64) bool {
 	seq := s.headFile == f && s.head[f] == page
 	s.headFile = f
@@ -134,23 +187,25 @@ func (s *Sim) sequential(f FileID, page int64) bool {
 
 // ReadPage charges the clock for reading the given page of file f.
 func (s *Sim) ReadPage(f FileID, page int64) {
-	if s.sequential(f, page) {
-		s.now += s.model.SequentialRead
-		s.counters.SequentialReads++
+	s.mu.Lock()
+	seq := s.sequential(f, page)
+	s.mu.Unlock()
+	if seq {
+		s.charge(cSeqRead, s.model.SequentialRead)
 	} else {
-		s.now += s.model.RandomRead
-		s.counters.RandomReads++
+		s.charge(cRandomRead, s.model.RandomRead)
 	}
 }
 
 // WritePage charges the clock for writing the given page of file f.
 func (s *Sim) WritePage(f FileID, page int64) {
-	if s.sequential(f, page) {
-		s.now += s.model.SequentialWrite
-		s.counters.SequentialWrites++
+	s.mu.Lock()
+	seq := s.sequential(f, page)
+	s.mu.Unlock()
+	if seq {
+		s.charge(cSeqWrite, s.model.SequentialWrite)
 	} else {
-		s.now += s.model.RandomWrite
-		s.counters.RandomWrites++
+		s.charge(cRandomWrite, s.model.RandomWrite)
 	}
 }
 
@@ -163,4 +218,82 @@ func (s *Sim) ScanCost(n int64) time.Duration {
 		return 0
 	}
 	return s.model.RandomRead + time.Duration(n-1)*s.model.SequentialRead
+}
+
+// Fork returns a fresh Clock contributing to s. The Clock starts at time
+// zero with the head unpositioned, so its elapsed time and counters are
+// exactly those of a single stream running alone on a disk of the same
+// model.
+func (s *Sim) Fork() *Clock {
+	return &Clock{model: s.model, parent: s, headFile: -1, head: make(map[FileID]int64)}
+}
+
+// Clock is a private virtual clock for one stream or worker, created with
+// Sim.Fork. It is NOT safe for concurrent use; each goroutine charges its
+// own Clock. Every charge also flows into the parent Sim's clock and
+// counters, so shared totals stay complete (and deterministic, because
+// contributions commute) while the Clock's own state gives the stream's
+// single-stream cost.
+type Clock struct {
+	model    Model
+	parent   *Sim
+	now      time.Duration
+	counters Counters
+	headFile FileID
+	head     map[FileID]int64
+}
+
+// Model returns the disk model in use.
+func (c *Clock) Model() Model { return c.model }
+
+// Now returns the stream's elapsed simulated time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Counters returns the stream's own I/O counters.
+func (c *Clock) Counters() Counters { return c.counters }
+
+// Advance adds d of pure computation time to the stream's clock (and the
+// parent's).
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+		if c.parent != nil {
+			c.parent.now.Add(int64(d))
+		}
+	}
+}
+
+// sequential classifies an access against the stream's private head state.
+func (c *Clock) sequential(f FileID, page int64) bool {
+	h, ok := c.head[f]
+	seq := ok && c.headFile == f && h == page
+	c.headFile = f
+	c.head[f] = page + 1
+	return seq
+}
+
+func (c *Clock) charge(kind int, d time.Duration, n *int64) {
+	c.now += d
+	*n++
+	if c.parent != nil {
+		c.parent.charge(kind, d)
+	}
+}
+
+// ReadPage charges the stream's clock for reading the given page of file f.
+func (c *Clock) ReadPage(f FileID, page int64) {
+	if c.sequential(f, page) {
+		c.charge(cSeqRead, c.model.SequentialRead, &c.counters.SequentialReads)
+	} else {
+		c.charge(cRandomRead, c.model.RandomRead, &c.counters.RandomReads)
+	}
+}
+
+// WritePage charges the stream's clock for writing the given page of file f.
+func (c *Clock) WritePage(f FileID, page int64) {
+	if c.sequential(f, page) {
+		c.charge(cSeqWrite, c.model.SequentialWrite, &c.counters.SequentialWrites)
+	} else {
+		c.charge(cRandomWrite, c.model.RandomWrite, &c.counters.RandomWrites)
+	}
 }

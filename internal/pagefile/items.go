@@ -3,6 +3,8 @@ package pagefile
 import (
 	"fmt"
 	"io"
+
+	"sampleview/internal/iosim"
 )
 
 // ItemFile lays fixed-size items onto the pages of a File. Items never span
@@ -44,6 +46,17 @@ func wrapItemFile(f *File, itemSize int, startPage, count int64) *ItemFile {
 // File returns the underlying page file.
 func (t *ItemFile) File() *File { return t.file }
 
+// OnClock returns a view of the item file whose I/O is charged to the given
+// per-stream clock. The view shares the backing pages but snapshots the item
+// count: items appended through one view are not visible through another, so
+// writers should hand back their final count (or the caller should rewrap
+// with OpenItemFile) once construction is done.
+func (t *ItemFile) OnClock(c *iosim.Clock) *ItemFile {
+	v := *t
+	v.file = t.file.OnClock(c)
+	return &v
+}
+
 // ItemSize returns the size of one item in bytes.
 func (t *ItemFile) ItemSize() int { return t.itemSize }
 
@@ -66,13 +79,15 @@ func (t *ItemFile) locate(i int64) (page int64, off int) {
 	return t.startPage + i/int64(t.perPage), int(i%int64(t.perPage)) * t.itemSize
 }
 
-// Get reads item i into dst via a direct (uncached) page read.
+// Get reads item i into dst via a direct (uncached) page read, using a
+// recycled page buffer rather than allocating one per call.
 func (t *ItemFile) Get(i int64, dst []byte) error {
 	if i < 0 || i >= t.count {
 		return fmt.Errorf("pagefile: item %d out of range [0,%d)", i, t.count)
 	}
 	page, off := t.locate(i)
-	buf := make([]byte, t.file.PageSize())
+	buf := t.file.PageBuf()
+	defer t.file.PutPageBuf(buf)
 	if err := t.file.Read(page, buf); err != nil {
 		return err
 	}
@@ -86,8 +101,9 @@ func (t *ItemFile) GetPooled(pool *Pool, i int64, dst []byte) error {
 		return fmt.Errorf("pagefile: item %d out of range [0,%d)", i, t.count)
 	}
 	page, off := t.locate(i)
-	buf, err := pool.Read(t.file, page)
-	if err != nil {
+	buf := t.file.PageBuf()
+	defer t.file.PutPageBuf(buf)
+	if err := pool.ReadInto(t.file, page, buf); err != nil {
 		return err
 	}
 	copy(dst[:t.itemSize], buf[off:off+t.itemSize])

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 
 	"sampleview/internal/iosim"
 )
@@ -22,7 +23,9 @@ import (
 var ErrPageOutOfRange = errors.New("pagefile: page index out of range")
 
 // Backend stores raw pages. Implementations do not charge simulated time;
-// File does.
+// File does. Backends must support concurrent ReadPage calls and concurrent
+// ReadPage/WritePage calls to distinct pages; WritePage calls that extend
+// the backend require external synchronization.
 type Backend interface {
 	// ReadPage copies page i into dst (exactly one page long).
 	ReadPage(i int64, dst []byte) error
@@ -35,22 +38,72 @@ type Backend interface {
 	Close() error
 }
 
-// File is a page file on a simulated disk.
+// File is a page file on a simulated disk. Concurrent Reads are safe;
+// writers require external synchronization (a file is written by one
+// goroutine during construction and read-only afterwards).
+//
+// Accesses are charged to the file's charger: the shared Sim by default, or
+// a private per-stream Clock for views obtained with OnClock.
 type File struct {
 	sim      *iosim.Sim
+	charge   iosim.Charger
 	id       iosim.FileID
 	pageSize int
 	backend  Backend
+	// bufs recycles page-sized scratch buffers (Get, readLeaf and friends);
+	// shared across OnClock views of the same file.
+	bufs *bufPool
+}
+
+// bufPool is a bounded free list of page buffers. A plain sync.Pool of
+// []byte would box the slice header into an interface on every Put,
+// costing one small heap allocation per recycle on the sampler hot path;
+// the explicit list keeps steady-state gets and puts allocation-free.
+type bufPool struct {
+	mu   sync.Mutex
+	free [][]byte
+	ps   int
+}
+
+// maxFreeBufs bounds a file's free list (with 8 KB pages: 512 KB).
+const maxFreeBufs = 64
+
+func (p *bufPool) get() []byte {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return b
+	}
+	p.mu.Unlock()
+	return make([]byte, p.ps)
+}
+
+func (p *bufPool) put(b []byte) {
+	p.mu.Lock()
+	if len(p.free) < maxFreeBufs {
+		p.free = append(p.free, b)
+	}
+	p.mu.Unlock()
+}
+
+func newFile(sim *iosim.Sim, backend Backend) *File {
+	ps := sim.Model().PageSize
+	return &File{
+		sim:      sim,
+		charge:   sim,
+		id:       sim.Register(),
+		pageSize: ps,
+		backend:  backend,
+		bufs:     &bufPool{ps: ps},
+	}
 }
 
 // NewMem creates an empty in-memory page file on sim.
 func NewMem(sim *iosim.Sim) *File {
-	return &File{
-		sim:      sim,
-		id:       sim.Register(),
-		pageSize: sim.Model().PageSize,
-		backend:  &memBackend{pageSize: sim.Model().PageSize},
-	}
+	return newFile(sim, &memBackend{pageSize: sim.Model().PageSize})
 }
 
 // Create creates (or truncates) an OS-backed page file at path on sim.
@@ -59,12 +112,7 @@ func Create(sim *iosim.Sim, path string) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pagefile: create %s: %w", path, err)
 	}
-	return &File{
-		sim:      sim,
-		id:       sim.Register(),
-		pageSize: sim.Model().PageSize,
-		backend:  &osBackend{f: f, pageSize: sim.Model().PageSize},
-	}, nil
+	return newFile(sim, &osBackend{f: f, pageSize: sim.Model().PageSize}), nil
 }
 
 // Open opens an existing OS-backed page file at path on sim. The file size
@@ -84,12 +132,17 @@ func Open(sim *iosim.Sim, path string) (*File, error) {
 		f.Close()
 		return nil, fmt.Errorf("pagefile: %s size %d is not a multiple of page size %d", path, st.Size(), ps)
 	}
-	return &File{
-		sim:      sim,
-		id:       sim.Register(),
-		pageSize: sim.Model().PageSize,
-		backend:  &osBackend{f: f, pageSize: sim.Model().PageSize, npages: st.Size() / ps},
-	}, nil
+	return newFile(sim, &osBackend{f: f, pageSize: sim.Model().PageSize, npages: st.Size() / ps}), nil
+}
+
+// OnClock returns a view of the file whose accesses are charged to the
+// given per-stream clock instead of the shared Sim. The view shares the
+// backing pages; it is how concurrent streams and construction workers keep
+// deterministic single-stream cost accounting.
+func (f *File) OnClock(c *iosim.Clock) *File {
+	v := *f
+	v.charge = c
+	return &v
 }
 
 // PageSize returns the page size in bytes.
@@ -106,7 +159,7 @@ func (f *File) Read(i int64, dst []byte) error {
 	if i < 0 || i >= f.backend.NumPages() {
 		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, i, f.backend.NumPages())
 	}
-	f.sim.ReadPage(f.id, i)
+	f.charge.ReadPage(f.id, i)
 	return f.backend.ReadPage(i, dst[:f.pageSize])
 }
 
@@ -116,8 +169,20 @@ func (f *File) Write(i int64, src []byte) error {
 	if i < 0 || i > f.backend.NumPages() {
 		return fmt.Errorf("%w: write page %d of %d", ErrPageOutOfRange, i, f.backend.NumPages())
 	}
-	f.sim.WritePage(f.id, i)
+	f.charge.WritePage(f.id, i)
 	return f.backend.WritePage(i, src[:f.pageSize])
+}
+
+// PageBuf returns a page-sized scratch buffer from the file's reuse pool.
+// Return it with PutPageBuf when done; buffers flow freely between
+// goroutines and OnClock views.
+func (f *File) PageBuf() []byte { return f.bufs.get() }
+
+// PutPageBuf recycles a buffer obtained from PageBuf.
+func (f *File) PutPageBuf(b []byte) {
+	if cap(b) >= f.pageSize {
+		f.bufs.put(b[:f.pageSize])
+	}
 }
 
 // Append writes src as a new page at the end of the file and returns its

@@ -146,12 +146,12 @@ func TestPoolHitsAreFree(t *testing.T) {
 	f := NewMem(sim)
 	f.Append(fill(512, 7))
 	pool := NewPool(4)
-	if _, err := pool.Read(f, 0); err != nil {
+	data := make([]byte, f.PageSize())
+	if err := pool.ReadInto(f, 0, data); err != nil {
 		t.Fatal(err)
 	}
 	before := sim.Now()
-	data, err := pool.Read(f, 0)
-	if err != nil {
+	if err := pool.ReadInto(f, 0, data); err != nil {
 		t.Fatal(err)
 	}
 	if sim.Now() != before {
@@ -172,10 +172,11 @@ func TestPoolEviction(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		f.Append(fill(512, byte(i)))
 	}
-	pool := NewPool(2)
-	pool.Read(f, 0)
-	pool.Read(f, 1)
-	pool.Read(f, 2) // evicts 0
+	pool := NewPool(2) // small pools use a single shard: exact global LRU
+	buf := make([]byte, f.PageSize())
+	pool.ReadInto(f, 0, buf)
+	pool.ReadInto(f, 1, buf)
+	pool.ReadInto(f, 2, buf) // evicts 0
 	if pool.Contains(f, 0) {
 		t.Fatal("page 0 should have been evicted")
 	}
@@ -183,8 +184,8 @@ func TestPoolEviction(t *testing.T) {
 		t.Fatal("pages 1,2 should be resident")
 	}
 	// Touch 1, then read 3: 2 is now the LRU victim.
-	pool.Read(f, 1)
-	pool.Read(f, 3)
+	pool.ReadInto(f, 1, buf)
+	pool.ReadInto(f, 3, buf)
 	if pool.Contains(f, 2) || !pool.Contains(f, 1) {
 		t.Fatal("LRU order not respected")
 	}
@@ -198,8 +199,9 @@ func TestPoolZeroCapacity(t *testing.T) {
 	f := NewMem(sim)
 	f.Append(fill(512, 1))
 	pool := NewPool(0)
-	pool.Read(f, 0)
-	pool.Read(f, 0)
+	buf := make([]byte, f.PageSize())
+	pool.ReadInto(f, 0, buf)
+	pool.ReadInto(f, 0, buf)
 	if st := pool.Stats(); st.Hits != 0 || st.Misses != 2 {
 		t.Fatalf("zero-capacity pool should never hit: %+v", st)
 	}
@@ -210,7 +212,7 @@ func TestPoolReset(t *testing.T) {
 	f := NewMem(sim)
 	f.Append(fill(512, 1))
 	pool := NewPool(2)
-	pool.Read(f, 0)
+	pool.ReadInto(f, 0, make([]byte, f.PageSize()))
 	pool.Reset()
 	if pool.Len() != 0 || pool.Stats() != (PoolStats{}) {
 		t.Fatal("Reset did not clear the pool")

@@ -17,6 +17,7 @@ import (
 	"math/rand/v2"
 
 	"sampleview/internal/extsort"
+	"sampleview/internal/iosim"
 	"sampleview/internal/pagefile"
 	"sampleview/internal/record"
 )
@@ -145,6 +146,14 @@ func (p *File) Count() int64 { return p.items.Count() }
 
 // DataPages returns the number of pages occupied by records.
 func (p *File) DataPages() int64 { return p.items.NumPages() }
+
+// OnClock returns a view of the file whose scans charge their I/O to the
+// given per-stream clock instead of directly to the shared simulated disk.
+// Views share the underlying storage, so concurrent scans on separate
+// clocks are safe.
+func (p *File) OnClock(c *iosim.Clock) *File {
+	return &File{items: p.items.OnClock(c)}
+}
 
 // Scanner streams a uniform random sample of the records matching a
 // predicate by scanning the permuted file in storage order.

@@ -307,8 +307,9 @@ func strTile(entries []entry, fanout int) []entry {
 
 // readNode reads an internal node page through the buffer pool.
 func (t *Tree) readNode(pg int64) ([]entry, int, error) {
-	buf, err := t.pool.Read(t.f, pg)
-	if err != nil {
+	buf := t.f.PageBuf()
+	defer t.f.PutPageBuf(buf)
+	if err := t.pool.ReadInto(t.f, pg, buf); err != nil {
 		return nil, 0, err
 	}
 	n := int(binary.LittleEndian.Uint32(buf[0:4]))

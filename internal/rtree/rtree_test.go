@@ -52,8 +52,8 @@ func collectAll(t *testing.T, tree *Tree, pg int64, lvl int) []record.Record {
 	for _, e := range entries {
 		var sub []record.Record
 		if lvl == 1 {
-			buf, err := tree.pool.Read(tree.f, e.child)
-			if err != nil {
+			buf := make([]byte, tree.f.PageSize())
+			if err := tree.pool.ReadInto(tree.f, e.child, buf); err != nil {
 				t.Fatal(err)
 			}
 			for i := int64(0); i < e.count; i++ {

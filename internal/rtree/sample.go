@@ -128,8 +128,9 @@ func (s *Sampler) attempt() (rec record.Record, idx int64, ok bool, err error) {
 			if s.rng.Float64() >= accept {
 				return rec, 0, false, nil
 			}
-			buf, err := s.t.pool.Read(s.t.f, pg)
-			if err != nil {
+			buf := s.t.f.PageBuf()
+			defer s.t.f.PutPageBuf(buf)
+			if err := s.t.pool.ReadInto(s.t.f, pg, buf); err != nil {
 				return rec, 0, false, err
 			}
 			rec.Unmarshal(buf[slot*record.Size : (slot+1)*record.Size])

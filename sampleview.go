@@ -53,6 +53,11 @@ type Options struct {
 	// Seed drives the randomized construction. Views built with different
 	// seeds over the same data give independent samples.
 	Seed uint64
+	// BuildParallelism is the number of worker goroutines the bulk
+	// construction pipeline may use for run formation, tagging and leaf
+	// writing (0 or 1 = sequential). The stored view is byte-identical at
+	// every setting for a given seed.
+	BuildParallelism int
 	// DiskModel overrides the simulated disk cost model used for I/O
 	// accounting. Zero value selects iosim.DefaultModel.
 	DiskModel iosim.Model
@@ -66,7 +71,13 @@ func (o Options) model() iosim.Model {
 }
 
 func (o Options) params() core.Params {
-	return core.Params{Dims: o.Dims, Height: o.Height, MemPages: o.MemPages, Seed: o.Seed}
+	return core.Params{
+		Dims:        o.Dims,
+		Height:      o.Height,
+		MemPages:    o.MemPages,
+		Seed:        o.Seed,
+		Parallelism: o.BuildParallelism,
+	}
 }
 
 // Source supplies records to Create one at a time; it returns false when
@@ -87,11 +98,15 @@ func SliceSource(recs []Record) Source {
 }
 
 // View is an open materialized sample view. A View and every Stream
-// created from it may be used from multiple goroutines: all operations
-// serialize on one mutex (the underlying page file and simulated clock
-// are single-threaded by design, matching the paper's single-disk model).
+// created from it may be used from multiple goroutines. Streams do not
+// contend on a view-level lock: each one carries its own mutex and
+// charges its page reads to a private clock forked from the view's
+// simulated disk (iosim.Sim.Fork), so concurrent streams proceed
+// independently while the view's aggregate Stats stay complete. Only the
+// view's mutable bookkeeping - the differential buffer of appended
+// records and the draw rng - serializes on the view mutex.
 type View struct {
-	mu   sync.Mutex
+	mu   sync.Mutex // guards diff and rng
 	sim  *iosim.Sim
 	file *pagefile.File
 	tree *core.Tree
@@ -207,11 +222,14 @@ func (v *View) Append(rec Record) {
 
 // Compact rebuilds the view over the union of the tree and the
 // differential buffer, writing the result to path (empty = in memory),
-// and returns the new view. The receiver remains open.
+// and returns the new view. The receiver remains open; it is locked for
+// the duration of the rebuild, so concurrent Appends wait.
 func (v *View) Compact(path string, opts Options) (*View, error) {
 	if opts.Dims == 0 {
 		opts.Dims = v.Dims()
 	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	sim := iosim.New(opts.model())
 	var f *pagefile.File
 	var err error
@@ -255,30 +273,37 @@ func (v *View) NewEstimator(q Box) (*Estimator, error) {
 // returned is a uniform random sample, without replacement, of all records
 // matching the predicate. It ends with io.EOF once the full matching set
 // has been returned.
+//
+// Each Stream owns its state: a private lock serializing its draws and a
+// private clock accounting its I/O, so any number of streams over one
+// view can be driven concurrently, each observing the cost it would incur
+// running alone on the view's disk.
 type Stream struct {
-	mu   *sync.Mutex      // the owning view's mutex
-	core *core.Stream     // set when the view has no pending appends
-	diff *diffview.Stream // set otherwise
+	mu    sync.Mutex       // serializes draws on this stream
+	clock *iosim.Clock     // the stream's private I/O clock
+	core  *core.Stream     // set when the view has no pending appends
+	diff  *diffview.Stream // set otherwise
 }
 
 // Query starts an online sample stream for predicate q. Records appended
 // after the stream was created do not join it; start a new stream to see
 // them.
 func (v *View) Query(q Box) (*Stream, error) {
+	ck := v.sim.Fork()
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.diff.DeltaSize() == 0 {
-		cs, err := v.tree.Query(q)
+		cs, err := v.tree.WithClock(ck).Query(q)
 		if err != nil {
 			return nil, err
 		}
-		return &Stream{mu: &v.mu, core: cs}, nil
+		return &Stream{clock: ck, core: cs}, nil
 	}
-	ds, err := v.diff.Query(q, rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64())))
+	ds, err := v.diff.QueryClocked(ck, q, rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64())))
 	if err != nil {
 		return nil, err
 	}
-	return &Stream{mu: &v.mu, diff: ds}, nil
+	return &Stream{clock: ck, diff: ds}, nil
 }
 
 // Next returns the next sample record, or io.EOF when the predicate is
@@ -332,9 +357,16 @@ type IOStats struct {
 	SimTime  string
 }
 
-// Stats returns a snapshot of the view's simulated I/O counters.
+// Stats returns a snapshot of the view's simulated I/O counters,
+// aggregated over every stream (counters are atomic; no lock is taken).
 func (v *View) Stats() IOStats {
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	return IOStats{Counters: v.sim.Counters(), SimTime: v.sim.Now().String()}
+}
+
+// Stats returns the stream's own I/O counters and elapsed simulated time:
+// the cost this stream would incur running alone on the view's disk.
+func (s *Stream) Stats() IOStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return IOStats{Counters: s.clock.Counters(), SimTime: s.clock.Now().String()}
 }
