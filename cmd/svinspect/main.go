@@ -67,10 +67,17 @@ func main() {
 
 	if *verify {
 		fmt.Printf("verifying...     ")
+		before, t0 := sim.Counters(), sim.Now()
 		if err := t.Verify(); err != nil {
 			fmt.Printf("FAILED\n%v\n", err)
 			os.Exit(1)
 		}
+		after := sim.Counters()
 		fmt.Printf("ok (all invariants hold)\n")
+		fmt.Printf("verify cost:     %d pages read (%d sequential, %d random), %v simulated\n",
+			after.Reads()-before.Reads(),
+			after.SequentialReads-before.SequentialReads,
+			after.RandomReads-before.RandomReads,
+			sim.Now()-t0)
 	}
 }

@@ -1,0 +1,226 @@
+// Package analysis is a small, standard-library-only static-analysis
+// framework plus the repository's analyzer suite. The analyzers encode the
+// contracts the reproduction's correctness rests on — seeded randomness
+// only, no wall-clock in simulated code, copy-out buffer-pool access,
+// lock-annotated shared state, prefixed error wrapping, documented panics —
+// so that they are machine-checked on every change instead of enforced by
+// reviewer vigilance.
+//
+// The framework is deliberately syntactic: packages are parsed with
+// go/parser (comments included) and analyzers work on the AST with
+// file-level import resolution, which keeps the tool free of build-system
+// dependencies (no go/packages, no export data) while remaining exact for
+// the repository's own idioms. Each analyzer documents the approximation it
+// makes; the golden fixtures under testdata/src pin the behaviour.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it, and
+// a message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way compilers do, so editors can jump
+// to it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// File is one parsed source file of a package.
+type File struct {
+	AST  *ast.File
+	Name string // base file name, e.g. "build.go"
+	Test bool   // true for *_test.go files
+}
+
+// Package is one directory's worth of parsed files. Test files are loaded
+// and marked; every analyzer in this suite skips them (tests may
+// legitimately use timeouts, ad-hoc randomness, and panics).
+type Package struct {
+	Fset *token.FileSet
+	// Name is the package name declared by the non-test files.
+	Name string
+	// Rel is the slash-separated directory path relative to the module
+	// root ("" for the root package). Analyzers use it to scope rules:
+	// cmd/ and examples/ are host-side code exempt from the simulation
+	// contracts.
+	Rel   string
+	Dir   string
+	Files []*File
+}
+
+// Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Pkg  *Package
+	name string
+	out  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoGlobalRand,
+		NoWallClock,
+		NoFrameAlias,
+		LockGuard,
+		ErrPrefix,
+		NoPanic,
+	}
+}
+
+// Run applies every analyzer to every package and returns the diagnostics
+// sorted by file, line and column.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, name: a.Name, out: &out})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		if out[i].Pos.Column != out[j].Pos.Column {
+			return out[i].Pos.Column < out[j].Pos.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// inDir reports whether the package lives in (or under) the given
+// top-level directory of the module.
+func (p *Package) inDir(dir string) bool {
+	return p.Rel == dir || strings.HasPrefix(p.Rel, dir+"/")
+}
+
+var versionSuffix = regexp.MustCompile(`^v[0-9]+$`)
+
+// importTable maps each import's local name to its import path for one
+// file. Unnamed imports get their default name: the last path element,
+// skipping a major-version suffix ("math/rand/v2" is named "rand").
+func importTable(f *ast.File) map[string]string {
+	tab := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		name := path.Base(p)
+		if versionSuffix.MatchString(name) {
+			name = path.Base(path.Dir(p))
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+			if name == "_" || name == "." {
+				continue
+			}
+		}
+		tab[name] = p
+	}
+	return tab
+}
+
+// pkgCall reports whether call is a direct call of a package-level function
+// of the package imported under importPath in the file described by tab
+// (e.g. rand.Intn where rand is "math/rand"). It returns the function name.
+// A local declaration shadowing the package name (detected via the parser's
+// object resolution) disqualifies the match.
+func pkgCall(tab map[string]string, call *ast.CallExpr, importPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Obj != nil {
+		return "", false
+	}
+	if tab[id.Name] != importPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// exprKey renders an expression as a stable string key, used to match a
+// guarded-field receiver against the mutex it must lock (e.g. both sides
+// of "s.stats" / "s.mu.Lock()" reduce to the base "s"). It intentionally
+// normalizes parentheses, dereferences and type assertions away.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[]"
+	case *ast.CallExpr:
+		return exprKey(e.Fun) + "()"
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.UnaryExpr:
+		return exprKey(e.X)
+	case *ast.TypeAssertExpr:
+		return exprKey(e.X)
+	default:
+		return "?"
+	}
+}
+
+// walkStack traverses root keeping the ancestor stack; fn is called for
+// every node with the stack of its ancestors (outermost first, not
+// including the node itself). Returning false skips the node's children.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		into := fn(n, stack)
+		if into {
+			stack = append(stack, n)
+		}
+		return into
+	})
+}
+
+// enclosingFuncDecl returns the innermost FuncDecl on the stack, or nil.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}

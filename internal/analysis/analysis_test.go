@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// loadFixture parses one testdata/src directory as a package with the
+// given module-relative path (which analyzers use to scope their rules).
+func loadFixture(t *testing.T, fixture, rel string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(token.NewFileSet(), filepath.Join("testdata", "src", fixture), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s holds no Go files", fixture)
+	}
+	return pkg
+}
+
+// want is one expected diagnostic: an exact file and line plus a regexp
+// the message must match.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("want `([^`]*)`")
+
+// collectWants extracts the // want `regex` annotations from a fixture.
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				wants = append(wants, &want{
+					file: f.Name,
+					line: pkg.Fset.Position(c.Pos()).Line,
+					re:   re,
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// TestAnalyzers runs each analyzer over its fixture and demands an exact
+// 1:1 match between reported diagnostics and // want annotations: same
+// file, same line, message matching the regexp, nothing extra, nothing
+// missing.
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		fixture  string
+		rel      string
+	}{
+		{NoGlobalRand, "noglobalrand", "internal/fixture"},
+		{NoWallClock, "nowallclock", "internal/fixture"},
+		{NoFrameAlias, "noframealias", "internal/fixture"},
+		{LockGuard, "lockguard", "internal/fixture"},
+		{ErrPrefix, "errprefix", "internal/fixture"},
+		{NoPanic, "nopanic", "internal/fixture"},
+	}
+	for _, c := range cases {
+		t.Run(c.analyzer.Name, func(t *testing.T) {
+			pkg := loadFixture(t, c.fixture, c.rel)
+			wants := collectWants(t, pkg)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s carries no want annotations", c.fixture)
+			}
+			diags := Run([]*Package{pkg}, []*Analyzer{c.analyzer})
+			for _, d := range diags {
+				if d.Analyzer != c.analyzer.Name {
+					t.Errorf("diagnostic attributed to %q, want %q", d.Analyzer, c.analyzer.Name)
+				}
+				if d.Pos.Column <= 0 {
+					t.Errorf("%s: diagnostic without a column", d.Pos)
+				}
+				base := filepath.Base(d.Pos.Filename)
+				matched := false
+				for i, w := range wants {
+					if w != nil && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+						wants[i] = nil
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic at %s:%d: %s", base, d.Pos.Line, d.Message)
+				}
+			}
+			for _, w := range wants {
+				if w != nil {
+					t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestScopeExemptions re-loads violating fixtures under module paths the
+// analyzers exempt (examples/, cmd/, the non-internal root) and demands
+// silence.
+func TestScopeExemptions(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		fixture  string
+		rel      string
+	}{
+		{NoGlobalRand, "noglobalrand", "examples/demo"},
+		{NoWallClock, "nowallclock", "cmd/tool"},
+		{NoWallClock, "nowallclock", "examples/demo"},
+		{ErrPrefix, "errprefix", ""},
+		{ErrPrefix, "errprefix", "cmd/tool"},
+		{NoPanic, "nopanic", "cmd/tool"},
+		{NoPanic, "nopanic", "examples/demo"},
+	}
+	for _, c := range cases {
+		name := fmt.Sprintf("%s@%s", c.analyzer.Name, c.rel)
+		t.Run(name, func(t *testing.T) {
+			pkg := loadFixture(t, c.fixture, c.rel)
+			for _, d := range Run([]*Package{pkg}, []*Analyzer{c.analyzer}) {
+				t.Errorf("diagnostic in exempt scope %q: %s", c.rel, d)
+			}
+		})
+	}
+}
+
+// TestImportTable pins the default-name resolution, in particular the
+// major-version suffix rule that makes math/rand/v2 import as "rand".
+func TestImportTable(t *testing.T) {
+	pkg := loadFixture(t, "noglobalrand", "internal/fixture")
+	for _, f := range pkg.Files {
+		if f.Name != "bad.go" {
+			continue
+		}
+		tab := importTable(f.AST)
+		if tab["rand"] != "math/rand" {
+			t.Errorf(`tab["rand"] = %q, want "math/rand"`, tab["rand"])
+		}
+		if tab["randv2"] != "math/rand/v2" {
+			t.Errorf(`tab["randv2"] = %q, want "math/rand/v2"`, tab["randv2"])
+		}
+		if tab["time"] != "time" {
+			t.Errorf(`tab["time"] = %q, want "time"`, tab["time"])
+		}
+	}
+}
+
+// TestTreeCleanAtHead is the meta-test: the full suite over the whole
+// repository must be silent. A failure here is a real contract violation
+// in the tree — fix the code, not this test.
+func TestTreeCleanAtHead(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadTree(token.NewFileSet(), root, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from %s; loader is missing the tree", len(pkgs), root)
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("violation at HEAD: %s", d)
+	}
+}

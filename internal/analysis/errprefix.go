@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// ErrPrefix enforces the repository's error-wrapping convention: errors
+// constructed in the exported API of an internal package carry the
+// package's name as a "pkg: " prefix, so that an error surfacing through
+// several layers (sampleview → core → pagefile → iosim) names the layer it
+// came from. Formats beginning with "%w" are exempt: they extend an error
+// that already carries its prefix (e.g. wrapping a named sentinel).
+//
+// Scope: fmt.Errorf calls lexically inside exported functions and methods
+// of internal/* packages, non-test files. Unexported helpers may build
+// naked messages for an exported caller to wrap (the sqlish parser does
+// exactly this).
+var ErrPrefix = &Analyzer{
+	Name: "errprefix",
+	Doc:  `exported internal/* APIs wrap errors as "pkg: ...: %w"`,
+	Run:  runErrPrefix,
+}
+
+func runErrPrefix(pass *Pass) {
+	p := pass.Pkg
+	if !p.inDir("internal") {
+		return
+	}
+	want := p.Name + ": "
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		tab := importTable(f.AST)
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := pkgCall(tab, call, "fmt"); !ok || name != "Errorf" {
+					return true
+				}
+				if len(call.Args) == 0 {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok {
+					return true // dynamic format: out of scope
+				}
+				format, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				if strings.HasPrefix(format, "%w") || strings.HasPrefix(format, want) {
+					return true
+				}
+				pass.Reportf(lit.Pos(),
+					"error format %q in exported %s lacks the %q prefix", format, fd.Name.Name, want)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// LockGuard enforces the repository's lock-annotation discipline. A struct
+// field may carry one of two annotations in its field comment:
+//
+//	mu sync.Mutex
+//	n  int   // guarded by mu
+//	c  int64 // atomic
+//
+// A "guarded by <mu>" field may only be touched in a function that locks
+// the same receiver's <mu> (a <recv>.<mu>.Lock() or RLock() call anywhere
+// in the function body), or in a function whose name ends in "Locked",
+// which asserts that its callers hold the lock. An "atomic" field may only
+// be accessed as the &-argument of a sync/atomic call. (Fields of type
+// atomic.Int64 and friends need no annotation: their method set is safe by
+// construction.)
+//
+// The check is syntactic and flow-insensitive. Accesses through the
+// receiver of a method of the declaring struct are always checked; other
+// accesses are checked by field name when exactly one struct in the
+// package declares a field of that name (ambiguous names are skipped
+// rather than guessed). Constructor composite literals (&T{f: v}) are
+// inherently safe — the value is unpublished — and are not selector
+// expressions, so they never trip the check.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "guarded-by/atomic field annotations are honoured",
+	Run:  runLockGuard,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+type fieldAnn struct {
+	guardedBy string
+	atomic    bool
+}
+
+type structInfo struct {
+	name   string
+	fields map[string]fieldAnn // every named field, annotated or not
+}
+
+// fieldComment concatenates a struct field's doc and line comments.
+func fieldComment(f *ast.Field) string {
+	var parts []string
+	if f.Doc != nil {
+		parts = append(parts, f.Doc.Text())
+	}
+	if f.Comment != nil {
+		parts = append(parts, f.Comment.Text())
+	}
+	return strings.TrimSpace(strings.Join(parts, " "))
+}
+
+func parseAnn(comment string) fieldAnn {
+	var ann fieldAnn
+	if m := guardedByRE.FindStringSubmatch(comment); m != nil {
+		ann.guardedBy = m[1]
+	}
+	for _, line := range strings.Split(comment, "\n") {
+		if strings.TrimSpace(line) == "atomic" {
+			ann.atomic = true
+		}
+	}
+	return ann
+}
+
+// collectStructs indexes every named struct type of the package.
+func collectStructs(p *Package) (structs map[string]*structInfo, owners map[string][]*structInfo) {
+	structs = make(map[string]*structInfo)
+	owners = make(map[string][]*structInfo)
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			info := &structInfo{name: ts.Name.Name, fields: make(map[string]fieldAnn)}
+			for _, fld := range st.Fields.List {
+				ann := parseAnn(fieldComment(fld))
+				for _, name := range fld.Names {
+					info.fields[name.Name] = ann
+					owners[name.Name] = append(owners[name.Name], info)
+				}
+			}
+			structs[ts.Name.Name] = info
+			return true
+		})
+	}
+	return structs, owners
+}
+
+// recvOf returns the receiver name and struct info of a method, if any.
+func recvOf(fd *ast.FuncDecl, structs map[string]*structInfo) (string, *structInfo) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return "", nil
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.ParenExpr:
+			t = tt.X
+		case *ast.Ident:
+			return fd.Recv.List[0].Names[0].Name, structs[tt.Name]
+		default:
+			return "", nil
+		}
+	}
+}
+
+// lockKeys collects "base.mu" keys for every Lock/RLock call in the body.
+func lockKeys(body *ast.BlockStmt) map[string]bool {
+	keys := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if mu, ok := sel.X.(*ast.SelectorExpr); ok {
+			keys[exprKey(mu.X)+"."+mu.Sel.Name] = true
+		}
+		return true
+	})
+	return keys
+}
+
+func runLockGuard(pass *Pass) {
+	p := pass.Pkg
+	structs, owners := collectStructs(p)
+	any := false
+	for _, info := range structs {
+		for _, ann := range info.fields {
+			if ann.guardedBy != "" || ann.atomic {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		tab := importTable(f.AST)
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recvName, recvStruct := recvOf(fd, structs)
+			locked := lockKeys(fd.Body)
+			callerHolds := strings.HasSuffix(fd.Name.Name, "Locked")
+
+			walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				ann, ok := resolveAnn(sel, recvName, recvStruct, owners)
+				if !ok {
+					return true
+				}
+				switch {
+				case ann.atomic:
+					if !isAtomicArg(n, stack, tab) {
+						pass.Reportf(sel.Pos(),
+							"field %s is annotated atomic and must be accessed through sync/atomic", sel.Sel.Name)
+					}
+				case ann.guardedBy != "":
+					key := exprKey(sel.X) + "." + ann.guardedBy
+					if !callerHolds && !locked[key] {
+						pass.Reportf(sel.Pos(),
+							"field %s is guarded by %s but %s does not lock %s (suffix the function name with Locked if its caller holds it)",
+							sel.Sel.Name, ann.guardedBy, fd.Name.Name, key)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// resolveAnn decides which annotation, if any, applies to the selector
+// base.field: the receiver's declaration when base is the method receiver,
+// otherwise the unique declaring struct in the package.
+func resolveAnn(sel *ast.SelectorExpr, recvName string, recvStruct *structInfo, owners map[string][]*structInfo) (fieldAnn, bool) {
+	field := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok && recvStruct != nil && id.Name == recvName {
+		ann, declared := recvStruct.fields[field]
+		return ann, declared && (ann.guardedBy != "" || ann.atomic)
+	}
+	os := owners[field]
+	if len(os) != 1 {
+		return fieldAnn{}, false
+	}
+	ann := os[0].fields[field]
+	return ann, ann.guardedBy != "" || ann.atomic
+}
+
+// isAtomicArg reports whether the selector is used as &sel in a direct
+// argument of a sync/atomic package call.
+func isAtomicArg(n ast.Node, stack []ast.Node, tab map[string]string) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	addr, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND || addr.X != n {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	_, ok = pkgCall(tab, call, "sync/atomic")
+	return ok
+}

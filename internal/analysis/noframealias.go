@@ -1,0 +1,101 @@
+package analysis
+
+import "go/ast"
+
+// NoFrameAlias enforces the buffer pool's copy-out contract. Cached page
+// frames are recycled by eviction, so a []byte that aliases a frame's
+// buffer can be silently rewritten under its holder; that is exactly the
+// hazard Pool.ReadInto exists to remove (the frame is copied into the
+// caller's buffer while the shard lock is held). This analyzer pins the
+// contract inside the pool implementation itself: in any package declaring
+// a struct named "frame", the frame's byte-slice fields may be copied from
+// (copy), measured (len/cap), indexed a byte at a time, ranged over, or
+// assigned during fault-in — but never returned, stored elsewhere,
+// sub-sliced, or passed to another call. Every way the buffer could escape
+// by reference is flagged.
+var NoFrameAlias = &Analyzer{
+	Name: "noframealias",
+	Doc:  "frame buffers may only leave the pool via the ReadInto copy-out",
+	Run:  runNoFrameAlias,
+}
+
+func runNoFrameAlias(pass *Pass) {
+	p := pass.Pkg
+	// Find the byte-slice fields of struct types named "frame".
+	bufFields := make(map[string]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != "frame" {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if at, ok := fld.Type.(*ast.ArrayType); ok && at.Len == nil {
+					if id, ok := at.Elt.(*ast.Ident); ok && id.Name == "byte" {
+						for _, name := range fld.Names {
+							bufFields[name.Name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(bufFields) == 0 {
+		return
+	}
+
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		walkStack(f.AST, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !bufFields[sel.Sel.Name] || len(stack) == 0 {
+				return true
+			}
+			verb := ""
+			switch parent := stack[len(stack)-1].(type) {
+			case *ast.CallExpr:
+				if id, ok := parent.Fun.(*ast.Ident); ok && id.Obj == nil &&
+					(id.Name == "copy" || id.Name == "len" || id.Name == "cap") {
+					return true
+				}
+				verb = "passed to a call"
+			case *ast.AssignStmt:
+				for _, lhs := range parent.Lhs {
+					if lhs == n {
+						return true // fault-in initialization writes the field
+					}
+				}
+				verb = "stored"
+			case *ast.IndexExpr:
+				if parent.X == n {
+					return true // single-byte read does not alias
+				}
+				verb = "stored"
+			case *ast.RangeStmt:
+				if parent.X == n {
+					return true
+				}
+				verb = "stored"
+			case *ast.ReturnStmt:
+				verb = "returned"
+			case *ast.SliceExpr:
+				verb = "sub-sliced"
+			case *ast.CompositeLit, *ast.KeyValueExpr, *ast.ValueSpec:
+				verb = "stored"
+			default:
+				verb = "leaked"
+			}
+			pass.Reportf(sel.Pos(),
+				"pool frame buffer %s is %s; frames may only leave the pool copied out under the shard lock (ReadInto)",
+				sel.Sel.Name, verb)
+			return true
+		})
+	}
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoPanic enforces the library's panic policy: a panic is an invariant
+// assertion, never an error path, and every function that can panic must
+// say so. A panic call is legal only inside a function whose doc comment
+// contains the word "panic" (the Go-idiomatic "It panics if ..." sentence)
+// or whose name starts with Must/must. Everything else must return an
+// error.
+//
+// Scope: non-test files outside cmd/ and examples/ (a command's main may
+// abort how it likes; it exits anyway).
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "panic only in documented invariant-assert helpers",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	p := pass.Pkg
+	if p.inDir("cmd") || p.inDir("examples") {
+		return
+	}
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		walkStack(f.AST, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" || id.Obj != nil {
+				return true
+			}
+			fd := enclosingFuncDecl(stack)
+			if fd != nil {
+				name := fd.Name.Name
+				if strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+					return true
+				}
+				if fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "panic") {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"panic outside a documented invariant helper; document the panic in the function comment, rename to Must*, or return an error")
+			return true
+		})
+	}
+}

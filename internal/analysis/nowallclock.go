@@ -1,0 +1,51 @@
+package analysis
+
+import "go/ast"
+
+// NoWallClock enforces the simulated-time contract: inside the library —
+// the root package and everything under internal/ — the only legal time
+// source is the iosim clock (Sim.Now / Clock.Now). Reading the wall clock
+// there would leak host timing into simulated results, breaking the
+// paper's cost model and the determinism of every figure.
+//
+// Scope: non-test files outside cmd/ and examples/. The command-line tools
+// legitimately report host elapsed time; tests may use timeouts.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "ban wall-clock time in simulated code (use the iosim Clock)",
+	Run:  runNoWallClock,
+}
+
+// wallClockFns are the package-level time functions that observe or depend
+// on the wall clock. Pure constructors and constants (time.Duration,
+// time.Millisecond arithmetic) remain legal: the disk model is expressed
+// in durations.
+var wallClockFns = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runNoWallClock(pass *Pass) {
+	p := pass.Pkg
+	if p.inDir("cmd") || p.inDir("examples") {
+		return
+	}
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		tab := importTable(f.AST)
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgCall(tab, call, "time"); ok && wallClockFns[name] {
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock in simulated code; use the iosim Sim/Clock", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,19 @@
+// Package fixture exercises the errprefix analyzer: exported APIs of
+// internal packages must prefix their errors with the package name.
+package fixture
+
+import "fmt"
+
+// Open is exported: its errors surface across package boundaries and must
+// say where they came from.
+func Open(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty name") // want `error format "empty name" in exported Open lacks the "fixture: " prefix`
+	}
+	return fmt.Errorf("core: wrong package prefix %q", name) // want `error format "core: wrong package prefix %q" in exported Open lacks the "fixture: " prefix`
+}
+
+// Close wraps a nested error without naming the layer.
+func Close(inner error) error {
+	return fmt.Errorf("closing: %w", inner) // want `error format "closing: %w" in exported Close lacks the "fixture: " prefix`
+}

@@ -1,0 +1,32 @@
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone already carries the prefix; formats that extend it start
+// with %w.
+var ErrGone = errors.New("fixture: gone")
+
+// Lookup follows the convention.
+func Lookup(id int64) error {
+	if id < 0 {
+		return fmt.Errorf("fixture: id %d out of range", id)
+	}
+	return fmt.Errorf("%w: id %d", ErrGone, id)
+}
+
+// parse is unexported: its naked messages are wrapped by exported callers,
+// like the sqlish parser's.
+func parse(s string) error {
+	return fmt.Errorf("unexpected %q", s)
+}
+
+// Parse is the exported wrapper adding the prefix once.
+func Parse(s string) error {
+	if err := parse(s); err != nil {
+		return fmt.Errorf("fixture: %w", err)
+	}
+	return nil
+}

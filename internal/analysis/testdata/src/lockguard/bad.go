@@ -1,0 +1,35 @@
+// Package fixture exercises the lockguard analyzer: "guarded by" fields
+// need the mutex held (or a *Locked function name); "atomic" fields need
+// sync/atomic.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int   // guarded by mu
+	hits int64 // atomic
+}
+
+// Bump touches n without locking mu.
+func (c *counter) Bump() {
+	c.n++ // want `field n is guarded by mu but Bump does not lock c\.mu`
+}
+
+// Read copies n out without the lock, through a different method shape.
+func (c *counter) Read() int {
+	return c.n // want `field n is guarded by mu but Read does not lock c\.mu`
+}
+
+// drain accesses the guarded field through a non-receiver variable: the
+// unique-owner rule still applies.
+func drain(ctr *counter) int {
+	v := ctr.n // want `field n is guarded by mu but drain does not lock ctr\.mu`
+	ctr.n = 0  // want `field n is guarded by mu but drain does not lock ctr\.mu`
+	return v
+}
+
+// Hit bumps the atomic counter with a plain read-modify-write.
+func (c *counter) Hit() {
+	c.hits++ // want `field hits is annotated atomic and must be accessed through sync/atomic`
+}

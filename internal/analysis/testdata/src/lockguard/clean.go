@@ -1,0 +1,32 @@
+package fixture
+
+import "sync/atomic"
+
+// BumpSafe holds the lock across the touch.
+func (c *counter) BumpSafe() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// bumpLocked asserts via its name that the caller holds mu.
+func (c *counter) bumpLocked() { c.n++ }
+
+// drainLocked is the function-shaped equivalent.
+func drainLocked(ctr *counter) int {
+	v := ctr.n
+	ctr.n = 0
+	return v
+}
+
+// HitSafe goes through sync/atomic, as the annotation demands.
+func (c *counter) HitSafe() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Hits reads the atomic field legally too.
+func (c *counter) Hits() int64 { return atomic.LoadInt64(&c.hits) }
+
+// newCounter publishes nothing: composite literals are not field selector
+// accesses, so constructors stay clean without holding any lock.
+func newCounter() *counter { return &counter{n: 0} }

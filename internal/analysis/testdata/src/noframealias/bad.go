@@ -1,0 +1,32 @@
+// Package fixture exercises the noframealias analyzer: a frame's buffer
+// may not escape the pool by reference.
+package fixture
+
+type frame struct {
+	key  int64
+	data []byte
+}
+
+type shard struct {
+	frames map[int64]*frame
+}
+
+// get returns the cached buffer by reference: the classic aliasing bug.
+func (s *shard) get(page int64) []byte {
+	fr := s.frames[page]
+	return fr.data // want `frame buffer data is returned`
+}
+
+func (s *shard) peek(page int64, n int) []byte {
+	return s.frames[page].data[:n] // want `frame buffer data is sub-sliced`
+}
+
+func (s *shard) stash(page int64, sink *[]byte) {
+	*sink = s.frames[page].data // want `frame buffer data is stored`
+}
+
+func (s *shard) leakToCall(page int64) {
+	consume(s.frames[page].data) // want `frame buffer data is passed to a call`
+}
+
+func consume([]byte) {}

@@ -1,0 +1,30 @@
+package fixture
+
+// readInto is the legal copy-out shape: the frame's bytes are copied into
+// the caller's buffer; the frame itself never escapes.
+func (s *shard) readInto(page int64, dst []byte) bool {
+	fr, ok := s.frames[page]
+	if !ok {
+		return false
+	}
+	copy(dst[:len(fr.data)], fr.data)
+	return true
+}
+
+// faultIn installs a freshly read buffer into a new frame: assignment to
+// the field is the initialization path.
+func (s *shard) faultIn(page int64, buf []byte) {
+	fr := &frame{key: page, data: buf}
+	fr.data = buf
+	s.frames[page] = fr
+}
+
+// inspect reads single bytes and lengths, which cannot alias the buffer.
+func (s *shard) inspect(page int64) (int, byte, int) {
+	fr := s.frames[page]
+	sum := 0
+	for _, b := range fr.data {
+		sum += int(b)
+	}
+	return len(fr.data), fr.data[0], sum
+}

@@ -1,0 +1,27 @@
+// Package fixture exercises the noglobalrand analyzer: global-source
+// draws and time-seeded sources are violations; explicit seeded sources
+// are clean.
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func globalDraws() int {
+	n := rand.Intn(10)        // want `rand\.Intn draws from the global math/rand source`
+	rand.Seed(42)             // want `rand\.Seed draws from the global math/rand source`
+	f := randv2.Float64()     // want `rand\.Float64 draws from the global math/rand/v2 source`
+	m := randv2.N(int64(100)) // want `rand\.N draws from the global math/rand/v2 source`
+	return n + int(f) + int(m)
+}
+
+func timeSeeded() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want `rand\.NewSource seeded from the wall clock`
+	return rand.New(src)
+}
+
+func timeSeededPCG() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(1, uint64(time.Now().UnixNano()))) // want `rand\.NewPCG seeded from the wall clock`
+}

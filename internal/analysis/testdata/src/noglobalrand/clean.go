@@ -1,0 +1,25 @@
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func seeded(seed uint64) int64 {
+	rng := randv2.New(randv2.NewPCG(seed, seed+1))
+	return rng.Int64N(100) // method on an explicit *rand.Rand: fine
+}
+
+func seededV1(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(100)
+}
+
+// shadowed declares a local rand that is not the package; its methods are
+// never global-source draws.
+func shadowed() int {
+	type fake struct{}
+	var rand interface{ Intn(int) int }
+	_ = fake{}
+	return rand.Intn(5)
+}

@@ -1,0 +1,21 @@
+// Package fixture exercises the nopanic analyzer: undocumented panics in
+// library code are violations.
+package fixture
+
+// Get fetches an element; its comment never warns about aborting.
+func Get(xs []int, i int) int {
+	if i < 0 {
+		panic("negative index") // want `panic outside a documented invariant helper`
+	}
+	return xs[i]
+}
+
+func helper(ok bool) {
+	if !ok {
+		panic("broken invariant") // want `panic outside a documented invariant helper`
+	}
+}
+
+var _ = func() int {
+	panic("package-level init") // want `panic outside a documented invariant helper`
+}

@@ -1,0 +1,28 @@
+package fixture
+
+import "fmt"
+
+// Coord returns the i-th coordinate. It panics if i is out of range,
+// which indicates a programming error at call sites.
+func Coord(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		panic(fmt.Sprintf("fixture: coordinate %d out of range", i))
+	}
+	return xs[i]
+}
+
+// MustParse is an invariant-assert helper by naming convention.
+func MustParse(s string) int {
+	if s == "" {
+		panic("fixture: empty input")
+	}
+	return len(s)
+}
+
+// safe returns errors like everything else.
+func safe(ok bool) error {
+	if !ok {
+		return fmt.Errorf("not ok")
+	}
+	return nil
+}

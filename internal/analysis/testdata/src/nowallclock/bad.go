@@ -1,0 +1,18 @@
+// Package fixture exercises the nowallclock analyzer: reading the wall
+// clock in simulated code is a violation; duration arithmetic is clean.
+package fixture
+
+import "time"
+
+func measure() time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock in simulated code`
+	work()
+	return time.Since(start) // want `time\.Since reads the wall clock in simulated code`
+}
+
+func throttle() {
+	time.Sleep(10 * time.Millisecond) // want `time\.Sleep reads the wall clock in simulated code`
+	<-time.After(time.Second)         // want `time\.After reads the wall clock in simulated code`
+}
+
+func work() {}

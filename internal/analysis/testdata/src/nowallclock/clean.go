@@ -1,0 +1,16 @@
+package fixture
+
+import "time"
+
+// Durations and duration arithmetic are the legal face of package time:
+// the disk model is expressed in durations.
+const serviceTime = 10 * time.Millisecond
+
+func scanCost(pages int64) time.Duration {
+	return serviceTime + time.Duration(pages-1)*1200*time.Microsecond
+}
+
+type clock interface{ Now() time.Duration }
+
+// simulated reads time from the simulation clock, never the host.
+func simulated(c clock) time.Duration { return c.Now() }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"sampleview/internal/pagefile"
+	"sampleview/internal/record"
+	"sampleview/internal/workload"
+)
+
+// fuzzFixture is a small tree shared by every FuzzRangeQuery execution:
+// built once, verified once with the structural fsck, and paired with the
+// in-memory record list the fuzzed queries are checked against.
+var fuzzFixture struct {
+	once sync.Once
+	tree *Tree
+	recs []record.Record
+	err  error
+}
+
+func fuzzTree(t *testing.T) (*Tree, []record.Record) {
+	t.Helper()
+	fuzzFixture.once.Do(func() {
+		sim := testSim()
+		rel, err := workload.GenerateRelation(sim, 600, workload.Uniform, 0xf02)
+		if err != nil {
+			fuzzFixture.err = err
+			return
+		}
+		tree, err := Create(pagefile.NewMem(sim), rel, Params{Height: 4, Seed: 0xf02})
+		if err != nil {
+			fuzzFixture.err = err
+			return
+		}
+		if err := tree.Verify(); err != nil {
+			fuzzFixture.err = err
+			return
+		}
+		recs, err := workload.CollectMatching(rel, record.FullBox(1))
+		if err != nil {
+			fuzzFixture.err = err
+			return
+		}
+		fuzzFixture.tree, fuzzFixture.recs = tree, recs
+	})
+	if fuzzFixture.err != nil {
+		t.Fatal(fuzzFixture.err)
+	}
+	return fuzzFixture.tree, fuzzFixture.recs
+}
+
+// FuzzRangeQuery drains a full sample stream for an arbitrary range
+// predicate over a tiny Verify-checked tree and asserts the results are
+// consistent with the structure the fsck validated: every emitted record
+// matches the predicate, no record is emitted twice (sampling is without
+// replacement), and the exhausted stream has returned exactly the
+// brute-force matching set.
+func FuzzRangeQuery(f *testing.F) {
+	f.Add(int64(0), int64(workload.KeyDomain))
+	f.Add(int64(5), int64(5))
+	f.Add(int64(-10), int64(-1))
+	f.Add(int64(workload.KeyDomain/4), int64(workload.KeyDomain/2))
+	f.Add(int64(1)<<62, int64(3))
+	f.Fuzz(func(t *testing.T, lo, hi int64) {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tree, recs := fuzzTree(t)
+		q := record.Box1D(lo, hi)
+		s, err := tree.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[uint64]bool)
+		for {
+			rec, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !q.ContainsRecord(&rec) {
+				t.Fatalf("stream emitted record (seq %d, key %d) outside [%d,%d]", rec.Seq, rec.Key, lo, hi)
+			}
+			if seen[rec.Seq] {
+				t.Fatalf("record seq %d emitted twice: sampling must be without replacement", rec.Seq)
+			}
+			seen[rec.Seq] = true
+		}
+		want := 0
+		for i := range recs {
+			if q.ContainsRecord(&recs[i]) {
+				want++
+			}
+		}
+		if len(seen) != want {
+			t.Fatalf("exhausted stream returned %d records, brute force finds %d", len(seen), want)
+		}
+	})
+}

@@ -114,8 +114,8 @@ type Sim struct {
 	mu sync.Mutex
 	// head tracks, per registered file, the page index immediately after the
 	// last page accessed, or -1 if the head is not positioned in that file.
-	head     []int64
-	headFile FileID // file the head is currently in, or -1
+	head     []int64 // guarded by mu
+	headFile FileID  // guarded by mu; file the head is currently in, or -1
 }
 
 // indices into the counter array.
@@ -176,9 +176,9 @@ func (s *Sim) charge(kind int, d time.Duration) {
 	s.now.Add(int64(d))
 }
 
-// sequential reports whether accessing page of file f continues the current
-// head position, and updates the head either way. Callers hold mu.
-func (s *Sim) sequential(f FileID, page int64) bool {
+// sequentialLocked reports whether accessing page of file f continues the
+// current head position, and updates the head either way. Callers hold mu.
+func (s *Sim) sequentialLocked(f FileID, page int64) bool {
 	seq := s.headFile == f && s.head[f] == page
 	s.headFile = f
 	s.head[f] = page + 1
@@ -188,7 +188,7 @@ func (s *Sim) sequential(f FileID, page int64) bool {
 // ReadPage charges the clock for reading the given page of file f.
 func (s *Sim) ReadPage(f FileID, page int64) {
 	s.mu.Lock()
-	seq := s.sequential(f, page)
+	seq := s.sequentialLocked(f, page)
 	s.mu.Unlock()
 	if seq {
 		s.charge(cSeqRead, s.model.SequentialRead)
@@ -200,7 +200,7 @@ func (s *Sim) ReadPage(f FileID, page int64) {
 // WritePage charges the clock for writing the given page of file f.
 func (s *Sim) WritePage(f FileID, page int64) {
 	s.mu.Lock()
-	seq := s.sequential(f, page)
+	seq := s.sequentialLocked(f, page)
 	s.mu.Unlock()
 	if seq {
 		s.charge(cSeqWrite, s.model.SequentialWrite)

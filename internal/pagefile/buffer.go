@@ -45,9 +45,11 @@ const (
 type poolShard struct {
 	mu       sync.Mutex
 	capacity int
-	lru      *list.List // front = most recently used; values are *frame
-	frames   map[frameKey]*list.Element
-	stats    PoolStats
+	// lru orders the shard's frames, front = most recently used; values
+	// are *frame.
+	lru    *list.List                 // guarded by mu
+	frames map[frameKey]*list.Element // guarded by mu
+	stats  PoolStats                  // guarded by mu
 }
 
 // frameKey identifies a cached page by the file's backend, which is shared

@@ -30,6 +30,9 @@ func OpenItemFile(f *File, itemSize int, startPage, count int64) *ItemFile {
 	return wrapItemFile(f, itemSize, startPage, count)
 }
 
+// wrapItemFile builds the ItemFile wrapper. It panics if itemSize does not
+// fit a page, which indicates a programming error at layout-definition
+// time (item sizes are compile-time constants throughout the repository).
 func wrapItemFile(f *File, itemSize int, startPage, count int64) *ItemFile {
 	if itemSize <= 0 || itemSize > f.PageSize() {
 		panic(fmt.Sprintf("pagefile: item size %d invalid for page size %d", itemSize, f.PageSize()))
@@ -128,6 +131,8 @@ type ItemWriter struct {
 // NewWriter returns a writer that appends to t. Only one writer should be
 // active for a file at a time, the item region must be the last region of
 // the underlying file, and appending may only resume on a page boundary.
+// It panics if the item region ends mid-page or is not the file's final
+// region, both of which indicate a programming error in layout sequencing.
 func (t *ItemFile) NewWriter() *ItemWriter {
 	if t.count%int64(t.perPage) != 0 {
 		panic(fmt.Sprintf("pagefile: cannot append to item file ending mid-page (%d items, %d per page)", t.count, t.perPage))

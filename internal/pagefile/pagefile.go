@@ -61,7 +61,7 @@ type File struct {
 // the explicit list keeps steady-state gets and puts allocation-free.
 type bufPool struct {
 	mu   sync.Mutex
-	free [][]byte
+	free [][]byte // guarded by mu
 	ps   int
 }
 

@@ -15,8 +15,8 @@ import "sync"
 // errors reported after the first are dropped.
 type First struct {
 	mu  sync.Mutex
-	e   error
-	bad bool
+	e   error // guarded by mu
+	bad bool  // guarded by mu
 }
 
 // Set records err as the pool's failure, keeping only the first one.

@@ -101,7 +101,8 @@ func (e *Estimator) SumInterval(confidence float64) (lo, hi float64, err error) 
 }
 
 // NormalQuantile returns the p-quantile of the standard normal
-// distribution, 0 < p < 1.
+// distribution. It panics if p is outside (0,1), which indicates a
+// programming error in confidence-level handling.
 func NormalQuantile(p float64) float64 {
 	if p <= 0 || p >= 1 {
 		panic(fmt.Sprintf("stats: quantile probability %v out of (0,1)", p))

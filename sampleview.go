@@ -106,12 +106,12 @@ func SliceSource(recs []Record) Source {
 // view's mutable bookkeeping - the differential buffer of appended
 // records and the draw rng - serializes on the view mutex.
 type View struct {
-	mu   sync.Mutex // guards diff and rng
+	mu   sync.Mutex
 	sim  *iosim.Sim
 	file *pagefile.File
 	tree *core.Tree
-	diff *diffview.View
-	rng  *rand.Rand
+	diff *diffview.View // guarded by mu
+	rng  *rand.Rand     // guarded by mu
 	path string
 }
 
@@ -279,10 +279,12 @@ func (v *View) NewEstimator(q Box) (*Estimator, error) {
 // view can be driven concurrently, each observing the cost it would incur
 // running alone on the view's disk.
 type Stream struct {
-	mu    sync.Mutex       // serializes draws on this stream
-	clock *iosim.Clock     // the stream's private I/O clock
-	core  *core.Stream     // set when the view has no pending appends
-	diff  *diffview.Stream // set otherwise
+	mu    sync.Mutex   // serializes draws on this stream
+	clock *iosim.Clock // the stream's private I/O clock
+	// core serves streams over views with no pending appends; diff serves
+	// the rest. Exactly one is set.
+	core *core.Stream     // guarded by mu
+	diff *diffview.Stream // guarded by mu
 }
 
 // Query starts an online sample stream for predicate q. Records appended
