@@ -46,3 +46,8 @@ func (s aqpSource) EstimateCount(q record.Box) (float64, error)   { return s.v.E
 func (v *View) RunQuery(q AggQuery) (*AggResult, error) {
 	return aqp.Run(aqpSource{v}, q)
 }
+
+// AQPSource returns the view as an aqp.Source, for callers that drive the
+// aggregate engine directly and swap local and remote sources (for
+// example, svquery with and without -connect).
+func (v *View) AQPSource() aqp.Source { return aqpSource{v} }

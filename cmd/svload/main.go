@@ -1,0 +1,298 @@
+// Command svload is a closed-loop load generator for svserve: N concurrent
+// clients each open sample streams for randomized range predicates of mixed
+// selectivity, pull batches until a per-query sample budget is met, and
+// verify on the fly that every delivered prefix is a plausible uniform
+// without-replacement sample (no duplicates, every record inside the
+// predicate). With -check it additionally cross-checks each stream
+// record-for-record against an in-process stream over the same view file,
+// which must agree exactly since core streams are deterministic given the
+// stored view.
+//
+// Usage:
+//
+//	svload -connect 127.0.0.1:7070 -view sale -clients 64 -ops 10 \
+//	       -samples 2000 -check sale.view -out results/serve-bench.md
+//
+// Throughput and open/batch latency percentiles are printed and, with
+// -out, appended as a markdown report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sampleview"
+	"sampleview/internal/record"
+	"sampleview/internal/server"
+	"sampleview/internal/workload"
+)
+
+// selectivities are the paper's evaluation mix: 0.25%, 2.5% and 25% range
+// predicates, cycled per operation.
+var selectivities = []float64{0.0025, 0.025, 0.25}
+
+type clientResult struct {
+	ops        int
+	records    int64
+	openLat    []time.Duration
+	batchLat   []time.Duration
+	rejections int
+	failures   []string
+}
+
+func main() {
+	var (
+		connect = flag.String("connect", "127.0.0.1:7070", "server address")
+		view    = flag.String("view", "sale", "served view name")
+		clients = flag.Int("clients", 64, "concurrent client connections")
+		ops     = flag.Int("ops", 10, "queries per client")
+		samples = flag.Int("samples", 2000, "sample budget per query")
+		batch   = flag.Int("batch", 256, "records per batch pull")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		check   = flag.String("check", "", "view file for exact record-for-record cross-checking")
+		out     = flag.String("out", "", "append a markdown report to this file")
+	)
+	flag.Parse()
+
+	// Probe the server once for view metadata before unleashing the fleet.
+	probe, err := server.Dial(*connect)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svload: %v\n", err)
+		os.Exit(1)
+	}
+	pv, err := probe.OpenView(*view)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svload: %v\n", err)
+		os.Exit(1)
+	}
+	dims := pv.Dims()
+	fmt.Printf("view %q: %d records, %d dims; %d clients x %d ops x %d samples\n",
+		*view, pv.Count(), dims, *clients, *ops, *samples)
+
+	results := make([]clientResult, *clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	var live, peak atomic.Int64
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = runClient(*connect, *view, *check, dims,
+				*seed+uint64(c)*1000003, *ops, *samples, *batch, &live, &peak)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Aggregate.
+	var total clientResult
+	for _, r := range results {
+		total.ops += r.ops
+		total.records += r.records
+		total.rejections += r.rejections
+		total.openLat = append(total.openLat, r.openLat...)
+		total.batchLat = append(total.batchLat, r.batchLat...)
+		total.failures = append(total.failures, r.failures...)
+	}
+	snap, err := probe.ServerStats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svload: fetching server stats: %v\n", err)
+		os.Exit(1)
+	}
+	probe.Close()
+
+	report := buildReport(*connect, *view, *clients, *ops, *samples, *batch, *seed,
+		*check != "", int(peak.Load()), elapsed, &total, snap)
+	fmt.Print(report)
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprint(f, report)
+		f.Close()
+		fmt.Printf("report appended to %s\n", *out)
+	}
+	if len(total.failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runClient drives one connection through its operations.
+func runClient(addr, view, check string, dims int, seed uint64, ops, samples, batchSize int,
+	live, peak *atomic.Int64) clientResult {
+	var res clientResult
+	fail := func(format string, args ...any) {
+		res.failures = append(res.failures, fmt.Sprintf(format, args...))
+	}
+	cl, err := server.Dial(addr)
+	if err != nil {
+		fail("dial: %v", err)
+		return res
+	}
+	defer cl.Close()
+	rv, err := cl.OpenView(view)
+	if err != nil {
+		fail("open view: %v", err)
+		return res
+	}
+	var lv *sampleview.View
+	if check != "" {
+		if lv, err = sampleview.Open(check, sampleview.Options{}); err != nil {
+			fail("open check view: %v", err)
+			return res
+		}
+		defer lv.Close()
+	}
+	qg := workload.NewQueryGen(seed)
+	rng := rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+
+	for op := 0; op < ops; op++ {
+		sel := selectivities[op%len(selectivities)]
+		var q record.Box
+		if dims >= 2 {
+			q = qg.Box2D(sel)
+		} else {
+			q = qg.Range1D(sel)
+		}
+
+		// Open the stream, retrying briefly on admission rejections so a
+		// saturated server degrades to queueing, not errors.
+		var s *server.RemoteStream
+		t0 := time.Now()
+		for attempt := 0; ; attempt++ {
+			s, err = rv.Query(q)
+			if err == nil {
+				break
+			}
+			if server.IsAdmissionReject(err) && attempt < 50 {
+				res.rejections++
+				time.Sleep(time.Duration(1+rng.Int64N(4)) * time.Millisecond)
+				continue
+			}
+			fail("op %d: open stream: %v", op, err)
+			return res
+		}
+		res.openLat = append(res.openLat, time.Since(t0))
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		s.SetBatchSize(batchSize)
+
+		var local *sampleview.Stream
+		if lv != nil {
+			if local, err = lv.Query(q); err != nil {
+				fail("op %d: local stream: %v", op, err)
+				live.Add(-1)
+				return res
+			}
+		}
+		seen := make(map[uint64]struct{}, samples)
+		got := 0
+		for got < samples {
+			t1 := time.Now()
+			recs, err := s.NextBatch()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fail("op %d: next batch: %v", op, err)
+				break
+			}
+			res.batchLat = append(res.batchLat, time.Since(t1))
+			for i := range recs {
+				if !q.ContainsRecord(&recs[i]) {
+					fail("op %d: record seq %d outside the predicate", op, recs[i].Seq)
+				}
+				if _, dup := seen[recs[i].Seq]; dup {
+					fail("op %d: duplicate seq %d (not without-replacement)", op, recs[i].Seq)
+				}
+				seen[recs[i].Seq] = struct{}{}
+				if local != nil {
+					want, lerr := local.Next()
+					if lerr != nil {
+						fail("op %d: local stream ended early: %v", op, lerr)
+					} else if want != recs[i] {
+						fail("op %d: record %d diverges from the in-process stream (remote seq %d, local seq %d)",
+							op, got+i, recs[i].Seq, want.Seq)
+					}
+				}
+			}
+			got += len(recs)
+		}
+		res.records += int64(got)
+		res.ops++
+		s.Close()
+		live.Add(-1)
+	}
+	return res
+}
+
+func percentile(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(lat)-1))
+	return lat[i]
+}
+
+func latRow(name string, lat []time.Duration) string {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return fmt.Sprintf("| %s | %d | %v | %v | %v | %v |\n", name, len(lat),
+		percentile(lat, 0.50).Round(time.Microsecond),
+		percentile(lat, 0.90).Round(time.Microsecond),
+		percentile(lat, 0.99).Round(time.Microsecond),
+		percentile(lat, 1.0).Round(time.Microsecond))
+}
+
+func buildReport(addr, view string, clients, ops, samples, batch int, seed uint64,
+	checked bool, peak int, elapsed time.Duration, total *clientResult, snap *server.StatsSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n## svload run: %d clients against %s\n\n", clients, addr)
+	fmt.Fprintf(&b, "- view `%s`, %d ops/client, %d samples/op, batches of %d, seed %d\n",
+		view, ops, samples, batch, seed)
+	fmt.Fprintf(&b, "- selectivity mix: 0.25%% / 2.5%% / 25%% range predicates (paper's evaluation mix)\n")
+	fmt.Fprintf(&b, "- peak concurrent streams observed by the generator: %d\n", peak)
+	if checked {
+		fmt.Fprintf(&b, "- every record cross-checked against an in-process stream over the same view file\n")
+	}
+	fmt.Fprintf(&b, "\n")
+	fmt.Fprintf(&b, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| wall time | %v |\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "| completed queries | %d |\n", total.ops)
+	fmt.Fprintf(&b, "| records delivered | %d |\n", total.records)
+	fmt.Fprintf(&b, "| records/sec | %.0f |\n", float64(total.records)/elapsed.Seconds())
+	fmt.Fprintf(&b, "| queries/sec | %.1f |\n", float64(total.ops)/elapsed.Seconds())
+	fmt.Fprintf(&b, "| admission rejections (retried) | %d |\n", total.rejections)
+	fmt.Fprintf(&b, "| correctness failures | %d |\n", len(total.failures))
+	fmt.Fprintf(&b, "\n| latency | n | p50 | p90 | p99 | max |\n|---|---|---|---|---|---|\n")
+	b.WriteString(latRow("open-stream", total.openLat))
+	b.WriteString(latRow("next-batch", total.batchLat))
+	fmt.Fprintf(&b, "\nServer counters after the run:\n\n```\n")
+	snap.Dump(&b)
+	fmt.Fprintf(&b, "```\n")
+	for i, f := range total.failures {
+		if i == 0 {
+			fmt.Fprintf(&b, "\nFAILURES:\n")
+		}
+		if i == 20 {
+			fmt.Fprintf(&b, "- ... and %d more\n", len(total.failures)-20)
+			break
+		}
+		fmt.Fprintf(&b, "- %s\n", f)
+	}
+	return b.String()
+}

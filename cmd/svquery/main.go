@@ -7,10 +7,15 @@
 //
 //	svquery -view sale.view "SELECT AVG(amount) FROM sale WHERE key BETWEEN 100 AND 5000 ERROR 1"
 //	svquery -view sale.view "SELECT COUNT(*), SUM(amount) FROM sale GROUP BY bucket(key, 100000000) LIMIT 50000 SAMPLES"
+//	svquery -connect 127.0.0.1:7070 -view sale "SELECT COUNT(*) FROM sale ERROR 1"
 //
 // The ERROR clause (a percentage) stops the scan once every estimate's
 // confidence interval is that tight; without it the query runs until the
 // predicate is exhausted and the answers are exact.
+//
+// With -connect the query runs against a view served by svserve: -view
+// names the served view instead of a local file, and samples stream over
+// the network with identical statistical guarantees.
 package main
 
 import (
@@ -20,17 +25,20 @@ import (
 	"strings"
 
 	"sampleview"
+	"sampleview/internal/aqp"
+	"sampleview/internal/server"
 	"sampleview/internal/sqlish"
 )
 
 func main() {
 	var (
-		view  = flag.String("view", "", "view file to query (required)")
-		quiet = flag.Bool("quiet", false, "suppress progress snapshots")
+		view    = flag.String("view", "", "view file to query, or served view name with -connect (required)")
+		connect = flag.String("connect", "", "query a remote svserve at host:port instead of a local file")
+		quiet   = flag.Bool("quiet", false, "suppress progress snapshots")
 	)
 	flag.Parse()
 	if *view == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: svquery -view file.view \"SELECT ...\"")
+		fmt.Fprintln(os.Stderr, "usage: svquery [-connect host:port] -view file.view \"SELECT ...\"")
 		os.Exit(2)
 	}
 	st, err := sqlish.Parse(flag.Arg(0))
@@ -39,19 +47,38 @@ func main() {
 		os.Exit(2)
 	}
 
-	v, err := sampleview.Open(*view, sampleview.Options{})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "svquery: %v\n", err)
-		os.Exit(1)
+	// Resolve the sampling source: a local view file or a served view.
+	var src aqp.Source
+	var dims int
+	if *connect != "" {
+		cl, err := server.Dial(*connect)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svquery: %v\n", err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		rv, err := cl.OpenView(*view)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svquery: %v\n", err)
+			os.Exit(1)
+		}
+		src, dims = rv, rv.Dims()
+	} else {
+		v, err := sampleview.Open(*view, sampleview.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svquery: %v\n", err)
+			os.Exit(1)
+		}
+		defer v.Close()
+		src, dims = v.AQPSource(), v.Dims()
 	}
-	defer v.Close()
-	if st.Dims > v.Dims() {
+	if st.Dims > dims {
 		fmt.Fprintf(os.Stderr, "svquery: query constrains %d dimensions but the view indexes %d\n",
-			st.Dims, v.Dims())
+			st.Dims, dims)
 		os.Exit(2)
 	}
 	// A 1-d query over a 2-d view needs a 2-d predicate.
-	if st.Dims == 1 && v.Dims() == 2 {
+	if st.Dims == 1 && dims == 2 {
 		st.Query.Predicate = sampleview.Box2D(
 			st.Query.Predicate.Dim(0).Lo, st.Query.Predicate.Dim(0).Hi,
 			sampleview.FullBox(2).Dim(1).Lo, sampleview.FullBox(2).Dim(1).Hi,
@@ -67,7 +94,7 @@ func main() {
 		}
 		q.ProgressEvery = 5000
 	}
-	res, err := v.RunQuery(q)
+	res, err := aqp.Run(src, q)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "svquery: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,95 @@
+// Command svserve serves materialized sample views over TCP: clients open
+// online sample streams, pull batches whose every prefix is a uniform
+// without-replacement sample, and run count estimates, all multiplexed over
+// concurrent sessions with admission control.
+//
+// Usage:
+//
+//	svserve -listen :7070 -view sale=sale.view -view day2=day2.view
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: in-flight batches finish
+// writing before their connections close, and the final server statistics
+// are printed on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sampleview"
+	"sampleview/internal/server"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:7070", "address to listen on")
+		maxStreams  = flag.Int("max-streams", 256, "server-wide cap on open streams")
+		connStreams = flag.Int("conn-streams", 16, "per-connection cap on open streams")
+		maxBatch    = flag.Int("max-batch", 4096, "cap on records per batch response")
+		idle        = flag.Duration("idle", 0, "reap streams idle this long on the simulated disk clock (0 = never)")
+	)
+	views := map[string]string{}
+	flag.Func("view", "serve a view as name=file.view (repeatable, required)", func(s string) error {
+		name, path, ok := strings.Cut(s, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=file.view, got %q", s)
+		}
+		views[name] = path
+		return nil
+	})
+	flag.Parse()
+	if len(views) == 0 {
+		fmt.Fprintln(os.Stderr, "svserve: at least one -view name=file.view is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		MaxStreams:        *maxStreams,
+		MaxStreamsPerConn: *connStreams,
+		MaxBatch:          *maxBatch,
+		IdleTimeout:       *idle,
+	})
+	for name, path := range views {
+		v, err := sampleview.Open(path, sampleview.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer v.Close()
+		srv.AddView(name, v)
+		fmt.Printf("serving %-16s %s (%d records, %d dims)\n", name, path, v.Count(), v.Dims())
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening on %s (max %d streams, %d per connection, batches of up to %d)\n",
+		ln.Addr(), *maxStreams, *connStreams, *maxBatch)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("\n%v: draining...\n", s)
+		start := time.Now()
+		srv.Shutdown()
+		fmt.Printf("drained in %v\n", time.Since(start).Round(time.Millisecond))
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "svserve: %v\n", err)
+		os.Exit(1)
+	}
+	srv.Shutdown() // idempotent; waits if the signal handler is mid-drain
+	fmt.Println()
+	srv.Snapshot().Dump(os.Stdout)
+}

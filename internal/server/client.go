@@ -1,0 +1,323 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"sampleview/internal/aqp"
+	"sampleview/internal/record"
+)
+
+// Client is a connection to a sample-view server. One Client maps to one
+// server session; any number of remote views and streams may be multiplexed
+// over it. A Client is safe for concurrent use — requests serialize on the
+// connection, matching the protocol's strict request/response alternation.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn      // guarded by mu
+	br   *bufio.Reader // guarded by mu
+	bw   *bufio.Writer // guarded by mu
+	err  error         // guarded by mu; sticky transport failure
+}
+
+// Dial connects to a sample-view server at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (any net.Conn, e.g. net.Pipe
+// in tests) as a Client.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// Close tears down the connection. Streams opened through the client
+// become unusable; the server reclaims their admission slots on
+// disconnect.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = fmt.Errorf("server: client closed")
+	}
+	return c.conn.Close()
+}
+
+// roundTrip sends one request frame and reads the single response frame.
+// Server-signalled failures come back as *Error; transport failures poison
+// the client.
+func (c *Client) roundTrip(t FrameType, body []byte) (FrameType, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	fail := func(err error) (FrameType, []byte, error) {
+		c.err = err
+		c.conn.Close()
+		return 0, nil, err
+	}
+	if err := WriteFrame(c.bw, t, body); err != nil {
+		return fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fail(fmt.Errorf("server: flushing %v request: %w", t, err))
+	}
+	rt, rbody, err := ReadFrame(c.br)
+	if err != nil {
+		if err == io.EOF {
+			err = fmt.Errorf("server: connection closed by server: %w", io.EOF)
+		}
+		return fail(err)
+	}
+	if rt == FError {
+		e, derr := decodeErrorResp(rbody)
+		if derr != nil {
+			return fail(derr)
+		}
+		return rt, nil, &Error{Code: e.Code, Msg: e.Msg}
+	}
+	return rt, rbody, nil
+}
+
+// expect asserts the response frame type.
+func (c *Client) expect(req FrameType, body []byte, want FrameType) ([]byte, error) {
+	rt, rbody, err := c.roundTrip(req, body)
+	if err != nil {
+		return nil, err
+	}
+	if rt != want {
+		err := fmt.Errorf("server: %v request answered with %v frame", req, rt)
+		c.mu.Lock()
+		c.err = err
+		c.conn.Close()
+		c.mu.Unlock()
+		return nil, err
+	}
+	return rbody, nil
+}
+
+// OpenView resolves a served view by name.
+func (c *Client) OpenView(name string) (*RemoteView, error) {
+	rbody, err := c.expect(FOpenView, openViewReq{Name: name}.encode(), FViewInfo)
+	if err != nil {
+		return nil, err
+	}
+	info, err := decodeViewInfo(rbody)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteView{c: c, id: info.ViewID, dims: int(info.Dims), height: int(info.Height), count: info.Count}, nil
+}
+
+// ServerStats fetches the server's observability snapshot.
+func (c *Client) ServerStats() (*StatsSnapshot, error) {
+	rbody, err := c.expect(FStats, nil, FStatsResult)
+	if err != nil {
+		return nil, err
+	}
+	return decodeStatsSnapshot(rbody)
+}
+
+// RemoteView is a served view resolved over a client connection.
+type RemoteView struct {
+	c      *Client
+	id     uint32
+	dims   int
+	height int
+	count  int64
+}
+
+// Dims returns the view's indexed dimension count.
+func (v *RemoteView) Dims() int { return v.dims }
+
+// Height returns the view's ACE Tree height.
+func (v *RemoteView) Height() int { return v.height }
+
+// Count returns the view's record count at open time.
+func (v *RemoteView) Count() int64 { return v.count }
+
+// EstimateCount estimates the number of records matching q, served from
+// the view's internal counts.
+func (v *RemoteView) EstimateCount(q record.Box) (float64, error) {
+	rbody, err := v.c.expect(FEstimate, estimateReq{ViewID: v.id, Query: q}.encode(), FEstimateResult)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := decodeEstimateResp(rbody)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// Query opens an online sample stream for predicate q. Admission-control
+// rejections surface as *Error (check with IsAdmissionReject); the client
+// remains usable and may retry.
+func (v *RemoteView) Query(q record.Box) (*RemoteStream, error) {
+	rbody, err := v.c.expect(FOpenStream, openStreamReq{ViewID: v.id, Query: q}.encode(), FStreamOpened)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := decodeStreamOpened(rbody)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteStream{v: v, id: resp.StreamID, batch: 256}, nil
+}
+
+// SampleStream implements the aqp engine's Source interface, so a remote
+// view can back an approximate aggregate query exactly like a local one.
+func (v *RemoteView) SampleStream(q record.Box) (aqp.Stream, error) { return v.Query(q) }
+
+var _ aqp.Source = (*RemoteView)(nil)
+
+// RemoteStream is an online sample stream served over the network. Like
+// the in-process Stream, every prefix of the records it returns is a
+// uniform without-replacement sample of the predicate's matching set. It
+// pulls batches lazily and buffers them client-side; SetBatchSize tunes
+// the pull granularity. Safe for concurrent use.
+type RemoteStream struct {
+	v  *RemoteView
+	id uint32
+
+	mu     sync.Mutex
+	buf    []record.Record // guarded by mu
+	head   int             // guarded by mu
+	eof    bool            // guarded by mu
+	closed bool            // guarded by mu
+	batch  int             // guarded by mu
+}
+
+// SetBatchSize sets how many records each network pull requests (the
+// server clamps to its own cap). n <= 0 resets the default.
+func (s *RemoteStream) SetBatchSize(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		n = 256
+	}
+	s.batch = n
+}
+
+// Next returns the next sample record, io.EOF once the predicate is
+// exhausted, or ErrStreamClosed-equivalent failure after Close.
+func (s *RemoteStream) Next() (record.Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.head >= len(s.buf) {
+		if s.eof {
+			return record.Record{}, io.EOF
+		}
+		if s.closed {
+			return record.Record{}, fmt.Errorf("server: stream closed")
+		}
+		if err := s.pullLocked(s.batch); err != nil {
+			return record.Record{}, err
+		}
+	}
+	rec := s.buf[s.head]
+	s.head++
+	if s.head >= len(s.buf) {
+		s.buf, s.head = s.buf[:0], 0
+	}
+	return rec, nil
+}
+
+// NextBatch returns the next batch of sample records, pulling from the
+// server if the local buffer is empty. It returns io.EOF once exhausted.
+func (s *RemoteStream) NextBatch() ([]record.Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.head < len(s.buf) {
+		out := append([]record.Record(nil), s.buf[s.head:]...)
+		s.buf, s.head = s.buf[:0], 0
+		return out, nil
+	}
+	if s.eof {
+		return nil, io.EOF
+	}
+	if s.closed {
+		return nil, fmt.Errorf("server: stream closed")
+	}
+	if err := s.pullLocked(s.batch); err != nil {
+		return nil, err
+	}
+	out := append([]record.Record(nil), s.buf[s.head:]...)
+	s.buf, s.head = s.buf[:0], 0
+	if len(out) == 0 && s.eof {
+		return nil, io.EOF
+	}
+	return out, nil
+}
+
+// pullLocked fetches one batch from the server into the buffer.
+func (s *RemoteStream) pullLocked(max int) error {
+	rbody, err := s.v.c.expect(FNextBatch, nextBatchReq{StreamID: s.id, Max: uint32(max)}.encode(), FBatch)
+	if err != nil {
+		return err
+	}
+	resp, err := decodeBatchResp(rbody)
+	if err != nil {
+		return err
+	}
+	s.buf = append(s.buf, resp.Records...)
+	if resp.EOF {
+		s.eof = true
+	}
+	return nil
+}
+
+// Sample collects up to n records (fewer if the predicate exhausts first),
+// mirroring the in-process Stream.Sample.
+func (s *RemoteStream) Sample(n int) ([]record.Record, error) {
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	out := make([]record.Record, 0, capHint)
+	for len(out) < n {
+		rec, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Close cancels the stream on the server, releasing its admission slot.
+// It is idempotent; cancelling a stream the server already reaped or
+// auto-closed at EOF succeeds.
+func (s *RemoteStream) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	alreadyDone := s.eof
+	s.mu.Unlock()
+	if alreadyDone {
+		return nil // the server retired the stream at EOF
+	}
+	_, err := s.v.c.expect(FCancel, cancelReq{StreamID: s.id}.encode(), FCancelOK)
+	if se, ok := err.(*Error); ok && (se.Code == CodeUnknownStream || se.Code == CodeStreamReaped) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+
+	"sampleview/internal/record"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{nil, {}, {1, 2, 3}, bytes.Repeat([]byte{0xab}, 1000)}
+	types := []FrameType{FOpenView, FBatch, FError, FStats}
+	for i, body := range bodies {
+		if err := WriteFrame(&buf, types[i], body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, body := range bodies {
+		ft, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if ft != types[i] || !bytes.Equal(got, body) {
+			t.Fatalf("frame %d: got (%v, %d bytes), want (%v, %d bytes)", i, ft, len(got), types[i], len(body))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("drained reader: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		want string // substring of the error; "" means io.ErrUnexpectedEOF-ish
+	}{
+		{"zero length", binary.LittleEndian.AppendUint32(nil, 0), "outside"},
+		{"oversized length", binary.LittleEndian.AppendUint32(nil, MaxFrame+1), "outside"},
+		{"corrupt huge length", []byte{0xff, 0xff, 0xff, 0xff}, "outside"},
+		{"truncated header", []byte{0x05, 0x00}, "header"},
+		{"truncated payload", append(binary.LittleEndian.AppendUint32(nil, 10), 1, 2, 3), "payload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadFrame(bytes.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeFrameBounds(t *testing.T) {
+	frame, err := AppendFrame(nil, FCancel, cancelReq{StreamID: 7}.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := append(append([]byte(nil), frame...), frame...)
+	ft, body, rest, err := DecodeFrame(two)
+	if err != nil || ft != FCancel {
+		t.Fatalf("DecodeFrame: %v %v", ft, err)
+	}
+	if req, err := decodeCancelReq(body); err != nil || req.StreamID != 7 {
+		t.Fatalf("decodeCancelReq: %+v %v", req, err)
+	}
+	if !bytes.Equal(rest, frame) {
+		t.Fatalf("rest is not the second frame")
+	}
+	// A length prefix larger than the available bytes must error without
+	// panicking, however huge the claim.
+	bad := binary.LittleEndian.AppendUint32(nil, MaxFrame)
+	bad = append(bad, 0x01)
+	if _, _, _, err := DecodeFrame(bad); err == nil {
+		t.Fatal("length beyond available bytes: want error")
+	}
+}
+
+func TestAppendFrameTooLarge(t *testing.T) {
+	if _, err := AppendFrame(nil, FBatch, make([]byte, MaxFrame)); err == nil {
+		t.Fatal("over-MaxFrame body: want error")
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	box2 := record.Box2D(-5, 10, 100, 200)
+
+	ov, err := decodeOpenViewReq(openViewReq{Name: "sale"}.encode())
+	if err != nil || ov.Name != "sale" {
+		t.Fatalf("openViewReq: %+v %v", ov, err)
+	}
+	os2, err := decodeOpenStreamReq(openStreamReq{ViewID: 3, Query: box2}.encode())
+	if err != nil || os2.ViewID != 3 || os2.Query.Dims() != 2 || os2.Query.Dim(1).Hi != 200 {
+		t.Fatalf("openStreamReq: %+v %v", os2, err)
+	}
+	nb, err := decodeNextBatchReq(nextBatchReq{StreamID: 9, Max: 512}.encode())
+	if err != nil || nb.StreamID != 9 || nb.Max != 512 {
+		t.Fatalf("nextBatchReq: %+v %v", nb, err)
+	}
+	est, err := decodeEstimateReq(estimateReq{ViewID: 1, Query: record.Box1D(0, 9)}.encode())
+	if err != nil || est.ViewID != 1 || est.Query.Dim(0).Hi != 9 {
+		t.Fatalf("estimateReq: %+v %v", est, err)
+	}
+	vi, err := decodeViewInfo(viewInfo{ViewID: 2, Dims: 2, Height: 7, Count: 1 << 40}.encode())
+	if err != nil || vi != (viewInfo{ViewID: 2, Dims: 2, Height: 7, Count: 1 << 40}) {
+		t.Fatalf("viewInfo: %+v %v", vi, err)
+	}
+	recs := []record.Record{{Key: 1, Amount: 2, Seq: 3}, {Key: -9, Amount: 8, Seq: 7}}
+	br, err := decodeBatchResp(batchResp{StreamID: 4, EOF: true, Records: recs}.encode())
+	if err != nil || br.StreamID != 4 || !br.EOF || len(br.Records) != 2 || br.Records[1] != recs[1] {
+		t.Fatalf("batchResp: %+v %v", br, err)
+	}
+	er, err := decodeEstimateResp(estimateResp{Count: 123.5}.encode())
+	if err != nil || er.Count != 123.5 {
+		t.Fatalf("estimateResp: %+v %v", er, err)
+	}
+	ee, err := decodeErrorResp(errorResp{Code: CodeServerStreams, Msg: "full"}.encode())
+	if err != nil || ee.Code != CodeServerStreams || ee.Msg != "full" {
+		t.Fatalf("errorResp: %+v %v", ee, err)
+	}
+
+	snap := &StatsSnapshot{
+		OpenConns: 2, OpenStreams: 5, ConnsAccepted: 9, StreamsOpened: 11,
+		RecordsServed: 1 << 33, BytesWritten: 1 << 34, SimIO: 1 << 35,
+		Sessions: []SessionSnapshot{
+			{ID: 1, OpenStreams: 3, Records: 100, SimIO: 42},
+			{ID: 2, Batches: 7, BytesRead: 9},
+		},
+	}
+	got, err := decodeStatsSnapshot(snap.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RecordsServed != snap.RecordsServed || got.SimIO != snap.SimIO ||
+		len(got.Sessions) != 2 || got.Sessions[0] != snap.Sessions[0] || got.Sessions[1] != snap.Sessions[1] {
+		t.Fatalf("stats snapshot round-trip mismatch:\n got %+v\nwant %+v", got, snap)
+	}
+}
+
+func TestDecodeRejectsTruncationAndTrailing(t *testing.T) {
+	full := openStreamReq{ViewID: 1, Query: record.Box1D(3, 4)}.encode()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := decodeOpenStreamReq(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := decodeOpenStreamReq(append(full, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// A batch claiming more records than its bytes can hold must error
+	// before allocating.
+	claim := appendU32(appendU32(nil, 1), 0) // streamID=1, then eof byte missing entirely
+	if _, err := decodeBatchResp(claim); err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+	huge := append(appendU32(nil, 1), 0)              // streamID, eof=0
+	huge = appendU32(huge, 1<<30)                     // one billion records claimed
+	huge = append(huge, make([]byte, record.Size)...) // but one record's bytes
+	if _, err := decodeBatchResp(huge); err == nil {
+		t.Fatal("batch with absurd count accepted")
+	}
+}

@@ -1,0 +1,404 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sampleview/internal/record"
+)
+
+// Typed rejection and failure codes carried by FError frames. Codes are
+// part of the wire protocol; add new ones at the end.
+const (
+	// CodeBadRequest: the frame was malformed or of an unknown type.
+	CodeBadRequest uint16 = 1
+	// CodeUnknownView: no served view has the requested name or id.
+	CodeUnknownView uint16 = 2
+	// CodeUnknownStream: the stream id is not open on this connection.
+	CodeUnknownStream uint16 = 3
+	// CodeServerStreams: admission control — the server-wide concurrent
+	// stream cap is reached; retry after closing or finishing a stream.
+	CodeServerStreams uint16 = 4
+	// CodeConnStreams: admission control — this connection's stream cap is
+	// reached.
+	CodeConnStreams uint16 = 5
+	// CodeShuttingDown: the server is draining and accepts no new work.
+	CodeShuttingDown uint16 = 6
+	// CodeStreamReaped: the stream sat idle past the server's simulated-clock
+	// idle timeout and was reaped.
+	CodeStreamReaped uint16 = 7
+	// CodeInternal: the view layer failed serving the request.
+	CodeInternal uint16 = 8
+)
+
+// Error is a typed failure returned by the server as an FError frame and
+// surfaced by the client library. Admission-control rejections
+// (CodeServerStreams, CodeConnStreams) are ordinary flow control: the
+// session stays usable and the request may be retried.
+type Error struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("server: remote error %d: %s", e.Code, e.Msg)
+}
+
+// IsAdmissionReject reports whether err is a typed admission-control
+// rejection (server-wide or per-connection stream cap).
+func IsAdmissionReject(err error) bool {
+	se, ok := err.(*Error)
+	return ok && (se.Code == CodeServerStreams || se.Code == CodeConnStreams)
+}
+
+// --- primitive append/consume helpers -----------------------------------
+//
+// Encoders append to a caller-owned slice. Decoders consume from the front
+// of a slice and return the rest; they validate lengths against the bytes
+// actually available before building anything, so corrupt input costs at
+// most the input's own size.
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendI64(b []byte, v int64) []byte  { return binary.LittleEndian.AppendUint64(b, uint64(v)) }
+
+func consumeU16(b []byte) (uint16, []byte, error) {
+	if len(b) < 2 {
+		return 0, nil, errShort
+	}
+	return binary.LittleEndian.Uint16(b), b[2:], nil
+}
+
+func consumeU32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, errShort
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], nil
+}
+
+func consumeI64(b []byte) (int64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, errShort
+	}
+	return int64(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+var errShort = fmt.Errorf("server: truncated message body")
+
+func appendString(b []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func consumeString(b []byte) (string, []byte, error) {
+	n, b, err := consumeU16(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(b) < int(n) {
+		return "", nil, errShort
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// appendBox encodes a box as a dimension count plus [lo, hi] pairs.
+func appendBox(b []byte, q record.Box) []byte {
+	b = append(b, byte(q.Dims()))
+	for d := 0; d < q.Dims(); d++ {
+		r := q.Dim(d)
+		b = appendI64(b, r.Lo)
+		b = appendI64(b, r.Hi)
+	}
+	return b
+}
+
+func consumeBox(b []byte) (record.Box, []byte, error) {
+	if len(b) < 1 {
+		return record.Box{}, nil, errShort
+	}
+	nd := int(b[0])
+	b = b[1:]
+	if nd < 1 || nd > record.NumDims {
+		return record.Box{}, nil, fmt.Errorf("server: box has %d dimensions, want 1..%d", nd, record.NumDims)
+	}
+	if len(b) < nd*16 {
+		return record.Box{}, nil, errShort
+	}
+	dims := make([]record.Range, nd)
+	for d := 0; d < nd; d++ {
+		var lo, hi int64
+		var err error
+		if lo, b, err = consumeI64(b); err != nil {
+			return record.Box{}, nil, err
+		}
+		if hi, b, err = consumeI64(b); err != nil {
+			return record.Box{}, nil, err
+		}
+		dims[d] = record.Range{Lo: lo, Hi: hi}
+	}
+	return record.NewBox(dims...), b, nil
+}
+
+// appendRecords encodes a record batch: count then the fixed-size codec of
+// each record.
+func appendRecords(b []byte, recs []record.Record) []byte {
+	b = appendU32(b, uint32(len(recs)))
+	var buf [record.Size]byte
+	for i := range recs {
+		recs[i].Marshal(buf[:])
+		b = append(b, buf[:]...)
+	}
+	return b
+}
+
+func consumeRecords(b []byte) ([]record.Record, []byte, error) {
+	n, b, err := consumeU32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(b)) < uint64(n)*record.Size {
+		return nil, nil, fmt.Errorf("server: batch claims %d records but only %d bytes follow", n, len(b))
+	}
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i].Unmarshal(b)
+		b = b[record.Size:]
+	}
+	return recs, b, nil
+}
+
+// --- request messages ----------------------------------------------------
+
+type openViewReq struct{ Name string }
+
+func (m openViewReq) encode() []byte { return appendString(nil, m.Name) }
+
+func decodeOpenViewReq(b []byte) (openViewReq, error) {
+	name, rest, err := consumeString(b)
+	if err != nil {
+		return openViewReq{}, err
+	}
+	if len(rest) != 0 {
+		return openViewReq{}, errTrailing
+	}
+	return openViewReq{Name: name}, nil
+}
+
+type openStreamReq struct {
+	ViewID uint32
+	Query  record.Box
+}
+
+func (m openStreamReq) encode() []byte {
+	return appendBox(appendU32(nil, m.ViewID), m.Query)
+}
+
+func decodeOpenStreamReq(b []byte) (openStreamReq, error) {
+	var m openStreamReq
+	var err error
+	if m.ViewID, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if m.Query, b, err = consumeBox(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, errTrailing
+	}
+	return m, nil
+}
+
+type nextBatchReq struct {
+	StreamID uint32
+	Max      uint32
+}
+
+func (m nextBatchReq) encode() []byte {
+	return appendU32(appendU32(nil, m.StreamID), m.Max)
+}
+
+func decodeNextBatchReq(b []byte) (nextBatchReq, error) {
+	var m nextBatchReq
+	var err error
+	if m.StreamID, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if m.Max, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, errTrailing
+	}
+	return m, nil
+}
+
+type estimateReq struct {
+	ViewID uint32
+	Query  record.Box
+}
+
+func (m estimateReq) encode() []byte {
+	return appendBox(appendU32(nil, m.ViewID), m.Query)
+}
+
+func decodeEstimateReq(b []byte) (estimateReq, error) {
+	var m estimateReq
+	var err error
+	if m.ViewID, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if m.Query, b, err = consumeBox(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, errTrailing
+	}
+	return m, nil
+}
+
+type cancelReq struct{ StreamID uint32 }
+
+func (m cancelReq) encode() []byte { return appendU32(nil, m.StreamID) }
+
+func decodeCancelReq(b []byte) (cancelReq, error) {
+	var m cancelReq
+	var err error
+	if m.StreamID, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, errTrailing
+	}
+	return m, nil
+}
+
+var errTrailing = fmt.Errorf("server: trailing bytes after message body")
+
+// --- response messages ----------------------------------------------------
+
+type viewInfo struct {
+	ViewID uint32
+	Dims   uint8
+	Height uint8
+	Count  int64
+}
+
+func (m viewInfo) encode() []byte {
+	b := appendU32(nil, m.ViewID)
+	b = append(b, m.Dims, m.Height)
+	return appendI64(b, m.Count)
+}
+
+func decodeViewInfo(b []byte) (viewInfo, error) {
+	var m viewInfo
+	var err error
+	if m.ViewID, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if len(b) < 2 {
+		return m, errShort
+	}
+	m.Dims, m.Height, b = b[0], b[1], b[2:]
+	if m.Count, b, err = consumeI64(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, errTrailing
+	}
+	return m, nil
+}
+
+type streamOpened struct{ StreamID uint32 }
+
+func (m streamOpened) encode() []byte { return appendU32(nil, m.StreamID) }
+
+func decodeStreamOpened(b []byte) (streamOpened, error) {
+	var m streamOpened
+	var err error
+	if m.StreamID, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, errTrailing
+	}
+	return m, nil
+}
+
+type batchResp struct {
+	StreamID uint32
+	EOF      bool
+	Records  []record.Record
+}
+
+func (m batchResp) encode() []byte {
+	b := appendU32(nil, m.StreamID)
+	if m.EOF {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return appendRecords(b, m.Records)
+}
+
+func decodeBatchResp(b []byte) (batchResp, error) {
+	var m batchResp
+	var err error
+	if m.StreamID, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if len(b) < 1 {
+		return m, errShort
+	}
+	if b[0] > 1 {
+		return m, fmt.Errorf("server: batch eof flag %d, want 0 or 1", b[0])
+	}
+	m.EOF = b[0] == 1
+	if m.Records, b, err = consumeRecords(b[1:]); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, errTrailing
+	}
+	return m, nil
+}
+
+type estimateResp struct{ Count float64 }
+
+func (m estimateResp) encode() []byte {
+	return binary.LittleEndian.AppendUint64(nil, math.Float64bits(m.Count))
+}
+
+func decodeEstimateResp(b []byte) (estimateResp, error) {
+	if len(b) != 8 {
+		return estimateResp{}, errShort
+	}
+	return estimateResp{Count: math.Float64frombits(binary.LittleEndian.Uint64(b))}, nil
+}
+
+type errorResp struct {
+	Code uint16
+	Msg  string
+}
+
+func (m errorResp) encode() []byte {
+	return appendString(appendU16(nil, m.Code), m.Msg)
+}
+
+func decodeErrorResp(b []byte) (errorResp, error) {
+	var m errorResp
+	var err error
+	if m.Code, b, err = consumeU16(b); err != nil {
+		return m, err
+	}
+	if m.Msg, b, err = consumeString(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, errTrailing
+	}
+	return m, nil
+}

@@ -1,0 +1,552 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sampleview"
+	"sampleview/internal/record"
+)
+
+func genRecords(n int, seed uint64) []record.Record {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	const domain = 1 << 20
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i] = record.Record{
+			Key:    rng.Int64N(domain),
+			Amount: rng.Int64N(domain),
+			Seq:    uint64(i),
+		}
+	}
+	return recs
+}
+
+// startServer builds a view, serves it on a loopback listener, and returns
+// the address plus a cleanup-registered server.
+func startServer(t *testing.T, cfg Config, name string, recs []record.Record) (*Server, *sampleview.View, string, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name+".view")
+	v, err := sampleview.CreateFromSlice(path, recs, sampleview.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { v.Close() })
+
+	srv := New(cfg)
+	srv.AddView(name, v)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve returned %v after Shutdown, want nil", err)
+		}
+	})
+	return srv, v, ln.Addr().String(), path
+}
+
+// TestServedStreamUniformity is the end-to-end correctness table test: K
+// concurrent sessions against one served view, each asserting its stream's
+// prefix is a true uniform without-replacement sample by cross-checking
+// record-for-record against an in-process Stream over the same view file
+// (the shuttle is deterministic given the stored view, so the served
+// sequence must match the local one exactly), and that running to EOF
+// yields the full matching set exactly once.
+func TestServedStreamUniformity(t *testing.T) {
+	recs := genRecords(12_000, 5)
+	_, _, addr, path := startServer(t, Config{MaxStreams: 64}, "sale", recs)
+
+	cases := []struct {
+		name string
+		q    record.Box
+	}{
+		{"narrow", record.Box1D(0, 1<<14)},
+		{"quarter", record.Box1D(0, 1<<18)},
+		{"middle", record.Box1D(1<<18, 1<<19)},
+		{"full", record.Box1D(0, 1<<20)},
+		{"empty", record.Box1D(-100, -1)},
+		{"everything", record.FullBox(1)},
+	}
+
+	// K concurrent sessions: each case driven by several goroutines at
+	// once, every one on its own connection.
+	const perCase = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, len(cases)*perCase)
+	for _, tc := range cases {
+		for g := 0; g < perCase; g++ {
+			wg.Add(1)
+			go func(name string, q record.Box) {
+				defer wg.Done()
+				fail := func(format string, args ...any) {
+					errs <- fmt.Errorf("%s: %s", name, fmt.Sprintf(format, args...))
+				}
+				cl, err := Dial(addr)
+				if err != nil {
+					fail("%v", err)
+					return
+				}
+				defer cl.Close()
+				rv, err := cl.OpenView("sale")
+				if err != nil {
+					fail("%v", err)
+					return
+				}
+				remote, err := rv.Query(q)
+				if err != nil {
+					fail("%v", err)
+					return
+				}
+				// The in-process reference stream over the same stored view.
+				lv, err := sampleview.Open(path, sampleview.Options{})
+				if err != nil {
+					fail("%v", err)
+					return
+				}
+				defer lv.Close()
+				local, err := lv.Query(q)
+				if err != nil {
+					fail("%v", err)
+					return
+				}
+				want := map[uint64]bool{}
+				for i := range recs {
+					if q.ContainsRecord(&recs[i]) {
+						want[recs[i].Seq] = true
+					}
+				}
+				seen := map[uint64]bool{}
+				for i := 0; ; i++ {
+					rr, rerr := remote.Next()
+					lr, lerr := local.Next()
+					if (rerr == io.EOF) != (lerr == io.EOF) {
+						fail("stream lengths diverge at %d: remote %v, local %v", i, rerr, lerr)
+						return
+					}
+					if rerr == io.EOF {
+						break
+					}
+					if rerr != nil || lerr != nil {
+						fail("at %d: remote %v, local %v", i, rerr, lerr)
+						return
+					}
+					if rr != lr {
+						fail("record %d diverges: remote seq %d, local seq %d", i, rr.Seq, lr.Seq)
+						return
+					}
+					if seen[rr.Seq] {
+						fail("duplicate seq %d: not without-replacement", rr.Seq)
+						return
+					}
+					if !want[rr.Seq] {
+						fail("seq %d does not match the predicate", rr.Seq)
+						return
+					}
+					seen[rr.Seq] = true
+				}
+				if len(seen) != len(want) {
+					fail("drained %d records, want %d", len(seen), len(want))
+				}
+			}(tc.name, tc.q)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestAdmissionControl verifies the typed rejections: the (max streams +
+// 1)-th open-stream request receives CodeServerStreams — not a hang, not a
+// panic — the per-connection cap receives CodeConnStreams, and slots free
+// up when streams cancel.
+func TestAdmissionControl(t *testing.T) {
+	recs := genRecords(2_000, 9)
+	const maxStreams = 4
+	_, _, addr, _ := startServer(t, Config{MaxStreams: maxStreams, MaxStreamsPerConn: 3}, "sale", recs)
+
+	// Per-connection cap: the 4th stream on one connection is rejected.
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rv, err := cl.OpenView("sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conn1Streams []*RemoteStream
+	for i := 0; i < 3; i++ {
+		s, err := rv.Query(record.Box1D(0, 1<<19))
+		if err != nil {
+			t.Fatalf("stream %d on conn 1: %v", i+1, err)
+		}
+		conn1Streams = append(conn1Streams, s)
+	}
+	_, err = rv.Query(record.Box1D(0, 1<<19))
+	var se *Error
+	if !errors.As(err, &se) || se.Code != CodeConnStreams {
+		t.Fatalf("4th stream on one conn: err = %v, want CodeConnStreams", err)
+	}
+	if !IsAdmissionReject(err) {
+		t.Fatalf("IsAdmissionReject(%v) = false", err)
+	}
+
+	// Server-wide cap: a second connection can claim the remaining slot,
+	// then the (max streams + 1)-th open-stream request is rejected with
+	// the server-cap code.
+	cl2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	rv2, err := cl2.OpenView("sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := rv2.Query(record.Box1D(0, 1<<19))
+	if err != nil {
+		t.Fatalf("stream %d (server-wide): %v", maxStreams, err)
+	}
+	_, err = rv2.Query(record.Box1D(0, 1<<19))
+	if !errors.As(err, &se) || se.Code != CodeServerStreams {
+		t.Fatalf("stream %d: err = %v, want CodeServerStreams", maxStreams+1, err)
+	}
+	if !IsAdmissionReject(err) {
+		t.Fatalf("IsAdmissionReject(%v) = false", err)
+	}
+
+	// The rejected session must still be fully usable.
+	if _, err := s4.Sample(10); err != nil {
+		t.Fatalf("sampling after a rejection: %v", err)
+	}
+
+	// Cancelling a stream frees its slot for a new admission.
+	if err := conn1Streams[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	s5, err := rv2.Query(record.Box1D(0, 1<<19))
+	if err != nil {
+		t.Fatalf("admission after cancel: %v", err)
+	}
+	s5.Close()
+}
+
+// TestEstimateAndStats exercises the estimate op and the stats frame.
+func TestEstimateAndStats(t *testing.T) {
+	recs := genRecords(8_000, 3)
+	srv, _, addr, _ := startServer(t, Config{}, "sale", recs)
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rv, err := cl.OpenView("sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.Count() != int64(len(recs)) || rv.Dims() != 1 {
+		t.Fatalf("view info: count %d dims %d", rv.Count(), rv.Dims())
+	}
+	q := record.Box1D(0, 1<<19)
+	est, err := rv.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 0
+	for i := range recs {
+		if q.ContainsRecord(&recs[i]) {
+			exact++
+		}
+	}
+	if est < float64(exact)/2 || est > float64(exact)*2 {
+		t.Fatalf("estimate %.0f is not within 2x of exact %d", est, exact)
+	}
+
+	s, err := rv.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Sample(500)
+	if err != nil || len(got) != 500 {
+		t.Fatalf("Sample: %d records, %v", len(got), err)
+	}
+	snap, err := cl.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.RecordsServed < 500 || snap.BatchesServed < 1 || snap.StreamsOpened < 1 {
+		t.Fatalf("server counters too low: %+v", snap)
+	}
+	if snap.OpenStreams != 1 || snap.OpenConns != 1 {
+		t.Fatalf("open counts: %d streams, %d conns, want 1, 1", snap.OpenStreams, snap.OpenConns)
+	}
+	if snap.SimIO <= 0 {
+		t.Fatal("no simulated I/O charged")
+	}
+	if len(snap.Sessions) != 1 || snap.Sessions[0].Records < 500 || snap.Sessions[0].BytesWritten <= 0 {
+		t.Fatalf("session row: %+v", snap.Sessions)
+	}
+	// The server-side Snapshot agrees.
+	if local := srv.Snapshot(); local.RecordsServed != snap.RecordsServed {
+		t.Fatalf("server snapshot records %d, wire snapshot %d", local.RecordsServed, snap.RecordsServed)
+	}
+	s.Close()
+}
+
+// TestIdleReapingOnSimulatedClock: a stream that goes idle while other
+// streams advance the view's simulated disk clock is reaped when an
+// open-stream request finds the server-wide cap exhausted, receives a
+// typed CodeStreamReaped on its next pull, and its slot goes to the new
+// stream. No wall clock is involved.
+func TestIdleReapingOnSimulatedClock(t *testing.T) {
+	recs := genRecords(20_000, 17)
+	srv, _, addr, _ := startServer(t, Config{MaxStreams: 2, IdleTimeout: time.Millisecond}, "sale", recs)
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rv, err := cl.OpenView("sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	idle, err := rv.Query(record.Box1D(0, 1<<19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Match the client batch size to the pull so the buffer drains exactly
+	// and the next Sample is forced back onto the wire.
+	idle.SetBatchSize(10)
+	if _, err := idle.Sample(10); err != nil { // stamp some activity, then abandon
+		t.Fatal(err)
+	}
+
+	// A busy stream takes the second (last) slot and advances the view's
+	// simulated clock far past the 1 ms idle timeout (every leaf read
+	// costs ≥ 1.2 ms simulated).
+	busy, err := rv.Query(record.Box1D(0, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := busy.Sample(5_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cap is now exhausted; this open-stream request triggers the reap
+	// and claims the idle stream's slot. The busy stream survives — its
+	// last activity is recent on the simulated clock.
+	trigger, err := rv.Query(record.Box1D(0, 1<<18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trigger.Close()
+
+	_, err = idle.Sample(10)
+	var se *Error
+	if !errors.As(err, &se) || se.Code != CodeStreamReaped {
+		t.Fatalf("pull on reaped stream: err = %v, want CodeStreamReaped", err)
+	}
+	snap := srv.Snapshot()
+	if snap.StreamsReaped < 1 {
+		t.Fatalf("StreamsReaped = %d, want >= 1", snap.StreamsReaped)
+	}
+	// Cancelling a reaped stream is a no-op success (reaper/cancel race).
+	if err := idle.Close(); err != nil {
+		t.Fatalf("Close after reap: %v", err)
+	}
+}
+
+// TestGracefulShutdownDrains hammers the server with pulls while Shutdown
+// runs: every response a client successfully reads must be complete and
+// well-formed (a batch is either fully delivered or the connection closes
+// cleanly before it — never a torn frame), and Shutdown must return.
+func TestGracefulShutdownDrains(t *testing.T) {
+	recs := genRecords(30_000, 23)
+	path := filepath.Join(t.TempDir(), "drain.view")
+	v, err := sampleview.CreateFromSlice(path, recs, sampleview.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	srv := New(Config{MaxStreams: 64})
+	srv.AddView("sale", v)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	started := make(chan struct{}, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := Dial(ln.Addr().String())
+			if err != nil {
+				started <- struct{}{}
+				return // raced with listener close: fine
+			}
+			defer cl.Close()
+			rv, err := cl.OpenView("sale")
+			if err != nil {
+				started <- struct{}{}
+				return
+			}
+			s, err := rv.Query(record.Box1D(0, 1<<20))
+			if err != nil {
+				started <- struct{}{}
+				return
+			}
+			started <- struct{}{}
+			total := 0
+			for {
+				batch, err := s.NextBatch()
+				if err != nil {
+					// Once draining starts, the only acceptable failures
+					// are clean transport closes — never a decode error
+					// (torn frame) and never a server-side panic message.
+					if err == io.EOF {
+						return
+					}
+					if isCleanDisconnect(err) {
+						return
+					}
+					errs <- fmt.Errorf("client %d after %d records: %v", g, total, err)
+					return
+				}
+				total += len(batch)
+			}
+		}(g)
+	}
+	for g := 0; g < clients; g++ {
+		<-started
+	}
+	srv.Shutdown()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v after Shutdown", err)
+	}
+	// New connections are refused after shutdown.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}
+
+// isCleanDisconnect reports whether err is an orderly transport-level
+// close, as opposed to a protocol violation.
+func isCleanDisconnect(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
+		// ErrUnexpectedEOF can only be clean here if no partial payload was
+		// delivered; ReadFrame wraps torn payloads distinctly, but a
+		// connection reset mid-header reads as unexpected EOF with zero
+		// frame bytes consumed by the client buffer. Treat resets as clean.
+		return true
+	}
+	var opErr *net.OpError
+	return errors.As(err, &opErr)
+}
+
+// TestSessionTeardownFreesSlots: closing a connection releases all its
+// admission slots.
+func TestSessionTeardownFreesSlots(t *testing.T) {
+	recs := genRecords(2_000, 29)
+	_, _, addr, _ := startServer(t, Config{MaxStreams: 2, MaxStreamsPerConn: 2}, "sale", recs)
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := cl.OpenView("sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := rv.Query(record.Box1D(0, 1<<19)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Close()
+
+	// The teardown is asynchronous; poll the server until the slots return.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cl2, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv2, err := cl2.OpenView("sale")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := rv2.Query(record.Box1D(0, 1<<19))
+		if err == nil {
+			s.Close()
+			cl2.Close()
+			return
+		}
+		cl2.Close()
+		if !IsAdmissionReject(err) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slots never freed after connection close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestUnknownViewAndStream covers the typed not-found errors.
+func TestUnknownViewAndStream(t *testing.T) {
+	recs := genRecords(1_000, 31)
+	_, _, addr, _ := startServer(t, Config{}, "sale", recs)
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, err = cl.OpenView("nope")
+	var se *Error
+	if !errors.As(err, &se) || se.Code != CodeUnknownView {
+		t.Fatalf("OpenView(nope): err = %v, want CodeUnknownView", err)
+	}
+	rv, err := cl.OpenView("sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fabricated stream id draws CodeUnknownStream.
+	rt, _, err := cl.roundTrip(FNextBatch, nextBatchReq{StreamID: 999, Max: 10}.encode())
+	if !errors.As(err, &se) || se.Code != CodeUnknownStream {
+		t.Fatalf("NextBatch(999): frame %v err = %v, want CodeUnknownStream", rt, err)
+	}
+	// Dimension mismatch is a bad request, not a hang.
+	_, err = rv.Query(record.Box2D(0, 1, 0, 1))
+	if !errors.As(err, &se) || se.Code != CodeBadRequest {
+		t.Fatalf("2-d query on 1-d view: err = %v, want CodeBadRequest", err)
+	}
+}

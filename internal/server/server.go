@@ -1,0 +1,302 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sampleview"
+	"sampleview/internal/record"
+)
+
+// Config tunes the server's admission control and housekeeping. The zero
+// value gets sensible defaults from withDefaults.
+type Config struct {
+	// MaxStreams caps concurrently open streams server-wide. An open-stream
+	// request past the cap receives a typed CodeServerStreams rejection
+	// (default 256).
+	MaxStreams int
+	// MaxStreamsPerConn caps open streams per connection; past it the
+	// request receives CodeConnStreams (default 16).
+	MaxStreamsPerConn int
+	// MaxBatch caps records per batch response. Larger client requests are
+	// clamped, bounding per-request buffering — backpressure comes from the
+	// strict request/response alternation, not from queues (default 4096,
+	// and never more than fits a frame).
+	MaxBatch int
+	// IdleTimeout reaps streams idle for longer than this on the simulated
+	// disk clock of the view they sample: a stream is idle once the view's
+	// simulated time has advanced IdleTimeout past the stream's last
+	// request, which only happens while other streams do I/O. Reaping runs
+	// only when an open-stream request finds the server-wide cap exhausted
+	// — the one moment an abandoned stream's slot hurts — so streams on an
+	// uncontended server are never collected, however busy the shared
+	// clock. Zero disables reaping.
+	IdleTimeout time.Duration
+}
+
+// maxBatchLimit is the largest batch that fits one frame with headroom for
+// the batch response envelope.
+const maxBatchLimit = (MaxFrame - 64) / record.Size
+
+func (c Config) withDefaults() Config {
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 256
+	}
+	if c.MaxStreamsPerConn <= 0 {
+		c.MaxStreamsPerConn = 16
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxBatch > maxBatchLimit {
+		c.MaxBatch = maxBatchLimit
+	}
+	return c
+}
+
+// servedView is one view registered with the server.
+type servedView struct {
+	id   uint32
+	name string
+	v    *sampleview.View
+}
+
+// Server multiplexes client sessions over a set of served sample views.
+// Create one with New, register views with AddView, then run Serve on one
+// or more listeners. All methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	stats serverCounters
+
+	mu          sync.Mutex
+	views       map[string]*servedView // guarded by mu
+	viewsByID   map[uint32]*servedView // guarded by mu
+	sessions    map[*session]struct{}  // guarded by mu
+	listeners   []net.Listener         // guarded by mu
+	openStreams int                    // guarded by mu; admission-controlled total
+	nextSession uint64                 // guarded by mu
+	nextView    uint32                 // guarded by mu
+	draining    bool                   // guarded by mu
+
+	wg       sync.WaitGroup
+	shutOnce sync.Once
+	done     chan struct{}
+}
+
+// New returns a server with the given configuration and no views.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:       cfg.withDefaults(),
+		views:     make(map[string]*servedView),
+		viewsByID: make(map[uint32]*servedView),
+		sessions:  make(map[*session]struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Config returns the server's effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// AddView registers v under name. Clients resolve it with an open-view
+// request. Registering a name twice replaces the old registration for new
+// open-view requests; streams already open keep sampling the view they
+// started on.
+func (s *Server) AddView(name string, v *sampleview.View) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextView++
+	sv := &servedView{id: s.nextView, name: name, v: v}
+	s.views[name] = sv
+	s.viewsByID[sv.id] = sv
+}
+
+// Serve accepts connections on ln until the listener fails or Shutdown is
+// called; Shutdown makes it return nil. Each connection gets a session
+// goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.stats.ConnsAccepted.Add(1)
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown gracefully stops the server: listeners close, sessions finish
+// the request they are serving (an in-flight batch is fully written before
+// its connection closes — no acknowledged batch is ever dropped), idle
+// sessions are disconnected, and Shutdown returns once every session
+// goroutine has exited. It is idempotent; concurrent callers all block
+// until the drain completes.
+func (s *Server) Shutdown() {
+	s.shutOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		lns := append([]net.Listener(nil), s.listeners...)
+		sessions := make([]*session, 0, len(s.sessions))
+		for sess := range s.sessions {
+			sessions = append(sessions, sess)
+		}
+		s.mu.Unlock()
+
+		for _, ln := range lns {
+			ln.Close()
+		}
+		// drainClose waits for the session's in-flight request (if any) to
+		// finish writing its response, then severs the connection so the
+		// read loop unblocks.
+		for _, sess := range sessions {
+			sess.drainClose()
+		}
+		s.wg.Wait()
+		close(s.done)
+	})
+	<-s.done
+}
+
+// register enrolls a new session; it fails once draining has started.
+func (s *Server) register(sess *session) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.nextSession++
+	sess.id = s.nextSession
+	s.sessions[sess] = struct{}{}
+	return true
+}
+
+func (s *Server) unregister(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+	closed := sess.closeAllStreams()
+	s.releaseStreams(closed)
+	s.stats.ConnsClosed.Add(1)
+}
+
+// lookupView resolves a view by name or id.
+func (s *Server) lookupView(name string) (*servedView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv, ok := s.views[name]
+	return sv, ok
+}
+
+func (s *Server) lookupViewID(id uint32) (*servedView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv, ok := s.viewsByID[id]
+	return sv, ok
+}
+
+// admitStream claims one server-wide stream slot. It returns a rejection
+// code (and false) when the server is draining or at its cap.
+func (s *Server) admitStream() (uint16, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return CodeShuttingDown, false
+	}
+	if s.openStreams >= s.cfg.MaxStreams {
+		return CodeServerStreams, false
+	}
+	s.openStreams++
+	return 0, true
+}
+
+// releaseStreams returns n server-wide stream slots.
+func (s *Server) releaseStreams(n int) {
+	if n == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.openStreams -= n
+	s.mu.Unlock()
+}
+
+// reapIdle closes streams idle past IdleTimeout on their view's simulated
+// clock. It runs on the open-stream path when the server-wide cap is
+// exhausted — the moment admission slots are contended — so reaping needs
+// no wall-clock timer: an abandoned stream is collected as soon as other
+// traffic has both advanced the simulated disk and run out of slots.
+func (s *Server) reapIdle() {
+	if s.cfg.IdleTimeout <= 0 {
+		return
+	}
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	total := 0
+	for _, sess := range sessions {
+		total += sess.reapIdle(s.cfg.IdleTimeout)
+	}
+	s.releaseStreams(total)
+	s.stats.StreamsReaped.Add(int64(total))
+	s.stats.StreamsClosed.Add(int64(total))
+}
+
+// Snapshot returns a point-in-time copy of the server's counters plus one
+// row per live session.
+func (s *Server) Snapshot() *StatsSnapshot {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	openConns := int64(len(s.sessions))
+	openStreams := int64(s.openStreams)
+	s.mu.Unlock()
+
+	c := &s.stats
+	snap := &StatsSnapshot{
+		OpenConns:       openConns,
+		OpenStreams:     openStreams,
+		ConnsAccepted:   c.ConnsAccepted.Load(),
+		ConnsRejected:   c.ConnsRejected.Load(),
+		StreamsOpened:   c.StreamsOpened.Load(),
+		StreamsClosed:   c.StreamsClosed.Load(),
+		StreamsReaped:   c.StreamsReaped.Load(),
+		BatchesServed:   c.BatchesServed.Load(),
+		RecordsServed:   c.RecordsServed.Load(),
+		EstimatesServed: c.EstimatesServed.Load(),
+		RejectedServer:  c.RejectedServer.Load(),
+		RejectedConn:    c.RejectedConn.Load(),
+		RejectedDrain:   c.RejectedDrain.Load(),
+		BadFrames:       c.BadFrames.Load(),
+		BytesRead:       c.BytesRead.Load(),
+		BytesWritten:    c.BytesWritten.Load(),
+		SimIO:           time.Duration(c.SimIONanos.Load()),
+	}
+	for _, sess := range sessions {
+		snap.Sessions = append(snap.Sessions, sess.snapshot())
+	}
+	return snap
+}

@@ -1,0 +1,442 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sampleview"
+)
+
+// servedStream is one open stream of one session. The underlying
+// sampleview.Stream is internally synchronized, so the request path and
+// the idle reaper may race on it freely; lastActive and simSeen are
+// atomics for the same reason.
+type servedStream struct {
+	id   uint32
+	view *servedView
+	s    *sampleview.Stream
+	// lastActive is the view's simulated time (nanoseconds) when the stream
+	// last served a request; the reaper compares it against the view's
+	// current simulated clock.
+	lastActive atomic.Int64
+	// simSeen is the portion of the stream's own simulated I/O time already
+	// folded into the session and server counters.
+	simSeen atomic.Int64
+}
+
+// touch stamps the stream as active now (in its view's simulated time).
+func (st *servedStream) touch() { st.lastActive.Store(int64(st.view.v.SimNow())) }
+
+// chargeSim folds the stream's not-yet-accounted simulated I/O time into
+// the session and server counters and returns the delta.
+func (st *servedStream) chargeSim(sess *session) {
+	now := int64(st.s.SimNow())
+	prev := st.simSeen.Swap(now)
+	if d := now - prev; d > 0 {
+		sess.counters.SimIONanos.Add(d)
+		sess.srv.stats.SimIONanos.Add(d)
+	}
+}
+
+// session is the per-connection server state: the stream registry, the
+// per-session counter slice, and the drain handshake with Shutdown.
+type session struct {
+	id   uint64
+	srv  *Server
+	conn net.Conn
+
+	// busy is held for the full handling of one request, from after the
+	// frame is read until the response is flushed. Shutdown's drainClose
+	// acquires it before severing the connection, which is what guarantees
+	// an in-flight batch is fully written ("acknowledged") or not written
+	// at all — never truncated.
+	busy sync.Mutex
+
+	mu         sync.Mutex
+	streams    map[uint32]*servedStream // guarded by mu
+	reaped     map[uint32]struct{}      // guarded by mu; tombstones for typed errors
+	nextStream uint32                   // guarded by mu
+
+	counters sessionCounters
+}
+
+// countingConn counts bytes crossing the wire into both the session's and
+// the server's counters.
+type countingConn struct {
+	net.Conn
+	sess *session
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.sess.counters.BytesRead.Add(int64(n))
+		c.sess.srv.stats.BytesRead.Add(int64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.sess.counters.BytesWritten.Add(int64(n))
+		c.sess.srv.stats.BytesWritten.Add(int64(n))
+	}
+	return n, err
+}
+
+// serveConn runs one connection's request loop until the peer disconnects,
+// a protocol error occurs, or the server drains.
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer nc.Close()
+	sess := &session{
+		srv:     s,
+		conn:    nc,
+		streams: make(map[uint32]*servedStream),
+		reaped:  make(map[uint32]struct{}),
+	}
+	if !s.register(sess) {
+		// Raced with Shutdown: refuse politely and hang up.
+		s.stats.ConnsRejected.Add(1)
+		cc := &countingConn{Conn: nc, sess: sess}
+		_ = WriteFrame(cc, FError, errorResp{Code: CodeShuttingDown, Msg: "server shutting down"}.encode())
+		return
+	}
+	defer s.unregister(sess)
+
+	cc := &countingConn{Conn: nc, sess: sess}
+	br := bufio.NewReaderSize(cc, 64<<10)
+	bw := bufio.NewWriterSize(cc, 64<<10)
+	for {
+		t, body, err := ReadFrame(br)
+		if err != nil {
+			// Only protocol violations count as bad frames; disconnects and
+			// drain-triggered closes are ordinary transport events.
+			if errors.Is(err, errFrameLength) {
+				s.stats.BadFrames.Add(1)
+			}
+			return
+		}
+		sess.busy.Lock()
+		rt, rbody := sess.handle(t, body)
+		werr := WriteFrame(bw, rt, rbody)
+		if werr == nil {
+			werr = bw.Flush()
+		}
+		sess.busy.Unlock()
+		if werr != nil {
+			return
+		}
+		if s.isDraining() {
+			return
+		}
+	}
+}
+
+// drainClose severs the session's connection once no request is in flight.
+func (sess *session) drainClose() {
+	sess.busy.Lock()
+	sess.conn.Close()
+	sess.busy.Unlock()
+}
+
+// handle dispatches one request frame and returns the response frame.
+func (sess *session) handle(t FrameType, body []byte) (FrameType, []byte) {
+	switch t {
+	case FOpenView:
+		return sess.handleOpenView(body)
+	case FOpenStream:
+		return sess.handleOpenStream(body)
+	case FNextBatch:
+		return sess.handleNextBatch(body)
+	case FEstimate:
+		return sess.handleEstimate(body)
+	case FCancel:
+		return sess.handleCancel(body)
+	case FStats:
+		return FStatsResult, sess.srv.Snapshot().encode()
+	default:
+		sess.srv.stats.BadFrames.Add(1)
+		return reject(sess, CodeBadRequest, "unknown frame type "+t.String())
+	}
+}
+
+// reject builds a typed error response, counting it against the session.
+func reject(sess *session, code uint16, msg string) (FrameType, []byte) {
+	sess.counters.Rejections.Add(1)
+	return FError, errorResp{Code: code, Msg: msg}.encode()
+}
+
+func (sess *session) handleOpenView(body []byte) (FrameType, []byte) {
+	req, err := decodeOpenViewReq(body)
+	if err != nil {
+		sess.srv.stats.BadFrames.Add(1)
+		return reject(sess, CodeBadRequest, err.Error())
+	}
+	sv, ok := sess.srv.lookupView(req.Name)
+	if !ok {
+		return reject(sess, CodeUnknownView, "no served view named "+req.Name)
+	}
+	return FViewInfo, viewInfo{
+		ViewID: sv.id,
+		Dims:   uint8(sv.v.Dims()),
+		Height: uint8(sv.v.Height()),
+		Count:  sv.v.Count(),
+	}.encode()
+}
+
+func (sess *session) handleOpenStream(body []byte) (FrameType, []byte) {
+	req, err := decodeOpenStreamReq(body)
+	if err != nil {
+		sess.srv.stats.BadFrames.Add(1)
+		return reject(sess, CodeBadRequest, err.Error())
+	}
+	sv, ok := sess.srv.lookupViewID(req.ViewID)
+	if !ok {
+		return reject(sess, CodeUnknownView, "unknown view id")
+	}
+	if req.Query.Dims() != sv.v.Dims() {
+		return reject(sess, CodeBadRequest, "query dimensions do not match the view")
+	}
+
+	code, ok := sess.srv.admitStream()
+	if !ok && code == CodeServerStreams {
+		// The server-wide cap is the one moment idle streams matter: reap
+		// abandoned ones and retry, so a saturated server sheds dead weight
+		// before rejecting live traffic. Reaping never runs uncontended —
+		// under heavy fan-in the shared simulated clock races far ahead of
+		// any single stream's activity, and an unconditional sweep would
+		// collect streams that are merely waiting their turn.
+		sess.srv.reapIdle()
+		code, ok = sess.srv.admitStream()
+	}
+	if !ok {
+		if code == CodeServerStreams {
+			sess.srv.stats.RejectedServer.Add(1)
+			return reject(sess, code, "server stream limit reached")
+		}
+		sess.srv.stats.RejectedDrain.Add(1)
+		return reject(sess, code, "server shutting down")
+	}
+	if !sess.claimConnSlot() {
+		sess.srv.releaseStreams(1)
+		sess.srv.stats.RejectedConn.Add(1)
+		return reject(sess, CodeConnStreams, "connection stream limit reached")
+	}
+
+	stream, err := sv.v.Query(req.Query)
+	if err != nil {
+		sess.dropConnSlot()
+		sess.srv.releaseStreams(1)
+		return reject(sess, CodeInternal, err.Error())
+	}
+	st := &servedStream{view: sv, s: stream}
+	st.touch()
+	sess.mu.Lock()
+	sess.nextStream++
+	st.id = sess.nextStream
+	sess.streams[st.id] = st
+	sess.mu.Unlock()
+	sess.counters.StreamsOpened.Add(1)
+	sess.srv.stats.StreamsOpened.Add(1)
+	return FStreamOpened, streamOpened{StreamID: st.id}.encode()
+}
+
+// claimConnSlot reserves one per-connection stream slot.
+func (sess *session) claimConnSlot() bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return len(sess.streams) < sess.srv.cfg.MaxStreamsPerConn
+}
+
+// dropConnSlot is the inverse of claimConnSlot for the error path; slots
+// are tracked implicitly by map size, so it only exists for symmetry.
+func (sess *session) dropConnSlot() {}
+
+func (sess *session) lookupStream(id uint32) (*servedStream, bool, bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	st, ok := sess.streams[id]
+	_, wasReaped := sess.reaped[id]
+	return st, ok, wasReaped
+}
+
+// removeStream unregisters a stream, optionally leaving a reaped tombstone,
+// and reports whether it was present.
+func (sess *session) removeStream(id uint32, asReaped bool) (*servedStream, bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	st, ok := sess.streams[id]
+	if !ok {
+		return nil, false
+	}
+	delete(sess.streams, id)
+	if asReaped {
+		sess.reaped[id] = struct{}{}
+	}
+	return st, true
+}
+
+func (sess *session) handleNextBatch(body []byte) (FrameType, []byte) {
+	req, err := decodeNextBatchReq(body)
+	if err != nil {
+		sess.srv.stats.BadFrames.Add(1)
+		return reject(sess, CodeBadRequest, err.Error())
+	}
+	st, ok, wasReaped := sess.lookupStream(req.StreamID)
+	if !ok {
+		if wasReaped {
+			return reject(sess, CodeStreamReaped, "stream reaped after simulated-clock idle timeout")
+		}
+		return reject(sess, CodeUnknownStream, "unknown stream id")
+	}
+	max := int(req.Max)
+	if max <= 0 || max > sess.srv.cfg.MaxBatch {
+		max = sess.srv.cfg.MaxBatch
+	}
+	recs, err := st.s.Sample(max)
+	st.chargeSim(sess)
+	st.touch()
+	if err != nil {
+		if err == sampleview.ErrStreamClosed {
+			// Lost a race with the reaper between lookup and Sample.
+			sess.removeStream(req.StreamID, true)
+			return reject(sess, CodeStreamReaped, "stream reaped after simulated-clock idle timeout")
+		}
+		return reject(sess, CodeInternal, err.Error())
+	}
+	eof := len(recs) < max
+	if eof {
+		// The predicate is exhausted: retire the stream and free its
+		// admission slot without waiting for a cancel.
+		if _, ok := sess.removeStream(req.StreamID, false); ok {
+			st.s.Close()
+			sess.counters.StreamsClosed.Add(1)
+			sess.srv.stats.StreamsClosed.Add(1)
+			sess.srv.releaseStreams(1)
+		}
+	}
+	sess.counters.Batches.Add(1)
+	sess.counters.Records.Add(int64(len(recs)))
+	sess.srv.stats.BatchesServed.Add(1)
+	sess.srv.stats.RecordsServed.Add(int64(len(recs)))
+	return FBatch, batchResp{StreamID: req.StreamID, EOF: eof, Records: recs}.encode()
+}
+
+func (sess *session) handleEstimate(body []byte) (FrameType, []byte) {
+	req, err := decodeEstimateReq(body)
+	if err != nil {
+		sess.srv.stats.BadFrames.Add(1)
+		return reject(sess, CodeBadRequest, err.Error())
+	}
+	sv, ok := sess.srv.lookupViewID(req.ViewID)
+	if !ok {
+		return reject(sess, CodeUnknownView, "unknown view id")
+	}
+	if req.Query.Dims() != sv.v.Dims() {
+		return reject(sess, CodeBadRequest, "query dimensions do not match the view")
+	}
+	est, err := sv.v.EstimateCount(req.Query)
+	if err != nil {
+		return reject(sess, CodeInternal, err.Error())
+	}
+	sess.srv.stats.EstimatesServed.Add(1)
+	return FEstimateResult, estimateResp{Count: est}.encode()
+}
+
+func (sess *session) handleCancel(body []byte) (FrameType, []byte) {
+	req, err := decodeCancelReq(body)
+	if err != nil {
+		sess.srv.stats.BadFrames.Add(1)
+		return reject(sess, CodeBadRequest, err.Error())
+	}
+	st, ok := sess.removeStream(req.StreamID, false)
+	if !ok {
+		// Idempotent against the reaper and EOF auto-close: cancelling a
+		// stream that is already gone succeeds.
+		sess.mu.Lock()
+		_, wasKnown := sess.reaped[req.StreamID]
+		known := wasKnown || req.StreamID != 0 && req.StreamID <= sess.nextStream
+		sess.mu.Unlock()
+		if known {
+			return FCancelOK, cancelReq{StreamID: req.StreamID}.encode()
+		}
+		return reject(sess, CodeUnknownStream, "unknown stream id")
+	}
+	st.chargeSim(sess)
+	st.s.Close()
+	sess.counters.StreamsClosed.Add(1)
+	sess.srv.stats.StreamsClosed.Add(1)
+	sess.srv.releaseStreams(1)
+	return FCancelOK, cancelReq{StreamID: req.StreamID}.encode()
+}
+
+// reapIdle closes this session's streams that are idle past d on their
+// view's simulated clock and returns how many it reaped.
+func (sess *session) reapIdle(d time.Duration) int {
+	sess.mu.Lock()
+	var victims []*servedStream
+	for id, st := range sess.streams {
+		if time.Duration(int64(st.view.v.SimNow())-st.lastActive.Load()) > d {
+			victims = append(victims, st)
+			delete(sess.streams, id)
+			sess.reaped[id] = struct{}{}
+		}
+	}
+	sess.mu.Unlock()
+	for _, st := range victims {
+		st.chargeSim(sess)
+		st.s.Close()
+	}
+	if n := int64(len(victims)); n > 0 {
+		sess.counters.StreamsReaped.Add(n)
+		sess.counters.StreamsClosed.Add(n)
+	}
+	return len(victims)
+}
+
+// closeAllStreams tears down every stream at session exit and returns how
+// many server-wide slots to release.
+func (sess *session) closeAllStreams() int {
+	sess.mu.Lock()
+	victims := make([]*servedStream, 0, len(sess.streams))
+	for id, st := range sess.streams {
+		victims = append(victims, st)
+		delete(sess.streams, id)
+	}
+	sess.mu.Unlock()
+	for _, st := range victims {
+		st.chargeSim(sess)
+		st.s.Close()
+	}
+	if n := int64(len(victims)); n > 0 {
+		sess.counters.StreamsClosed.Add(n)
+		sess.srv.stats.StreamsClosed.Add(n)
+	}
+	return len(victims)
+}
+
+// snapshot copies the session's counters.
+func (sess *session) snapshot() SessionSnapshot {
+	sess.mu.Lock()
+	open := int64(len(sess.streams))
+	sess.mu.Unlock()
+	c := &sess.counters
+	return SessionSnapshot{
+		ID:            sess.id,
+		OpenStreams:   open,
+		StreamsOpened: c.StreamsOpened.Load(),
+		StreamsReaped: c.StreamsReaped.Load(),
+		Batches:       c.Batches.Load(),
+		Records:       c.Records.Load(),
+		Rejections:    c.Rejections.Load(),
+		BytesRead:     c.BytesRead.Load(),
+		BytesWritten:  c.BytesWritten.Load(),
+		SimIO:         time.Duration(c.SimIONanos.Load()),
+	}
+}

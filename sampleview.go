@@ -1,10 +1,12 @@
 package sampleview
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
 	"sync"
+	"time"
 
 	"sampleview/internal/core"
 	"sampleview/internal/diffview"
@@ -13,6 +15,10 @@ import (
 	"sampleview/internal/record"
 	"sampleview/internal/stats"
 )
+
+// ErrStreamClosed is returned by Stream.Next (and everything built on it)
+// after Stream.Close has been called.
+var ErrStreamClosed = errors.New("sampleview: stream closed")
 
 // Re-exported data types. Record is the fixed 100-byte tuple the view
 // stores; Key is the primary indexed attribute and Amount the secondary
@@ -282,9 +288,10 @@ type Stream struct {
 	mu    sync.Mutex   // serializes draws on this stream
 	clock *iosim.Clock // the stream's private I/O clock
 	// core serves streams over views with no pending appends; diff serves
-	// the rest. Exactly one is set.
-	core *core.Stream     // guarded by mu
-	diff *diffview.Stream // guarded by mu
+	// the rest. Exactly one is set until Close clears both.
+	core   *core.Stream     // guarded by mu
+	diff   *diffview.Stream // guarded by mu
+	closed bool             // guarded by mu
 }
 
 // Query starts an online sample stream for predicate q. Records appended
@@ -308,15 +315,32 @@ func (v *View) Query(q Box) (*Stream, error) {
 	return &Stream{clock: ck, diff: ds}, nil
 }
 
-// Next returns the next sample record, or io.EOF when the predicate is
-// exhausted.
+// Next returns the next sample record, io.EOF when the predicate is
+// exhausted, or ErrStreamClosed after Close.
 func (s *Stream) Next() (Record, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return Record{}, ErrStreamClosed
+	}
 	if s.core != nil {
 		return s.core.Next()
 	}
 	return s.diff.Next()
+}
+
+// Close releases the stream's buffered state. It is idempotent and safe to
+// call concurrently with Next, Sample, Buffered and Stats from other
+// goroutines: a draw racing with Close either completes normally or
+// observes ErrStreamClosed, never a torn state. Stats remains valid after
+// Close (the stream's clock is retained; only the sampling state is
+// dropped).
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.core, s.diff = nil, nil
+	return nil
 }
 
 // Sample collects up to n records from the stream (fewer if the predicate
@@ -363,6 +387,21 @@ type IOStats struct {
 // aggregated over every stream (counters are atomic; no lock is taken).
 func (v *View) Stats() IOStats {
 	return IOStats{Counters: v.sim.Counters(), SimTime: v.sim.Now().String()}
+}
+
+// SimNow returns the view's current simulated disk time: the total disk-busy
+// time of every access charged so far, directly or through any stream. It
+// advances only when I/O is simulated, never with the wall clock, which
+// makes it a deterministic basis for idle accounting (the serving layer's
+// reaper keys off it).
+func (v *View) SimNow() time.Duration { return v.sim.Now() }
+
+// SimNow returns the stream's elapsed simulated I/O time as a duration (the
+// same quantity Stats reports as a string).
+func (s *Stream) SimNow() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock.Now()
 }
 
 // Stats returns the stream's own I/O counters and elapsed simulated time:

@@ -1,0 +1,124 @@
+package sampleview
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestStreamCloseIdempotent checks the basic Close contract: repeated
+// closes succeed, Next reports ErrStreamClosed afterwards, and Stats and
+// Buffered stay usable.
+func TestStreamCloseIdempotent(t *testing.T) {
+	v, err := CreateFromSlice("", genRecords(5_000, 11), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	s, err := v.Query(Box1D(0, 1<<19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sample(100); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	for i := 0; i < 3; i++ {
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+1, err)
+		}
+	}
+	if _, err := s.Next(); err != ErrStreamClosed {
+		t.Fatalf("Next after Close: err = %v, want ErrStreamClosed", err)
+	}
+	if _, err := s.Sample(10); err != ErrStreamClosed {
+		t.Fatalf("Sample after Close: err = %v, want ErrStreamClosed", err)
+	}
+	if s.Buffered() != 0 {
+		t.Fatalf("Buffered after Close = %d, want 0", s.Buffered())
+	}
+	after := s.Stats()
+	if after.SimTime != before.SimTime {
+		t.Fatalf("Stats changed across Close: %s -> %s", before.SimTime, after.SimTime)
+	}
+
+	// The diffview-backed stream path (pending appends) must close too.
+	v.Append(Record{Key: 1, Amount: 1, Seq: 1 << 40})
+	ds, err := v.Query(Box1D(0, 1<<19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Next(); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Next(); err != ErrStreamClosed {
+		t.Fatalf("diff stream Next after Close: err = %v, want ErrStreamClosed", err)
+	}
+}
+
+// TestStreamCloseRace races Close against Next, Sample, Buffered and Stats
+// from many goroutines — the collision the serving layer's idle reaper and
+// a client cancel produce. Run with -race. Every Next must either return a
+// valid record, io.EOF, or ErrStreamClosed; nothing may panic.
+func TestStreamCloseRace(t *testing.T) {
+	v, err := CreateFromSlice("", genRecords(20_000, 13), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	for round := 0; round < 8; round++ {
+		s, err := v.Query(Box1D(0, 1<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 8)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					_, err := s.Next()
+					if err == io.EOF || err == ErrStreamClosed {
+						return
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = s.Stats()
+				_ = s.Buffered()
+			}
+		}()
+		// Two racing closers (reaper and cancel).
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := s.Close(); err != nil {
+					errs <- err
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		if _, err := s.Next(); err != ErrStreamClosed {
+			t.Fatalf("Next after racing Close: err = %v, want ErrStreamClosed", err)
+		}
+	}
+}
