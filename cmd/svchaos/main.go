@@ -1,0 +1,380 @@
+// Command svchaos is the end-to-end chaos harness: it builds a sample
+// view, serves it on a loopback listener, and replays the svload-style
+// closed-loop workload under escalating storage-fault profiles, verifying
+// on the fly that the failure-handling contract holds at every level:
+//
+//   - transient profiles (flaky-disk, flaky-deep) are invisible to
+//     clients — zero client-visible errors, every delivered record valid;
+//   - corruption and dead pages (bitrot, bad-sector, hell) surface only
+//     as typed degraded errors, never as garbage records, duplicates or
+//     dropped connections;
+//   - delivered samples stay uniform (chi-square over query-range key
+//     buckets) whenever no leaf was lost.
+//
+// Usage:
+//
+//	svchaos -records 100000 -clients 8 -ops 6 -out results/chaos-bench.md
+//	svchaos -profiles flaky-disk,hell -seed 7
+//
+// The run prints a per-profile summary and, with -out, writes a markdown
+// report. The exit status is non-zero if any contract above was violated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"sampleview"
+	"sampleview/internal/record"
+	"sampleview/internal/server"
+	"sampleview/internal/stats"
+	"sampleview/internal/workload"
+)
+
+// selectivities is the paper's evaluation mix, cycled per operation.
+var selectivities = []float64{0.0025, 0.025, 0.25}
+
+// uniformityBuckets and minUniformitySample size the per-query chi-square
+// test: at least ~10 expected records per bucket.
+const (
+	uniformityBuckets    = 16
+	minUniformitySample  = 160
+	uniformityAlpha      = 1e-3
+	admissionRetryBudget = 50
+)
+
+// profileResult aggregates one profile's run.
+type profileResult struct {
+	profile   string
+	elapsed   time.Duration
+	records   int64
+	ops       int
+	retries   int64 // client-side transparent retries
+	transient int64 // CodeTransient frames the server sent
+	degFrames int64 // CodeDegraded frames the server sent
+	degEvents int64 // degraded errors clients observed
+	faults    sampleview.FaultCounters
+	pvalues   []float64
+	pFailures int
+	hardErrs  []string // client-visible non-degraded failures
+	badRecs   []string // garbage / duplicate / out-of-predicate records
+}
+
+func main() {
+	var (
+		nrecords = flag.Int("records", 100_000, "records in the generated view")
+		clients  = flag.Int("clients", 8, "concurrent client connections per profile")
+		ops      = flag.Int("ops", 6, "queries per client")
+		samples  = flag.Int("samples", 2000, "sample budget per query")
+		batch    = flag.Int("batch", 256, "records per batch pull")
+		seed     = flag.Uint64("seed", 1, "workload and fault-schedule seed")
+		profs    = flag.String("profiles", "all", "comma-separated fault profiles, or \"all\" for the escalating ladder")
+		out      = flag.String("out", "", "write the markdown report to this file")
+	)
+	flag.Parse()
+
+	profiles := sampleview.FaultProfiles()
+	if *profs != "all" {
+		profiles = strings.Split(*profs, ",")
+	}
+
+	dir, err := os.MkdirTemp("", "svchaos-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svchaos: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+
+	recs := genRecords(*nrecords, *seed)
+	bySeq := make(map[uint64]record.Record, len(recs))
+	for _, r := range recs {
+		bySeq[r.Seq] = r
+	}
+	v, err := sampleview.CreateFromSlice(filepath.Join(dir, "chaos.view"), recs, sampleview.Options{Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svchaos: %v\n", err)
+		os.Exit(1)
+	}
+	defer v.Close()
+	fmt.Printf("view: %d records, %d leaves' worth of pages; %d clients x %d ops x %d samples per profile\n",
+		v.Count(), v.Stats().Counters.Writes(), *clients, *ops, *samples)
+
+	var results []profileResult
+	failed := false
+	for _, name := range profiles {
+		plan, err := sampleview.FaultProfile(name, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svchaos: %v\n", err)
+			os.Exit(2)
+		}
+		res := runProfile(v, bySeq, name, plan, *clients, *ops, *samples, *batch, *seed)
+		results = append(results, res)
+		verdict := "ok"
+		if !contractHolds(&res) {
+			verdict = "CONTRACT VIOLATED"
+			failed = true
+		}
+		fmt.Printf("%-11s %7d recs %6.1fs  retries=%-5d transient=%-5d degraded=%-4d corrupt=%-4d dead=%-3d uniform-fail=%d  %s\n",
+			name, res.records, res.elapsed.Seconds(), res.retries, res.transient,
+			res.degFrames, res.faults.CorruptPages, res.faults.DeadPages, res.pFailures, verdict)
+		for i, e := range res.hardErrs {
+			if i == 5 {
+				fmt.Printf("    ... and %d more\n", len(res.hardErrs)-5)
+				break
+			}
+			fmt.Printf("    hard error: %s\n", e)
+		}
+		for i, e := range res.badRecs {
+			if i == 5 {
+				fmt.Printf("    ... and %d more\n", len(res.badRecs)-5)
+				break
+			}
+			fmt.Printf("    bad record: %s\n", e)
+		}
+	}
+
+	report := buildReport(v.Count(), *clients, *ops, *samples, *batch, *seed, results)
+	if *out != "" {
+		if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "svchaos: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "svchaos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// contractHolds checks the per-profile failure-handling contract: no
+// garbage records ever; no client-visible hard errors and no uniformity
+// failures unless the profile can permanently lose leaves.
+func contractHolds(r *profileResult) bool {
+	if len(r.badRecs) > 0 {
+		return false
+	}
+	lossy := r.faults.DeadPages > 0 || r.faults.CorruptPages > 0 || r.degEvents > 0
+	if !lossy && (len(r.hardErrs) > 0 || r.pFailures > 0) {
+		return false
+	}
+	// Even lossy profiles must fail cleanly: typed degraded errors are
+	// counted in degEvents, anything else is a hard error.
+	return len(r.hardErrs) == 0
+}
+
+// runProfile serves the view under one fault plan and drives the fleet.
+func runProfile(v *sampleview.View, bySeq map[uint64]record.Record, name string,
+	plan sampleview.FaultPlan, clients, ops, samples, batch int, seed uint64) profileResult {
+	res := profileResult{profile: name}
+	before := v.Stats().Faults
+	v.InjectFaults(plan)
+	defer v.InjectFaults(sampleview.FaultPlan{})
+
+	srv := server.New(server.Config{MaxStreams: 4 * clients, RequestTimeout: 30 * time.Second})
+	srv.AddView("chaos", v)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		res.hardErrs = append(res.hardErrs, err.Error())
+		return res
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+
+	start := time.Now()
+	perClient := make([]profileResult, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			perClient[c] = runClient(ln.Addr().String(), bySeq,
+				seed+uint64(c)*1000003, ops, samples, batch)
+		}(c)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+
+	for i := range perClient {
+		pc := &perClient[i]
+		res.records += pc.records
+		res.ops += pc.ops
+		res.retries += pc.retries
+		res.degEvents += pc.degEvents
+		res.pvalues = append(res.pvalues, pc.pvalues...)
+		res.pFailures += pc.pFailures
+		res.hardErrs = append(res.hardErrs, pc.hardErrs...)
+		res.badRecs = append(res.badRecs, pc.badRecs...)
+	}
+	snap := srv.Snapshot()
+	res.transient = snap.TransientErrors
+	res.degFrames = snap.DegradedErrors
+	after := v.Stats().Faults
+	res.faults = sampleview.FaultCounters{
+		Transient:     after.Transient - before.Transient,
+		LatencySpikes: after.LatencySpikes - before.LatencySpikes,
+		Rereads:       after.Rereads - before.Rereads,
+		CorruptPages:  after.CorruptPages - before.CorruptPages,
+		DeadPages:     after.DeadPages - before.DeadPages,
+	}
+	return res
+}
+
+// runClient drives one connection through its operations, verifying every
+// delivered record against the source relation.
+func runClient(addr string, bySeq map[uint64]record.Record,
+	seed uint64, ops, samples, batch int) profileResult {
+	var res profileResult
+	fail := func(format string, args ...any) {
+		res.hardErrs = append(res.hardErrs, fmt.Sprintf(format, args...))
+	}
+	cl, err := server.Dial(addr)
+	if err != nil {
+		fail("dial: %v", err)
+		return res
+	}
+	defer cl.Close()
+	cl.SetRetryPolicy(server.RetryPolicy{Seed: seed})
+	rv, err := cl.OpenView("chaos")
+	if err != nil {
+		fail("open view: %v", err)
+		return res
+	}
+	qg := workload.NewQueryGen(seed)
+	rng := rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+
+	for op := 0; op < ops; op++ {
+		q := qg.Range1D(selectivities[op%len(selectivities)])
+		var s *server.RemoteStream
+		for attempt := 0; ; attempt++ {
+			s, err = rv.Query(q)
+			if err == nil {
+				break
+			}
+			if server.IsAdmissionReject(err) && attempt < admissionRetryBudget {
+				time.Sleep(time.Duration(1+rng.Int64N(4)) * time.Millisecond)
+				continue
+			}
+			fail("op %d: open stream: %v", op, err)
+			return res
+		}
+		s.SetBatchSize(batch)
+
+		kr := q.Dim(0)
+		width := kr.Hi - kr.Lo + 1
+		hist := make([]int64, uniformityBuckets)
+		seen := make(map[uint64]struct{}, samples)
+		got, opDegraded := 0, 0
+		for got < samples {
+			recs, err := s.NextBatch()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if server.IsDegraded(err) {
+					res.degEvents++ // typed, clean: the stream keeps serving
+					if opDegraded++; opDegraded > 1000 {
+						fail("op %d: stream wedged on degraded errors", op)
+						break
+					}
+					continue
+				}
+				fail("op %d: next batch: %v", op, err)
+				break
+			}
+			for i := range recs {
+				r := recs[i]
+				src, ok := bySeq[r.Seq]
+				if !ok || r != src {
+					res.badRecs = append(res.badRecs,
+						fmt.Sprintf("op %d: record seq %d not in the source relation (silent corruption)", op, r.Seq))
+					continue
+				}
+				if !q.ContainsRecord(&r) {
+					res.badRecs = append(res.badRecs,
+						fmt.Sprintf("op %d: record seq %d outside the predicate", op, r.Seq))
+				}
+				if _, dup := seen[r.Seq]; dup {
+					res.badRecs = append(res.badRecs,
+						fmt.Sprintf("op %d: duplicate seq %d (not without-replacement)", op, r.Seq))
+				}
+				seen[r.Seq] = struct{}{}
+				b := (r.Key - kr.Lo) * uniformityBuckets / width
+				if b >= 0 && b < uniformityBuckets {
+					hist[b]++
+				}
+			}
+			got += len(recs)
+		}
+		// Uniformity of the delivered sample's keys over the query range.
+		if got >= minUniformitySample && res.degEvents == 0 {
+			if p, err := stats.ChiSquareUniformPValue(hist); err == nil {
+				res.pvalues = append(res.pvalues, p)
+				if p < uniformityAlpha {
+					res.pFailures++
+				}
+			}
+		}
+		res.records += int64(got)
+		res.ops++
+		s.Close()
+	}
+	res.retries = cl.Retries()
+	return res
+}
+
+func genRecords(n int, seed uint64) []record.Record {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i] = record.Record{
+			Key:    rng.Int64N(workload.KeyDomain),
+			Amount: rng.Int64N(workload.KeyDomain),
+			Seq:    uint64(i),
+		}
+	}
+	return recs
+}
+
+func buildReport(count int64, clients, ops, samples, batch int, seed uint64, results []profileResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Chaos bench: fault injection end to end\n\n")
+	fmt.Fprintf(&b, "Closed-loop workload (%d clients x %d ops x %d samples, batches of %d, seed %d) "+
+		"against one served view of %d records, repeated under escalating fault profiles. "+
+		"Client-side retry policy: capped exponential backoff with seeded jitter.\n\n",
+		clients, ops, samples, batch, seed, count)
+	fmt.Fprintf(&b, "| profile | records | wall | client retries | transient frames | degraded frames | corrupt pages | dead pages | reread recoveries | latency spikes | hard errors | bad records | uniformity failures | min p |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, r := range results {
+		minP := 1.0
+		for _, p := range r.pvalues {
+			if p < minP {
+				minP = p
+			}
+		}
+		pCell := fmt.Sprintf("%.3f", minP)
+		if len(r.pvalues) == 0 {
+			pCell = "n/a"
+		}
+		fmt.Fprintf(&b, "| %s | %d | %v | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d | %s |\n",
+			r.profile, r.records, r.elapsed.Round(time.Millisecond), r.retries,
+			r.transient, r.degFrames, r.faults.CorruptPages, r.faults.DeadPages,
+			r.faults.Rereads, r.faults.LatencySpikes,
+			len(r.hardErrs), len(r.badRecs), r.pFailures, pCell)
+	}
+	fmt.Fprintf(&b, "\nContract: transient-only profiles deliver with zero client-visible errors; "+
+		"lossy profiles (sticky/corrupt pages) fail only through typed degraded errors — "+
+		"never silent wrong records, duplicates, or dropped connections.\n")
+	return b.String()
+}

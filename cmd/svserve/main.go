@@ -33,6 +33,9 @@ func main() {
 		connStreams = flag.Int("conn-streams", 16, "per-connection cap on open streams")
 		maxBatch    = flag.Int("max-batch", 4096, "cap on records per batch response")
 		idle        = flag.Duration("idle", 0, "reap streams idle this long on the simulated disk clock (0 = never)")
+		reqTimeout  = flag.Duration("req-timeout", 0, "wall-clock deadline per in-flight request (0 = none)")
+		profile     = flag.String("fault-profile", "", "inject storage faults on every served view: "+strings.Join(sampleview.FaultProfiles(), ", "))
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for the injected fault schedule")
 	)
 	views := map[string]string{}
 	flag.Func("view", "serve a view as name=file.view (repeatable, required)", func(s string) error {
@@ -50,14 +53,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	var plan sampleview.FaultPlan
+	if *profile != "" {
+		var err error
+		if plan, err = sampleview.FaultProfile(*profile, *faultSeed); err != nil {
+			fmt.Fprintf(os.Stderr, "svserve: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	srv := server.New(server.Config{
 		MaxStreams:        *maxStreams,
 		MaxStreamsPerConn: *connStreams,
 		MaxBatch:          *maxBatch,
 		IdleTimeout:       *idle,
+		RequestTimeout:    *reqTimeout,
 	})
 	for name, path := range views {
-		v, err := sampleview.Open(path, sampleview.Options{})
+		v, err := sampleview.Open(path, sampleview.Options{Faults: plan})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "svserve: %v\n", err)
 			os.Exit(1)
@@ -65,6 +78,9 @@ func main() {
 		defer v.Close()
 		srv.AddView(name, v)
 		fmt.Printf("serving %-16s %s (%d records, %d dims)\n", name, path, v.Count(), v.Dims())
+	}
+	if *profile != "" {
+		fmt.Printf("fault injection: profile %q, seed %d\n", *profile, *faultSeed)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

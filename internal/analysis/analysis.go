@@ -93,6 +93,7 @@ func All() []*Analyzer {
 		LockGuard,
 		ErrPrefix,
 		NoPanic,
+		NoFatal,
 	}
 }
 

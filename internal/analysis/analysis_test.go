@@ -75,6 +75,7 @@ func TestAnalyzers(t *testing.T) {
 		{LockGuard, "lockguard", "internal/fixture"},
 		{ErrPrefix, "errprefix", "internal/fixture"},
 		{NoPanic, "nopanic", "internal/fixture"},
+		{NoFatal, "nofatal", "internal/fixture"},
 	}
 	for _, c := range cases {
 		t.Run(c.analyzer.Name, func(t *testing.T) {
@@ -129,6 +130,8 @@ func TestScopeExemptions(t *testing.T) {
 		{ErrPrefix, "errprefix", "cmd/tool"},
 		{NoPanic, "nopanic", "cmd/tool"},
 		{NoPanic, "nopanic", "examples/demo"},
+		{NoFatal, "nofatal", "cmd/tool"},
+		{NoFatal, "nofatal", "examples/demo"},
 	}
 	for _, c := range cases {
 		name := fmt.Sprintf("%s@%s", c.analyzer.Name, c.rel)

@@ -1,0 +1,28 @@
+// Package fixture exercises the nofatal analyzer: process-aborting calls
+// in library code are violations.
+package fixture
+
+import (
+	"log"
+	stdos "os"
+)
+
+// Load aborts on failure instead of returning the error.
+func Load(path string) []byte {
+	b, err := stdos.ReadFile(path)
+	if err != nil {
+		log.Fatalf("load %s: %v", path, err) // want `log.Fatalf aborts the process`
+	}
+	return b
+}
+
+func check(ok bool) {
+	if !ok {
+		log.Fatal("invariant broken") // want `log.Fatal aborts the process`
+	}
+}
+
+func die(code int) {
+	log.Panicln("dying") // want `log.Panicln aborts the process`
+	stdos.Exit(code)     // want `os.Exit aborts the process`
+}

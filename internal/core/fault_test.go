@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"sampleview/internal/iosim"
+	"sampleview/internal/pagefile"
+	"sampleview/internal/record"
+)
+
+// drainWithRetry drives a stream to completion, retrying transient errors
+// and collecting degraded errors, with a bound to keep test failures from
+// hanging.
+func drainWithRetry(t *testing.T, s *Stream) (recs []record.Record, degraded []*DegradedError) {
+	t.Helper()
+	retries := 0
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			return recs, degraded
+		}
+		if err != nil {
+			var de *DegradedError
+			if errors.As(err, &de) {
+				degraded = append(degraded, de)
+				continue
+			}
+			if pagefile.IsTransient(err) {
+				if retries++; retries > 10000 {
+					t.Fatal("stream stuck in transient retries")
+				}
+				continue
+			}
+			t.Fatalf("stream error: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// TestTransientRetryPreservesPrefix verifies that transient faults — even
+// bursts long enough to escape the storage layer's retry budget — never
+// change the emitted record sequence: the pending-leaf retry re-reads the
+// same leaf, so the faulty run is byte-identical to the fault-free run.
+func TestTransientRetryPreservesPrefix(t *testing.T) {
+	sim := testSim()
+	tree, _ := buildTestTree(t, sim, 2000, Params{Height: 5}, 3)
+	q := record.NewBox(record.Range{Lo: 1 << 18, Hi: 3 << 18})
+
+	clean, err := tree.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, deg := drainWithRetry(t, clean)
+	if len(deg) != 0 {
+		t.Fatal("fault-free stream degraded")
+	}
+
+	sim.SetFaultPlan(iosim.FaultPlan{
+		Seed: 11, TransientRate: 0.3, TransientBurst: 8, MaxAttempts: 2,
+	})
+	faulty, err := tree.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, deg := drainWithRetry(t, faulty)
+	if len(deg) != 0 {
+		t.Fatalf("transient-only plan degraded the stream: %v", deg[0])
+	}
+	if faulty.TransientRetries() == 0 {
+		t.Fatal("plan should have forced caller-level retries")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("faulty run emitted %d records, fault-free %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs under transient faults", i)
+		}
+	}
+}
+
+// TestDegradedStreamContinues verifies hard failures surface as typed
+// DegradedErrors naming the lost leaf and sections, and that the stream
+// keeps serving the surviving leaves with consistent accounting and no
+// duplicate records.
+func TestDegradedStreamContinues(t *testing.T) {
+	sim := testSim()
+	tree, _ := buildTestTree(t, sim, 2000, Params{Height: 5}, 3)
+	sim.SetFaultPlan(iosim.FaultPlan{Seed: 4, StickyRate: 0.15})
+
+	s, err := tree.Query(record.FullBox(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, degraded := drainWithRetry(t, s)
+	if len(degraded) == 0 {
+		t.Skip("sticky plan hit no leaf pages at this seed; adjust rate")
+	}
+	if !s.Done() {
+		t.Fatal("stream did not finish after degradation")
+	}
+	if got := s.DegradedLeaves(); got != int64(len(degraded)) {
+		t.Fatalf("DegradedLeaves = %d, %d errors seen", got, len(degraded))
+	}
+	var lostSecs int64
+	for _, de := range degraded {
+		if de.Leaf < 0 || de.Leaf >= tree.NumLeaves() {
+			t.Fatalf("degraded leaf %d out of range", de.Leaf)
+		}
+		if len(de.Sections) == 0 {
+			t.Fatal("full-box query must lose every section of a lost leaf")
+		}
+		var dpe *pagefile.DeadPageError
+		if !errors.As(de, &dpe) {
+			t.Fatalf("degraded error should wrap DeadPageError, got %v", de.Err)
+		}
+		lostSecs += int64(len(de.Sections))
+	}
+	if got := s.DegradedSections(); got != lostSecs {
+		t.Fatalf("DegradedSections = %d, want %d", got, lostSecs)
+	}
+	// Surviving records arrive exactly once.
+	seen := make(map[uint64]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.Seq] {
+			t.Fatalf("record seq %d emitted twice", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+	if int64(len(recs)) >= tree.Count() {
+		t.Fatal("degraded stream cannot have emitted the full relation")
+	}
+}
+
+// TestFaultCountersDeterministicAcrossClocks verifies two streams with
+// identical queries on private clocks observe identical fault schedules —
+// record-for-record and counter-for-counter — regardless of prior traffic
+// on the shared Sim.
+func TestFaultCountersDeterministicAcrossClocks(t *testing.T) {
+	sim := testSim()
+	tree, _ := buildTestTree(t, sim, 2000, Params{Height: 5}, 3)
+	sim.SetFaultPlan(iosim.FaultPlan{
+		Seed: 21, TransientRate: 0.25, TransientBurst: 6, MaxAttempts: 2, StickyRate: 0.05,
+	})
+	q := record.NewBox(record.Range{Lo: 0, Hi: 1 << 19})
+
+	type result struct {
+		recs    []record.Record
+		deg     int
+		retries int64
+		dl, ds  int64
+		fc      iosim.FaultCounters
+	}
+	run := func() result {
+		clk := sim.Fork()
+		view := tree.WithClock(clk)
+		s, err := view.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, deg := drainWithRetry(t, s)
+		return result{recs, len(deg), s.TransientRetries(), s.DegradedLeaves(), s.DegradedSections(), clk.FaultCounters()}
+	}
+	a := run()
+	b := run()
+	if a.deg != b.deg || a.retries != b.retries || a.dl != b.dl || a.ds != b.ds || a.fc != b.fc {
+		t.Fatalf("fault accounting differs across identical runs:\n%+v\n%+v", a, b)
+	}
+	if len(a.recs) != len(b.recs) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.recs), len(b.recs))
+	}
+	for i := range a.recs {
+		if a.recs[i] != b.recs[i] {
+			t.Fatalf("record %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestFsckPagesLocatesCorruption verifies FsckPages maps damage to the
+// owning region, leaf and sections.
+func TestFsckPagesLocatesCorruption(t *testing.T) {
+	sim := testSim()
+	tree, _ := buildTestTree(t, sim, 2000, Params{Height: 5}, 3)
+
+	faults, err := tree.FsckPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 0 {
+		t.Fatalf("healthy tree reported %d corrupt pages", len(faults))
+	}
+
+	// Damage one leaf-data page and one split-region page.
+	leaf := tree.NumLeaves() / 2
+	leafPage := tree.leaves[leaf].firstPage
+	if err := tree.f.CorruptStored(leafPage, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.f.CorruptStored(tree.splitStart(), 7); err != nil {
+		t.Fatal(err)
+	}
+	faults, err = tree.FsckPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 2 {
+		t.Fatalf("fsck found %d faults, want 2: %v", len(faults), faults)
+	}
+	var sawLeaf, sawSplits bool
+	for _, pf := range faults {
+		switch pf.Region {
+		case "splits":
+			sawSplits = true
+		case "leaf":
+			sawLeaf = true
+			if pf.Leaf != leaf {
+				t.Fatalf("corrupt page attributed to leaf %d, want %d", pf.Leaf, leaf)
+			}
+			if len(pf.Sections) == 0 {
+				t.Fatal("leaf fault must name affected sections")
+			}
+			if !pagefile.IsCorrupt(pf.Err) {
+				t.Fatalf("fault error %v is not a CorruptPageError", pf.Err)
+			}
+		default:
+			t.Fatalf("unexpected region %q", pf.Region)
+		}
+	}
+	if !sawLeaf || !sawSplits {
+		t.Fatalf("missing expected faults: %v", faults)
+	}
+	// The degraded leaf surfaces as a typed stream error too.
+	s, err := tree.Query(record.FullBox(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, degraded := drainWithRetry(t, s)
+	if len(degraded) != 1 || degraded[0].Leaf != leaf {
+		t.Fatalf("stream degradation %v, want exactly leaf %d", degraded, leaf)
+	}
+}

@@ -55,6 +55,18 @@ type Stream struct {
 	emitted    int64
 	done       bool
 
+	// pending is the leaf ordinal of a stab whose read failed transiently
+	// (-1 if none). The shuttle already consumed the leaf's remaining
+	// counters when the stab was routed, so the retry re-reads the same leaf
+	// over the preserved pathIdx/pathBox instead of stabbing again — a
+	// transient fault never skips a leaf, preserving prefix equality with a
+	// fault-free run.
+	pending int64
+	// fault accounting, surfaced through Stream stats.
+	transientRetries int64
+	degradedLeaves   int64
+	degradedSections int64
+
 	// scratch for stabs
 	pathIdx []int64
 	pathBox []record.Box
@@ -94,6 +106,7 @@ func (t *Tree) QueryWithOptions(q record.Box, opts StreamOptions) (*Stream, erro
 		nextRight: make([]bool, t.nLeaves),
 		remaining: make([]int32, 2*t.nLeaves),
 		buckets:   make([]map[int64][][]record.Record, t.h),
+		pending:   -1,
 		pathIdx:   make([]int64, t.h+1),
 		pathBox:   make([]record.Box, t.h+1),
 	}
@@ -163,6 +176,19 @@ func (s *Stream) Emitted() int64 { return s.emitted }
 // (Figure 15's metric).
 func (s *Stream) Buffered() int { return s.buffered }
 
+// TransientRetries returns how many stabs surfaced a transient storage
+// failure that the caller retried (the storage layer's own absorbed retries
+// are counted by the disk's fault counters, not here).
+func (s *Stream) TransientRetries() int64 { return s.transientRetries }
+
+// DegradedLeaves returns how many leaves the stream permanently lost to
+// hard storage failures.
+func (s *Stream) DegradedLeaves() int64 { return s.degradedLeaves }
+
+// DegradedSections returns the total number of query-overlapping sections
+// lost with degraded leaves.
+func (s *Stream) DegradedSections() int64 { return s.degradedSections }
+
 // Next returns the next sample record, performing stabs as needed. It
 // returns io.EOF once every matching record has been emitted and consumed.
 func (s *Stream) Next() (record.Record, error) {
@@ -206,20 +232,55 @@ func (s *Stream) NextBatch() ([]record.Record, error) {
 // NextLeaf performs one stab (Algorithm 3), reading exactly one leaf from
 // disk, and returns how many new sample records it emitted. It returns
 // io.EOF once every leaf has been read.
+//
+// Storage faults surface typed: a transient failure keeps the stab pending
+// (call NextLeaf again to retry the same leaf — the sample sequence is
+// unchanged from a fault-free run), while a hard failure returns a
+// *DegradedError naming the lost leaf and sections, after which the stream
+// continues over the surviving leaves.
 func (s *Stream) NextLeaf() (int, error) {
 	if s.done {
 		return 0, io.EOF
 	}
-	leaf := s.shuttle()
+	leaf := s.pending
+	if leaf >= 0 {
+		s.pending = -1
+	} else {
+		leaf = s.shuttle()
+	}
 	emitted, err := s.combineTuples(leaf)
 	if err != nil {
-		return 0, err
+		if retriable(err) {
+			s.pending = leaf
+			s.transientRetries++
+			return 0, fmt.Errorf("core: leaf %d: %w", leaf, err)
+		}
+		secs := s.lostSections()
+		s.degradedLeaves++
+		s.degradedSections += int64(len(secs))
+		if s.remaining[1] == 0 {
+			s.done = true
+		}
+		return 0, &DegradedError{Leaf: leaf, Sections: secs, Err: err}
 	}
 	s.leavesRead++
 	if s.remaining[1] == 0 {
 		s.done = true
 	}
 	return emitted, nil
+}
+
+// lostSections lists the 1-based section numbers of the current stab path
+// whose regions overlap the query: the contributions a lost leaf would have
+// made (the complement of combineTuples' useless-section skip).
+func (s *Stream) lostSections() []int {
+	var secs []int
+	for sec := 0; sec < s.t.h; sec++ {
+		if s.pathBox[sec+1].Overlaps(s.q) {
+			secs = append(secs, sec+1)
+		}
+	}
+	return secs
 }
 
 // shuttle picks the next leaf to read: starting at the root it prefers, at

@@ -95,10 +95,18 @@ func (c Counters) Writes() int64 { return c.RandomWrites + c.SequentialWrites }
 
 // Charger charges simulated time for page accesses. Both *Sim (shared,
 // synchronized) and *Clock (private, per stream) implement it; pagefile
-// routes every access through one.
+// routes every access through one. BeginRead consults the active FaultPlan
+// for the next read attempt of a page (advancing the charger's per-page
+// attempt cursor and charging any latency spike), and NoteFault records
+// fault outcomes the storage layer observes (rereads, corrupt pages, dead
+// pages) so they show up in FaultCounters.
 type Charger interface {
 	ReadPage(f FileID, page int64)
 	WritePage(f FileID, page int64)
+	Advance(d time.Duration)
+	BeginRead(f FileID, page int64) Fault
+	NoteFault(k FaultKind)
+	FaultPlan() FaultPlan
 }
 
 // Sim is a simulated disk: a virtual clock plus head-position tracking.
@@ -116,6 +124,15 @@ type Sim struct {
 	// last page accessed, or -1 if the head is not positioned in that file.
 	head     []int64 // guarded by mu
 	headFile FileID  // guarded by mu; file the head is currently in, or -1
+
+	// plan is the active fault schedule; nil means no faults.
+	plan atomic.Pointer[FaultPlan]
+	// faultMu guards the per-page read-attempt cursors used by flaky-page
+	// burst accounting for accesses charged directly to the Sim (Clock forks
+	// keep their own cursors).
+	faultMu  sync.Mutex
+	attempts map[attemptKey]int // guarded by faultMu
+	faults   [numFaultKinds]atomic.Int64
 }
 
 // indices into the counter array.
@@ -221,11 +238,17 @@ func (s *Sim) ScanCost(n int64) time.Duration {
 }
 
 // Fork returns a fresh Clock contributing to s. The Clock starts at time
-// zero with the head unpositioned, so its elapsed time and counters are
-// exactly those of a single stream running alone on a disk of the same
-// model.
+// zero with the head unpositioned and fresh fault-attempt cursors, so its
+// elapsed time, counters and fault schedule are exactly those of a single
+// stream running alone on a disk of the same model and fault plan.
 func (s *Sim) Fork() *Clock {
-	return &Clock{model: s.model, parent: s, headFile: -1, head: make(map[FileID]int64)}
+	return &Clock{
+		model:    s.model,
+		parent:   s,
+		headFile: -1,
+		head:     make(map[FileID]int64),
+		attempts: make(map[attemptKey]int),
+	}
 }
 
 // Clock is a private virtual clock for one stream or worker, created with
@@ -241,6 +264,12 @@ type Clock struct {
 	counters Counters
 	headFile FileID
 	head     map[FileID]int64
+
+	// attempts holds the stream's private per-page read-attempt cursors, so
+	// a stream's fault schedule depends only on its own access sequence —
+	// never on what concurrent streams do.
+	attempts map[attemptKey]int
+	faults   FaultCounters
 }
 
 // Model returns the disk model in use.

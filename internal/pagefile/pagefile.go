@@ -48,11 +48,16 @@ type File struct {
 	sim      *iosim.Sim
 	charge   iosim.Charger
 	id       iosim.FileID
-	pageSize int
+	pageSize int   // payload bytes per page (physical page minus header)
+	hdrSize  int   // per-page checksum header bytes; 0 for legacy v1 files
+	physOff  int64 // physical page of logical page 0 (1 past a superblock)
 	backend  Backend
 	// bufs recycles page-sized scratch buffers (Get, readLeaf and friends);
 	// shared across OnClock views of the same file.
 	bufs *bufPool
+	// frames recycles physical-frame scratch buffers for the checksum
+	// encode/verify paths; nil for legacy v1 files.
+	frames *bufPool
 }
 
 // bufPool is a bounded free list of page buffers. A plain sync.Pool of
@@ -89,34 +94,52 @@ func (p *bufPool) put(b []byte) {
 	p.mu.Unlock()
 }
 
-func newFile(sim *iosim.Sim, backend Backend) *File {
-	ps := sim.Model().PageSize
-	return &File{
+// newFile wires a File over backend. hdrSize selects the format (v2
+// checksum headers or 0 for legacy v1); physOff is the physical page index
+// of logical page 0.
+func newFile(sim *iosim.Sim, backend Backend, hdrSize int, physOff int64) *File {
+	phys := sim.Model().PageSize
+	f := &File{
 		sim:      sim,
 		charge:   sim,
 		id:       sim.Register(),
-		pageSize: ps,
+		pageSize: phys - hdrSize,
+		hdrSize:  hdrSize,
+		physOff:  physOff,
 		backend:  backend,
-		bufs:     &bufPool{ps: ps},
+		bufs:     &bufPool{ps: phys - hdrSize},
 	}
+	if hdrSize > 0 {
+		f.frames = &bufPool{ps: phys}
+	}
+	return f
 }
 
-// NewMem creates an empty in-memory page file on sim.
+// NewMem creates an empty in-memory page file on sim. Memory files use the
+// v2 checksummed page format but carry no superblock.
 func NewMem(sim *iosim.Sim) *File {
-	return newFile(sim, &memBackend{pageSize: sim.Model().PageSize})
+	return newFile(sim, &memBackend{pageSize: sim.Model().PageSize}, frameHdrSize, 0)
 }
 
-// Create creates (or truncates) an OS-backed page file at path on sim.
+// Create creates (or truncates) an OS-backed v2 page file at path on sim,
+// writing its superblock.
 func Create(sim *iosim.Sim, path string) (*File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pagefile: create %s: %w", path, err)
 	}
-	return newFile(sim, &osBackend{f: f, pageSize: sim.Model().PageSize}), nil
+	b := &osBackend{f: f, pageSize: sim.Model().PageSize}
+	if err := writeSuper(b, sim.Model().PageSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: create %s: %w", path, err)
+	}
+	return newFile(sim, b, frameHdrSize, 1), nil
 }
 
 // Open opens an existing OS-backed page file at path on sim. The file size
-// must be a whole number of pages.
+// must be a whole number of pages. Files whose first page carries the v2
+// superblock are verified with per-page checksums on every read; files
+// without it are legacy v1 seed files, served verbatim for back-compat.
 func Open(sim *iosim.Sim, path string) (*File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
@@ -132,7 +155,18 @@ func Open(sim *iosim.Sim, path string) (*File, error) {
 		f.Close()
 		return nil, fmt.Errorf("pagefile: %s size %d is not a multiple of page size %d", path, st.Size(), ps)
 	}
-	return newFile(sim, &osBackend{f: f, pageSize: sim.Model().PageSize, npages: st.Size() / ps}), nil
+	b := &osBackend{f: f, pageSize: sim.Model().PageSize, npages: st.Size() / ps}
+	if b.npages > 0 {
+		v2, err := readSuper(b, sim.Model().PageSize)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pagefile: open %s: %w", path, err)
+		}
+		if v2 {
+			return newFile(sim, b, frameHdrSize, 1), nil
+		}
+	}
+	return newFile(sim, b, 0, 0), nil
 }
 
 // OnClock returns a view of the file whose accesses are charged to the
@@ -145,32 +179,126 @@ func (f *File) OnClock(c *iosim.Clock) *File {
 	return &v
 }
 
-// PageSize returns the page size in bytes.
+// PageSize returns the usable page payload size in bytes. Checksummed (v2)
+// files reserve a small in-page header, so this is slightly smaller than
+// the disk model's physical page size; every layer above derives its
+// per-page capacities from this value.
 func (f *File) PageSize() int { return f.pageSize }
 
-// NumPages returns the number of pages in the file.
-func (f *File) NumPages() int64 { return f.backend.NumPages() }
+// NumPages returns the number of logical pages in the file.
+func (f *File) NumPages() int64 {
+	n := f.backend.NumPages() - f.physOff
+	if n < 0 {
+		return 0
+	}
+	return n
+}
 
 // Sim returns the simulated disk this file lives on.
 func (f *File) Sim() *iosim.Sim { return f.sim }
 
-// Read reads page i into dst (at least one page long), charging the clock.
+// Read reads logical page i into dst (at least one page long), charging the
+// clock. Under an active fault plan each attempt — the first read, retries
+// of transient failures, and rereads after checksum mismatches — is charged
+// like the real access it models, up to the plan's attempt budget. Checksum
+// verification runs on every read of a v2 page; failures that outlive the
+// budget surface as *TransientError, *DeadPageError or *CorruptPageError.
 func (f *File) Read(i int64, dst []byte) error {
-	if i < 0 || i >= f.backend.NumPages() {
-		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, i, f.backend.NumPages())
+	n := f.NumPages()
+	if i < 0 || i >= n {
+		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, i, n)
 	}
-	f.charge.ReadPage(f.id, i)
-	return f.backend.ReadPage(i, dst[:f.pageSize])
+	phys := i + f.physOff
+	budget := f.charge.FaultPlan().Attempts()
+	var sticky, transient bool
+	var corrupt *CorruptPageError
+	for a := 0; a < budget; a++ {
+		flt := f.faultFor(phys)
+		f.charge.ReadPage(f.id, phys)
+		if flt.Sticky {
+			sticky = true
+			continue
+		}
+		if flt.Transient {
+			transient = true
+			continue
+		}
+		err := f.readFrame(phys, i, flt, dst)
+		if err == nil {
+			return nil
+		}
+		var cpe *CorruptPageError
+		if errors.As(err, &cpe) {
+			corrupt = cpe
+			if a+1 < budget {
+				f.charge.NoteFault(iosim.FaultReread)
+			}
+			continue
+		}
+		return err
+	}
+	switch {
+	case sticky:
+		f.charge.NoteFault(iosim.FaultDead)
+		return &DeadPageError{Page: i, Attempts: budget}
+	case corrupt != nil:
+		f.charge.NoteFault(iosim.FaultCorrupt)
+		return corrupt
+	case transient:
+		return &TransientError{Page: i, Attempts: budget}
+	}
+	return &TransientError{Page: i, Attempts: budget}
 }
 
-// Write writes page i from src (at least one page long), charging the
-// clock. Writing page NumPages() extends the file by one page.
-func (f *File) Write(i int64, src []byte) error {
-	if i < 0 || i > f.backend.NumPages() {
-		return fmt.Errorf("%w: write page %d of %d", ErrPageOutOfRange, i, f.backend.NumPages())
+// readFrame performs one uncharged read attempt of physical page phys
+// (logical page i): fetch the frame, apply any injected bit rot, verify the
+// checksum, and copy the payload out to dst.
+func (f *File) readFrame(phys, i int64, flt iosim.Fault, dst []byte) error {
+	if f.hdrSize == 0 {
+		// Legacy v1: no header, nothing to verify. Injected bit rot lands in
+		// the payload undetected — exactly the failure mode v2 exists to fix.
+		if err := f.backend.ReadPage(phys, dst[:f.pageSize]); err != nil {
+			return err
+		}
+		if flt.FlipBit >= 0 {
+			flipBit(dst[:f.pageSize], flt.FlipBit)
+		}
+		return nil
 	}
-	f.charge.WritePage(f.id, i)
-	return f.backend.WritePage(i, src[:f.pageSize])
+	frame := f.frames.get()
+	defer f.frames.put(frame)
+	if err := f.backend.ReadPage(phys, frame); err != nil {
+		return err
+	}
+	if flt.FlipBit >= 0 {
+		flipBit(frame, flt.FlipBit)
+	}
+	got, want, ok := verifyFrame(frame, phys)
+	if !ok {
+		return &CorruptPageError{Page: i, Got: got, Want: want}
+	}
+	copy(dst[:f.pageSize], frame[f.hdrSize:])
+	return nil
+}
+
+// Write writes logical page i from src (at least one page long), charging
+// the clock and sealing the page with its checksum header. Writing page
+// NumPages() extends the file by one page.
+func (f *File) Write(i int64, src []byte) error {
+	n := f.NumPages()
+	if i < 0 || i > n {
+		return fmt.Errorf("%w: write page %d of %d", ErrPageOutOfRange, i, n)
+	}
+	phys := i + f.physOff
+	f.charge.WritePage(f.id, phys)
+	if f.hdrSize == 0 {
+		return f.backend.WritePage(phys, src[:f.pageSize])
+	}
+	frame := f.frames.get()
+	defer f.frames.put(frame)
+	copy(frame[f.hdrSize:], src[:f.pageSize])
+	encodeFrame(frame, phys)
+	return f.backend.WritePage(phys, frame)
 }
 
 // PageBuf returns a page-sized scratch buffer from the file's reuse pool.
@@ -188,7 +316,7 @@ func (f *File) PutPageBuf(b []byte) {
 // Append writes src as a new page at the end of the file and returns its
 // page index.
 func (f *File) Append(src []byte) (int64, error) {
-	i := f.backend.NumPages()
+	i := f.NumPages()
 	if err := f.Write(i, src); err != nil {
 		return 0, err
 	}

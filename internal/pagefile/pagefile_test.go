@@ -43,7 +43,7 @@ func TestMemFileReadWrite(t *testing.T) {
 	if err := f.Read(1, buf); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(buf, fill(512, 2)) {
+	if !bytes.Equal(buf[:f.PageSize()], fill(f.PageSize(), 2)) {
 		t.Fatal("page 1 contents wrong")
 	}
 	if err := f.Write(0, fill(512, 9)); err != nil {
@@ -98,7 +98,7 @@ func TestOSBackendRoundTrip(t *testing.T) {
 		if err := g.Read(int64(i), buf); err != nil {
 			t.Fatal(err)
 		}
-		if buf[0] != i+1 || buf[511] != i+1 {
+		if buf[0] != i+1 || buf[g.PageSize()-1] != i+1 {
 			t.Fatalf("page %d contents wrong: %d", i, buf[0])
 		}
 	}

@@ -4,24 +4,90 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sampleview/internal/aqp"
 	"sampleview/internal/record"
 )
+
+// RetryPolicy governs the client's automatic retry of typed transient
+// server failures (CodeTransient): capped exponential backoff with
+// deterministic, seeded jitter, so a fleet of retrying clients neither
+// stampedes in lockstep nor behaves differently across identical runs.
+type RetryPolicy struct {
+	// MaxRetries is how many times one request is retried after its first
+	// transient failure. 0 selects the default (6); negative disables
+	// client-side retry entirely.
+	MaxRetries int
+	// BaseDelay is the first backoff step (default 2ms); successive steps
+	// double until MaxDelay (default 250ms) caps them.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the jitter. A fixed seed gives a reproducible backoff
+	// schedule.
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 6
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 2 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	return p
+}
+
+// backoff computes the delay before retry number attempt (0-based):
+// BaseDelay doubling per attempt, capped at MaxDelay, with the upper half
+// of the interval jittered by the seeded source.
+func (p RetryPolicy) backoff(attempt int, jitter uint64) time.Duration {
+	d := p.BaseDelay << uint(attempt)
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(jitter%uint64(half)+1)
+	}
+	return d
+}
 
 // Client is a connection to a sample-view server. One Client maps to one
 // server session; any number of remote views and streams may be multiplexed
 // over it. A Client is safe for concurrent use — requests serialize on the
 // connection, matching the protocol's strict request/response alternation.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn      // guarded by mu
-	br   *bufio.Reader // guarded by mu
-	bw   *bufio.Writer // guarded by mu
-	err  error         // guarded by mu; sticky transport failure
+	mu     sync.Mutex
+	conn   net.Conn            // guarded by mu
+	br     *bufio.Reader       // guarded by mu
+	bw     *bufio.Writer       // guarded by mu
+	err    error               // guarded by mu; sticky transport failure
+	policy RetryPolicy         // guarded by mu
+	rng    *rand.Rand          // guarded by mu; seeded jitter source
+	sleep  func(time.Duration) // guarded by mu; backoff wait, swappable in tests
+
+	retries atomic.Int64 // transient failures absorbed by retrying
 }
+
+// SetRetryPolicy replaces the client's transient-retry policy (reseeding
+// the jitter source). The zero policy restores the defaults.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policy = p.withDefaults()
+	c.rng = rand.New(rand.NewPCG(c.policy.Seed, c.policy.Seed^0x9e3779b97f4a7c15))
+}
+
+// Retries returns how many transient server failures this client has
+// absorbed by transparently retrying.
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 // Dial connects to a sample-view server at addr ("host:port").
 func Dial(addr string) (*Client, error) {
@@ -35,10 +101,16 @@ func Dial(addr string) (*Client, error) {
 // NewClient wraps an established connection (any net.Conn, e.g. net.Pipe
 // in tests) as a Client.
 func NewClient(conn net.Conn) *Client {
+	p := RetryPolicy{}.withDefaults()
 	return &Client{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 64<<10),
-		bw:   bufio.NewWriterSize(conn, 64<<10),
+		conn:   conn,
+		br:     bufio.NewReaderSize(conn, 64<<10),
+		bw:     bufio.NewWriterSize(conn, 64<<10),
+		policy: p,
+		rng:    rand.New(rand.NewPCG(p.Seed, p.Seed^0x9e3779b97f4a7c15)),
+		// Backoff waits are real (wall clock) pauses between network
+		// retries; tests substitute a recording stub.
+		sleep: time.Sleep,
 	}
 }
 
@@ -89,6 +161,33 @@ func (c *Client) roundTrip(t FrameType, body []byte) (FrameType, []byte, error) 
 		return rt, nil, &Error{Code: e.Code, Msg: e.Msg}
 	}
 	return rt, rbody, nil
+}
+
+// expectRetry is expect plus transient-fault absorption: a CodeTransient
+// error frame is retried under the client's RetryPolicy — capped
+// exponential backoff, seeded jitter, a wall clock wait between attempts —
+// before the failure surfaces. It is safe only for requests the server
+// treats as resumable; batch pulls qualify because a transient failure
+// makes no stream progress.
+func (c *Client) expectRetry(req FrameType, body []byte, want FrameType) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		rbody, err := c.expect(req, body, want)
+		if err == nil || !IsTransient(err) {
+			return rbody, err
+		}
+		c.mu.Lock()
+		p := c.policy
+		jitter := c.rng.Uint64()
+		sleep := c.sleep
+		c.mu.Unlock()
+		if attempt >= p.MaxRetries {
+			return rbody, err
+		}
+		c.retries.Add(1)
+		if sleep != nil {
+			sleep(p.backoff(attempt, jitter))
+		}
+	}
 }
 
 // expect asserts the response frame type.
@@ -262,9 +361,12 @@ func (s *RemoteStream) NextBatch() ([]record.Record, error) {
 	return out, nil
 }
 
-// pullLocked fetches one batch from the server into the buffer.
+// pullLocked fetches one batch from the server into the buffer, absorbing
+// transient server faults under the client's RetryPolicy. Hard failures
+// (CodeDegraded and the rest) surface to the caller; the stream itself
+// stays usable, mirroring the in-process Stream's degraded semantics.
 func (s *RemoteStream) pullLocked(max int) error {
-	rbody, err := s.v.c.expect(FNextBatch, nextBatchReq{StreamID: s.id, Max: uint32(max)}.encode(), FBatch)
+	rbody, err := s.v.c.expectRetry(FNextBatch, nextBatchReq{StreamID: s.id, Max: uint32(max)}.encode(), FBatch)
 	if err != nil {
 		return err
 	}

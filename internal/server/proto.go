@@ -30,6 +30,17 @@ const (
 	CodeStreamReaped uint16 = 7
 	// CodeInternal: the view layer failed serving the request.
 	CodeInternal uint16 = 8
+	// CodeTransient: the request failed on a transient storage fault that
+	// outlived the storage layer's own retry budget. The stream is intact
+	// and made no progress, so repeating the exact request resumes at the
+	// faulted stab; the client library retries these automatically under
+	// its RetryPolicy.
+	CodeTransient uint16 = 9
+	// CodeDegraded: the stream permanently lost a leaf to a hard storage
+	// failure (dead page or detected corruption). The stream stays open
+	// and keeps serving the surviving leaves, but the records the lost
+	// leaf held are gone; the message names the leaf and sections.
+	CodeDegraded uint16 = 10
 )
 
 // Error is a typed failure returned by the server as an FError frame and
@@ -50,6 +61,21 @@ func (e *Error) Error() string {
 func IsAdmissionReject(err error) bool {
 	se, ok := err.(*Error)
 	return ok && (se.Code == CodeServerStreams || se.Code == CodeConnStreams)
+}
+
+// IsTransient reports whether err is a typed transient server failure:
+// the stream made no progress and repeating the request resumes exactly
+// where the fault struck.
+func IsTransient(err error) bool {
+	se, ok := err.(*Error)
+	return ok && se.Code == CodeTransient
+}
+
+// IsDegraded reports whether err is a typed degradation notice: the
+// stream permanently lost a leaf but remains serviceable.
+func IsDegraded(err error) bool {
+	se, ok := err.(*Error)
+	return ok && se.Code == CodeDegraded
 }
 
 // --- primitive append/consume helpers -----------------------------------

@@ -34,6 +34,14 @@ type Config struct {
 	// uncontended server are never collected, however busy the shared
 	// clock. Zero disables reaping.
 	IdleTimeout time.Duration
+	// RequestTimeout bounds, in wall-clock time, how long one request may
+	// occupy the session loop once its frame header has arrived: the rest
+	// of the frame must be read, the request handled and the response
+	// fully written before the deadline, or the connection is closed. It
+	// guards the serving loop against stalled and hostile peers (slow-loris
+	// frames, dead TCP peers mid-response), which the simulated clock
+	// cannot see. Zero disables per-request deadlines.
+	RequestTimeout time.Duration
 }
 
 // maxBatchLimit is the largest batch that fits one frame with headroom for
@@ -294,6 +302,8 @@ func (s *Server) Snapshot() *StatsSnapshot {
 		BytesRead:       c.BytesRead.Load(),
 		BytesWritten:    c.BytesWritten.Load(),
 		SimIO:           time.Duration(c.SimIONanos.Load()),
+		TransientErrors: c.TransientErrors.Load(),
+		DegradedErrors:  c.DegradedErrors.Load(),
 	}
 	for _, sess := range sessions {
 		snap.Sessions = append(snap.Sessions, sess.snapshot())

@@ -2,7 +2,10 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
+	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -26,6 +29,30 @@ type servedStream struct {
 	// simSeen is the portion of the stream's own simulated I/O time already
 	// folded into the session and server counters.
 	simSeen atomic.Int64
+
+	// deferredMu guards deferred.
+	deferredMu sync.Mutex
+	// deferred is a hard stream failure observed while a partial batch was
+	// being delivered; it is surfaced as a typed error frame on the
+	// stream's next request so the records already sampled are never
+	// dropped and the failure is never lost.
+	deferred error // guarded by deferredMu
+}
+
+// stashErr defers a stream failure to the stream's next request.
+func (st *servedStream) stashErr(err error) {
+	st.deferredMu.Lock()
+	st.deferred = err
+	st.deferredMu.Unlock()
+}
+
+// takeErr pops the deferred failure, if any.
+func (st *servedStream) takeErr() error {
+	st.deferredMu.Lock()
+	defer st.deferredMu.Unlock()
+	err := st.deferred
+	st.deferred = nil
+	return err
 }
 
 // touch stamps the stream as active now (in its view's simulated time).
@@ -113,7 +140,7 @@ func (s *Server) serveConn(nc net.Conn) {
 	br := bufio.NewReaderSize(cc, 64<<10)
 	bw := bufio.NewWriterSize(cc, 64<<10)
 	for {
-		t, body, err := ReadFrame(br)
+		t, body, err := sess.readRequest(br)
 		if err != nil {
 			// Only protocol violations count as bad frames; disconnects and
 			// drain-triggered closes are ordinary transport events.
@@ -132,9 +159,56 @@ func (s *Server) serveConn(nc net.Conn) {
 		if werr != nil {
 			return
 		}
+		sess.clearDeadline()
 		if s.isDraining() {
 			return
 		}
+	}
+}
+
+// readRequest reads one request frame, arming the per-request deadline the
+// moment the frame header arrives: from then on the payload read, the
+// handling and the response write all race the same RequestTimeout budget.
+// Waiting for the *next* header is deliberately unbounded — an idle
+// keep-alive connection is not a stalled request.
+func (sess *session) readRequest(br *bufio.Reader) (FrameType, []byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("server: reading frame header: %w", err)
+	}
+	sess.armDeadline()
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: %d outside [1, %d]", errFrameLength, n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("server: reading %d-byte frame payload: %w", n, err)
+	}
+	return FrameType(payload[0]), payload[1:], nil
+}
+
+// armDeadline sets the connection's absolute I/O deadline RequestTimeout
+// from now. The deadline is wall clock by design: it defends the serving
+// loop against peers that stall mid-frame or stop draining responses,
+// failure modes the simulated disk clock cannot observe.
+func (sess *session) armDeadline() {
+	if d := sess.srv.cfg.RequestTimeout; d > 0 {
+		_ = sess.conn.SetDeadline(time.Now().Add(d))
+	}
+}
+
+// clearDeadline removes the per-request wall clock deadline once the
+// response has been flushed.
+func (sess *session) clearDeadline() {
+	if sess.srv.cfg.RequestTimeout > 0 {
+		_ = sess.conn.SetDeadline(time.Time{})
 	}
 }
 
@@ -170,6 +244,21 @@ func (sess *session) handle(t FrameType, body []byte) (FrameType, []byte) {
 func reject(sess *session, code uint16, msg string) (FrameType, []byte) {
 	sess.counters.Rejections.Add(1)
 	return FError, errorResp{Code: code, Msg: msg}.encode()
+}
+
+// classifyStreamErr maps a view-layer stream failure to its wire code,
+// counting fault frames in the server stats.
+func (sess *session) classifyStreamErr(err error) uint16 {
+	switch {
+	case sampleview.IsTransient(err):
+		sess.srv.stats.TransientErrors.Add(1)
+		return CodeTransient
+	case sampleview.IsDegraded(err):
+		sess.srv.stats.DegradedErrors.Add(1)
+		return CodeDegraded
+	default:
+		return CodeInternal
+	}
 }
 
 func (sess *session) handleOpenView(body []byte) (FrameType, []byte) {
@@ -295,6 +384,9 @@ func (sess *session) handleNextBatch(body []byte) (FrameType, []byte) {
 		}
 		return reject(sess, CodeUnknownStream, "unknown stream id")
 	}
+	if derr := st.takeErr(); derr != nil {
+		return reject(sess, sess.classifyStreamErr(derr), derr.Error())
+	}
 	max := int(req.Max)
 	if max <= 0 || max > sess.srv.cfg.MaxBatch {
 		max = sess.srv.cfg.MaxBatch
@@ -308,7 +400,23 @@ func (sess *session) handleNextBatch(body []byte) (FrameType, []byte) {
 			sess.removeStream(req.StreamID, true)
 			return reject(sess, CodeStreamReaped, "stream reaped after simulated-clock idle timeout")
 		}
-		return reject(sess, CodeInternal, err.Error())
+		if len(recs) == 0 {
+			return reject(sess, sess.classifyStreamErr(err), err.Error())
+		}
+		// A partial batch rode ahead of the failure. Deliver it — the
+		// records are valid and acknowledged batches must never be dropped.
+		// A transient fault needs nothing more: the stream made no further
+		// progress and the next pull resumes at the faulted stab. A hard
+		// failure is stashed so the typed error surfaces on the stream's
+		// next request instead of vanishing.
+		if !sampleview.IsTransient(err) {
+			st.stashErr(err)
+		}
+		sess.counters.Batches.Add(1)
+		sess.counters.Records.Add(int64(len(recs)))
+		sess.srv.stats.BatchesServed.Add(1)
+		sess.srv.stats.RecordsServed.Add(int64(len(recs)))
+		return FBatch, batchResp{StreamID: req.StreamID, EOF: false, Records: recs}.encode()
 	}
 	eof := len(recs) < max
 	if eof {

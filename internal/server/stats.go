@@ -28,6 +28,8 @@ type serverCounters struct {
 	BytesRead       atomic.Int64
 	BytesWritten    atomic.Int64
 	SimIONanos      atomic.Int64 // simulated I/O time charged by served streams
+	TransientErrors atomic.Int64 // CodeTransient frames sent (storage retry budget exhausted)
+	DegradedErrors  atomic.Int64 // CodeDegraded frames sent (leaves permanently lost)
 }
 
 // sessionCounters is the per-session slice of the same surface.
@@ -64,6 +66,8 @@ type StatsSnapshot struct {
 	BytesRead       int64
 	BytesWritten    int64
 	SimIO           time.Duration
+	TransientErrors int64
+	DegradedErrors  int64
 
 	Sessions []SessionSnapshot
 }
@@ -87,7 +91,7 @@ type SessionSnapshot struct {
 // scope, so decoders can stay compatible with older servers that send
 // fewer fields.
 const (
-	serverFieldCount  = 17
+	serverFieldCount  = 19
 	sessionFieldCount = 10
 )
 
@@ -98,6 +102,7 @@ func (s *StatsSnapshot) serverFields() []int64 {
 		s.BatchesServed, s.RecordsServed, s.EstimatesServed,
 		s.RejectedServer, s.RejectedConn, s.RejectedDrain, s.BadFrames,
 		s.BytesRead, s.BytesWritten, int64(s.SimIO),
+		s.TransientErrors, s.DegradedErrors,
 	}
 }
 
@@ -107,6 +112,7 @@ func (s *StatsSnapshot) setServerFields(f []int64) {
 	s.BatchesServed, s.RecordsServed, s.EstimatesServed = f[7], f[8], f[9]
 	s.RejectedServer, s.RejectedConn, s.RejectedDrain, s.BadFrames = f[10], f[11], f[12], f[13]
 	s.BytesRead, s.BytesWritten, s.SimIO = f[14], f[15], time.Duration(f[16])
+	s.TransientErrors, s.DegradedErrors = f[17], f[18]
 }
 
 func (s *SessionSnapshot) fields() []int64 {
@@ -204,6 +210,8 @@ func (s *StatsSnapshot) Dump(w io.Writer) {
 	fmt.Fprintf(w, "wire:            %d bytes in, %d bytes out, %d bad frames\n",
 		s.BytesRead, s.BytesWritten, s.BadFrames)
 	fmt.Fprintf(w, "simulated I/O:   %v charged by served streams\n", s.SimIO)
+	fmt.Fprintf(w, "fault frames:    %d transient, %d degraded\n",
+		s.TransientErrors, s.DegradedErrors)
 	for i := range s.Sessions {
 		ss := &s.Sessions[i]
 		fmt.Fprintf(w, "session %-6d   %d open, %d opened (%d reaped), %d records / %d batches, %d rej, %dB in / %dB out, sim %v\n",

@@ -35,6 +35,50 @@ type (
 	Estimator = stats.Estimator
 )
 
+// Fault-model types, re-exported so callers can configure fault injection
+// and type-switch on storage failures without importing internal packages.
+type (
+	// FaultPlan is a deterministic, seeded schedule of injected storage
+	// faults (see Options.Faults and View.InjectFaults).
+	FaultPlan = iosim.FaultPlan
+	// FaultCounters aggregates observed fault activity.
+	FaultCounters = iosim.FaultCounters
+	// CorruptPageError reports a page whose checksum verification failed:
+	// detected bit rot, never silently wrong records.
+	CorruptPageError = pagefile.CorruptPageError
+	// DeadPageError reports a page unreadable after the full retry budget.
+	DeadPageError = pagefile.DeadPageError
+	// TransientIOError reports a read failure that a later retry may clear.
+	TransientIOError = pagefile.TransientError
+	// DegradedError reports a stream that permanently lost a leaf: the
+	// running sample no longer covers the named sections.
+	DegradedError = core.DegradedError
+	// PageFault locates one corrupt page found by View.Fsck.
+	PageFault = core.PageFault
+)
+
+// FaultProfile returns the named fault profile ("none", "flaky-disk",
+// "slow-disk", "flaky-deep", "bitrot", "bad-sector", "hell") with the given
+// seed.
+func FaultProfile(name string, seed uint64) (FaultPlan, error) {
+	return iosim.ProfilePlan(name, seed)
+}
+
+// FaultProfiles lists the named fault profiles, mildest first.
+func FaultProfiles() []string { return iosim.Profiles() }
+
+// IsTransient reports whether err is (or wraps) a transient storage
+// failure: retrying the operation that returned it may succeed, and for
+// streams the retry continues exactly where the fault struck (no records
+// are skipped or repeated).
+func IsTransient(err error) bool { return pagefile.IsTransient(err) }
+
+// IsDegraded reports whether err is (or wraps) a DegradedError.
+func IsDegraded(err error) bool {
+	var de *DegradedError
+	return errors.As(err, &de)
+}
+
 // Box1D returns a one-dimensional predicate over [lo, hi] on Key.
 func Box1D(lo, hi int64) Box { return record.Box1D(lo, hi) }
 
@@ -67,6 +111,12 @@ type Options struct {
 	// DiskModel overrides the simulated disk cost model used for I/O
 	// accounting. Zero value selects iosim.DefaultModel.
 	DiskModel iosim.Model
+	// Faults installs a deterministic storage-fault schedule on the view's
+	// simulated disk. Construction and metadata loading always run
+	// fault-free; the plan governs the query and append I/O that follows.
+	// The zero value injects nothing; View.InjectFaults replaces the plan at
+	// runtime.
+	Faults FaultPlan
 }
 
 func (o Options) model() iosim.Model {
@@ -156,6 +206,7 @@ func Create(path string, src Source, opts Options) (*View, error) {
 		}
 		return nil, err
 	}
+	sim.SetFaultPlan(opts.Faults)
 	return newView(sim, f, tree, path, opts.Seed), nil
 }
 
@@ -176,6 +227,7 @@ func Open(path string, opts Options) (*View, error) {
 		f.Close()
 		return nil, err
 	}
+	sim.SetFaultPlan(opts.Faults)
 	return newView(sim, f, tree, path, opts.Seed), nil
 }
 
@@ -251,8 +303,24 @@ func (v *View) Compact(path string, opts Options) (*View, error) {
 		}
 		return nil, err
 	}
+	sim.SetFaultPlan(opts.Faults)
 	return newView(sim, f, nd.Main(), path, opts.Seed), nil
 }
+
+// InjectFaults installs (or, with a zero plan, clears) a deterministic
+// storage-fault schedule on the view's simulated disk. It takes effect for
+// subsequent page reads, including those of streams already open; the
+// chaos harness uses it to escalate profiles against a live view.
+func (v *View) InjectFaults(p FaultPlan) { v.sim.SetFaultPlan(p) }
+
+// FaultPlan returns the active fault schedule (zero if none).
+func (v *View) FaultPlan() FaultPlan { return v.sim.FaultPlan() }
+
+// Fsck verifies the stored checksum of every page of the view file and
+// reports each corrupt page with the tree region — and for leaf pages, the
+// leaf and sections — it damages. Legacy (pre-checksum) files report
+// nothing. The scan costs one sequential pass of simulated I/O.
+func (v *View) Fsck() ([]PageFault, error) { return v.tree.FsckPages() }
 
 // EstimateCount estimates the number of records matching q from the
 // view's internal counts (exact for boundary-aligned predicates).
@@ -292,6 +360,11 @@ type Stream struct {
 	core   *core.Stream     // guarded by mu
 	diff   *diffview.Stream // guarded by mu
 	closed bool             // guarded by mu
+	// final* freeze the sampler-level fault accounting when Close drops the
+	// core stream, so Stats stays fully valid after Close.
+	finalRetries int64 // guarded by mu
+	finalDegLeaf int64 // guarded by mu
+	finalDegSec  int64 // guarded by mu
 }
 
 // Query starts an online sample stream for predicate q. Records appended
@@ -339,6 +412,11 @@ func (s *Stream) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
+	if s.core != nil {
+		s.finalRetries = s.core.TransientRetries()
+		s.finalDegLeaf = s.core.DegradedLeaves()
+		s.finalDegSec = s.core.DegradedSections()
+	}
 	s.core, s.diff = nil, nil
 	return nil
 }
@@ -376,17 +454,34 @@ func (s *Stream) Buffered() int {
 	return 0
 }
 
-// IOStats summarizes the I/O activity and simulated time of the view's
-// disk.
+// IOStats summarizes the I/O activity, fault activity and simulated time of
+// the view's disk (for View.Stats) or of one stream (for Stream.Stats).
 type IOStats struct {
 	Counters iosim.Counters
-	SimTime  string
+	// Faults counts storage-layer fault events: injected transient
+	// failures, latency spikes, checksum rereads, corrupt pages and dead
+	// pages observed by this disk or stream clock.
+	Faults FaultCounters
+	// Retries counts sampler-level retries: stabs that surfaced a transient
+	// error to the caller and were re-driven over the same leaf. Zero in
+	// View.Stats (it is a per-stream quantity).
+	Retries int64
+	// DegradedLeaves and DegradedSections count the leaves (and their
+	// query-overlapping sections) this stream permanently lost to hard
+	// storage failures. Zero in View.Stats.
+	DegradedLeaves   int64
+	DegradedSections int64
+	SimTime          string
 }
 
 // Stats returns a snapshot of the view's simulated I/O counters,
 // aggregated over every stream (counters are atomic; no lock is taken).
 func (v *View) Stats() IOStats {
-	return IOStats{Counters: v.sim.Counters(), SimTime: v.sim.Now().String()}
+	return IOStats{
+		Counters: v.sim.Counters(),
+		Faults:   v.sim.FaultCounters(),
+		SimTime:  v.sim.Now().String(),
+	}
 }
 
 // SimNow returns the view's current simulated disk time: the total disk-busy
@@ -404,10 +499,24 @@ func (s *Stream) SimNow() time.Duration {
 	return s.clock.Now()
 }
 
-// Stats returns the stream's own I/O counters and elapsed simulated time:
-// the cost this stream would incur running alone on the view's disk.
+// Stats returns the stream's own I/O and fault counters and elapsed
+// simulated time: the cost this stream would incur running alone on the
+// view's disk, plus how many faults it absorbed and what it lost.
 func (s *Stream) Stats() IOStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return IOStats{Counters: s.clock.Counters(), SimTime: s.clock.Now().String()}
+	st := IOStats{
+		Counters:         s.clock.Counters(),
+		Faults:           s.clock.FaultCounters(),
+		Retries:          s.finalRetries,
+		DegradedLeaves:   s.finalDegLeaf,
+		DegradedSections: s.finalDegSec,
+		SimTime:          s.clock.Now().String(),
+	}
+	if s.core != nil {
+		st.Retries = s.core.TransientRetries()
+		st.DegradedLeaves = s.core.DegradedLeaves()
+		st.DegradedSections = s.core.DegradedSections()
+	}
+	return st
 }
