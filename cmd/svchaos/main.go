@@ -15,6 +15,13 @@
 //
 //	svchaos -records 100000 -clients 8 -ops 6 -out results/chaos-bench.md
 //	svchaos -profiles flaky-disk,hell -seed 7
+//	svchaos -shards 4
+//
+// With -shards K the view is partitioned across K simulated disks and the
+// ladder runs against the merged K-way stream; a final shard-kill phase
+// then kills one shard outright and verifies the blast radius: typed
+// degraded errors only, zero records from the dead shard, every matching
+// record of the surviving shards still delivered.
 //
 // The run prints a per-profile summary and, with -out, writes a markdown
 // report. The exit status is non-zero if any contract above was violated.
@@ -77,6 +84,7 @@ func main() {
 		batch    = flag.Int("batch", 256, "records per batch pull")
 		seed     = flag.Uint64("seed", 1, "workload and fault-schedule seed")
 		profs    = flag.String("profiles", "all", "comma-separated fault profiles, or \"all\" for the escalating ladder")
+		shards   = flag.Int("shards", 1, "partition the view across this many simulated disks (>1 adds a shard-kill phase)")
 		out      = flag.String("out", "", "write the markdown report to this file")
 	)
 	flag.Parse()
@@ -98,14 +106,14 @@ func main() {
 	for _, r := range recs {
 		bySeq[r.Seq] = r
 	}
-	v, err := sampleview.CreateFromSlice(filepath.Join(dir, "chaos.view"), recs, sampleview.Options{Seed: *seed})
+	tg, err := buildTarget(dir, recs, *shards, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "svchaos: %v\n", err)
 		os.Exit(1)
 	}
-	defer v.Close()
-	fmt.Printf("view: %d records, %d leaves' worth of pages; %d clients x %d ops x %d samples per profile\n",
-		v.Count(), v.Stats().Counters.Writes(), *clients, *ops, *samples)
+	defer tg.close()
+	fmt.Printf("view: %d records across %d shard(s); %d clients x %d ops x %d samples per profile\n",
+		tg.count, *shards, *clients, *ops, *samples)
 
 	var results []profileResult
 	failed := false
@@ -115,7 +123,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "svchaos: %v\n", err)
 			os.Exit(2)
 		}
-		res := runProfile(v, bySeq, name, plan, *clients, *ops, *samples, *batch, *seed)
+		res := runProfile(tg, bySeq, name, plan, *clients, *ops, *samples, *batch, *seed)
 		results = append(results, res)
 		verdict := "ok"
 		if !contractHolds(&res) {
@@ -141,7 +149,25 @@ func main() {
 		}
 	}
 
-	report := buildReport(v.Count(), *clients, *ops, *samples, *batch, *seed, results)
+	if tg.k > 1 {
+		res := runShardKill(tg, bySeq, *seed)
+		results = append(results, res)
+		verdict := "ok"
+		if !shardKillHolds(tg, &res) {
+			verdict = "CONTRACT VIOLATED"
+			failed = true
+		}
+		fmt.Printf("%-11s %7d recs %6.1fs  degraded-events=%-4d  %s\n",
+			res.profile, res.records, res.elapsed.Seconds(), res.degEvents, verdict)
+		for i, e := range append(res.hardErrs, res.badRecs...) {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("    violation: %s\n", e)
+		}
+	}
+
+	report := buildReport(tg.count, *clients, *ops, *samples, *batch, *seed, results)
 	if *out != "" {
 		if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "svchaos: %v\n", err)
@@ -174,16 +200,66 @@ func contractHolds(r *profileResult) bool {
 	return len(r.hardErrs) == 0
 }
 
+// target abstracts the served view so the ladder runs identically against
+// an unsharded view or a K-way sharded one.
+type target struct {
+	source server.ViewSource
+	count  int64
+	k      int
+	inject func(sampleview.FaultPlan)
+	faults func() sampleview.FaultCounters
+	close  func()
+	// sharded-only hooks for the shard-kill phase.
+	kill   func(int)
+	revive func(int)
+	route  func(record.Record) int
+}
+
+// buildTarget materializes the chaos view: unsharded for shards <= 1,
+// partitioned across shards simulated disks otherwise.
+func buildTarget(dir string, recs []record.Record, shards int, seed uint64) (*target, error) {
+	if shards <= 1 {
+		v, err := sampleview.CreateFromSlice(filepath.Join(dir, "chaos.view"), recs, sampleview.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return &target{
+			source: server.LocalSource(v),
+			count:  v.Count(),
+			k:      1,
+			inject: v.InjectFaults,
+			faults: func() sampleview.FaultCounters { return v.Stats().Faults },
+			close:  func() { v.Close() },
+		}, nil
+	}
+	v, err := sampleview.CreateSharded(filepath.Join(dir, "chaos.shards"), recs,
+		sampleview.ShardedOptions{K: shards, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &target{
+		source: server.ShardedSource(v.View),
+		count:  v.Count(),
+		k:      shards,
+		inject: v.InjectFaults,
+		faults: func() sampleview.FaultCounters { return v.View.Stats().Faults },
+		close:  func() { v.Close() },
+		kill:   v.KillShard,
+		revive: v.ReviveShard,
+		route:  v.Route,
+	}, nil
+}
+
 // runProfile serves the view under one fault plan and drives the fleet.
-func runProfile(v *sampleview.View, bySeq map[uint64]record.Record, name string,
+func runProfile(tg *target, bySeq map[uint64]record.Record, name string,
 	plan sampleview.FaultPlan, clients, ops, samples, batch int, seed uint64) profileResult {
 	res := profileResult{profile: name}
-	before := v.Stats().Faults
-	v.InjectFaults(plan)
-	defer v.InjectFaults(sampleview.FaultPlan{})
+	before := tg.faults()
+	tg.inject(plan)
+	defer tg.inject(sampleview.FaultPlan{})
 
 	srv := server.New(server.Config{MaxStreams: 4 * clients, RequestTimeout: 30 * time.Second})
-	srv.AddView("chaos", v)
+	srv.AddSource("chaos", tg.source)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		res.hardErrs = append(res.hardErrs, err.Error())
@@ -220,7 +296,7 @@ func runProfile(v *sampleview.View, bySeq map[uint64]record.Record, name string,
 	snap := srv.Snapshot()
 	res.transient = snap.TransientErrors
 	res.degFrames = snap.DegradedErrors
-	after := v.Stats().Faults
+	after := tg.faults()
 	res.faults = sampleview.FaultCounters{
 		Transient:     after.Transient - before.Transient,
 		LatencySpikes: after.LatencySpikes - before.LatencySpikes,
@@ -332,6 +408,98 @@ func runClient(addr string, bySeq map[uint64]record.Record,
 	}
 	res.retries = cl.Retries()
 	return res
+}
+
+// runShardKill kills one shard of the served view and drains a full-box
+// stream over the wire, recording the blast radius: which records arrived
+// and what errors surfaced. The shard is revived afterwards.
+func runShardKill(tg *target, bySeq map[uint64]record.Record, seed uint64) profileResult {
+	res := profileResult{profile: "shard-kill"}
+	dead := tg.k - 1
+	tg.kill(dead)
+	defer tg.revive(dead)
+
+	srv := server.New(server.Config{RequestTimeout: 30 * time.Second})
+	srv.AddSource("chaos", tg.source)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		res.hardErrs = append(res.hardErrs, err.Error())
+		return res
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+
+	start := time.Now()
+	cl, err := server.Dial(ln.Addr().String())
+	if err != nil {
+		res.hardErrs = append(res.hardErrs, err.Error())
+		return res
+	}
+	defer cl.Close()
+	rv, err := cl.OpenView("chaos")
+	if err != nil {
+		res.hardErrs = append(res.hardErrs, err.Error())
+		return res
+	}
+	s, err := rv.Query(record.FullBox(1))
+	if err != nil {
+		res.hardErrs = append(res.hardErrs, err.Error())
+		return res
+	}
+	defer s.Close()
+
+	served := make(map[uint64]struct{}, len(bySeq))
+	for {
+		recs, err := s.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if server.IsDegraded(err) {
+				res.degEvents++
+				if res.degEvents > 100_000 {
+					res.hardErrs = append(res.hardErrs, "stream wedged on degraded errors")
+					break
+				}
+				continue
+			}
+			res.hardErrs = append(res.hardErrs, fmt.Sprintf("next batch: %v", err))
+			break
+		}
+		for i := range recs {
+			if src, ok := bySeq[recs[i].Seq]; !ok || recs[i] != src {
+				res.badRecs = append(res.badRecs,
+					fmt.Sprintf("record seq %d not in the source relation", recs[i].Seq))
+				continue
+			}
+			if tg.route(recs[i]) == dead {
+				res.badRecs = append(res.badRecs,
+					fmt.Sprintf("record seq %d served from the dead shard %d", recs[i].Seq, dead))
+			}
+			served[recs[i].Seq] = struct{}{}
+		}
+		res.records += int64(len(recs))
+	}
+	for _, r := range bySeq {
+		if tg.route(r) != dead {
+			if _, ok := served[r.Seq]; !ok {
+				res.badRecs = append(res.badRecs,
+					fmt.Sprintf("surviving-shard record seq %d never served", r.Seq))
+			}
+		}
+	}
+	res.ops = 1
+	res.elapsed = time.Since(start)
+	snap := srv.Snapshot()
+	res.transient = snap.TransientErrors
+	res.degFrames = snap.DegradedErrors
+	return res
+}
+
+// shardKillHolds checks the shard-kill contract: the dead shard degrades
+// through typed errors only, and the survivors deliver everything.
+func shardKillHolds(tg *target, r *profileResult) bool {
+	return len(r.hardErrs) == 0 && len(r.badRecs) == 0 && r.degEvents > 0 && r.records > 0
 }
 
 func genRecords(n int, seed uint64) []record.Record {

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	svserve -listen :7070 -view sale=sale.view -view day2=day2.view
+//	svserve -listen :7070 -catalog /data/svcat
+//
+// With -catalog the server hosts a sharded view catalog: clients list and
+// open its views by name, and the catalog's background maintenance
+// (compaction past -compact-threshold pending appends, checksum scrubs
+// every -scrub-every of simulated time) runs in the idle gaps between
+// request bursts.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: in-flight batches finish
 // writing before their connections close, and the final server statistics
@@ -36,6 +43,9 @@ func main() {
 		reqTimeout  = flag.Duration("req-timeout", 0, "wall-clock deadline per in-flight request (0 = none)")
 		profile     = flag.String("fault-profile", "", "inject storage faults on every served view: "+strings.Join(sampleview.FaultProfiles(), ", "))
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for the injected fault schedule")
+		catalogDir  = flag.String("catalog", "", "host the sharded view catalog rooted at this directory")
+		compactAt   = flag.Int("compact-threshold", 256, "catalog: compact a view once this many appends are pending (0 = never)")
+		scrubEvery  = flag.Duration("scrub-every", 0, "catalog: checksum-scrub each view at this simulated-time interval (0 = never)")
 	)
 	views := map[string]string{}
 	flag.Func("view", "serve a view as name=file.view (repeatable, required)", func(s string) error {
@@ -47,8 +57,8 @@ func main() {
 		return nil
 	})
 	flag.Parse()
-	if len(views) == 0 {
-		fmt.Fprintln(os.Stderr, "svserve: at least one -view name=file.view is required")
+	if len(views) == 0 && *catalogDir == "" {
+		fmt.Fprintln(os.Stderr, "svserve: at least one -view name=file.view (or -catalog dir) is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -78,6 +88,22 @@ func main() {
 		defer v.Close()
 		srv.AddView(name, v)
 		fmt.Printf("serving %-16s %s (%d records, %d dims)\n", name, path, v.Count(), v.Dims())
+	}
+	if *catalogDir != "" {
+		cat, err := sampleview.NewCatalog(*catalogDir, sampleview.ShardedOptions{Faults: plan},
+			sampleview.CatalogPolicy{CompactThreshold: *compactAt, ScrubEvery: *scrubEvery})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer cat.Close()
+		srv.SetCatalog(cat)
+		for _, info := range cat.List() {
+			fmt.Printf("catalog %-16s %d shards (%s), %d records, health %s\n",
+				info.Name, info.K, info.Partition, info.Count, info.Health)
+		}
+		fmt.Printf("catalog maintenance: compact at %d pending appends, scrub every %v of simulated time\n",
+			*compactAt, *scrubEvery)
 	}
 	if *profile != "" {
 		fmt.Printf("fault injection: profile %q, seed %d\n", *profile, *faultSeed)

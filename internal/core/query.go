@@ -164,6 +164,20 @@ func (s *Stream) computeRequired() {
 // new batches.
 func (s *Stream) Done() bool { return s.done && s.outHead >= len(s.out) }
 
+// QueryLeaves returns the number of leaf regions that overlap the query:
+// the leaves that can ever contribute matching records. Shard mergers use
+// it to apportion a degraded leaf's share of the estimated matching count.
+func (s *Stream) QueryLeaves() int {
+	if len(s.requiredAll) == 0 {
+		return 0
+	}
+	return len(s.requiredAll[len(s.requiredAll)-1])
+}
+
+// RemainingLeaves returns the number of leaves not yet consumed by stabs
+// (over the whole tree, not just the query-overlapping region).
+func (s *Stream) RemainingLeaves() int64 { return int64(s.remaining[1]) }
+
 // LeavesRead returns the number of leaf nodes retrieved so far.
 func (s *Stream) LeavesRead() int64 { return s.leavesRead }
 

@@ -16,6 +16,7 @@ import (
 	"math/rand/v2"
 
 	"sampleview/internal/core"
+	"sampleview/internal/interleave"
 	"sampleview/internal/iosim"
 	"sampleview/internal/pagefile"
 	"sampleview/internal/record"
@@ -61,12 +62,23 @@ func (v *View) EstimateCount(q record.Box) (float64, error) {
 	return est, nil
 }
 
+// Indices of the merge sources: the in-memory delta buffer draws first in
+// the merger's source order, pinning the rng consumption of the original
+// two-way implementation (one Float64 per draw, delta side tested first).
+const (
+	srcDelta = 0
+	srcMain  = 1
+)
+
 // Stream merges the main tree's online sample with the differential
-// buffer's matching records.
+// buffer's matching records. The source of each draw is chosen by the
+// shared hypergeometric interleaver (internal/interleave): delta-versus-main
+// with probability proportional to the matching records remaining on each
+// side, which keeps the merged stream a uniform without-replacement sample
+// over the union.
 type Stream struct {
-	rng       *rand.Rand
+	merge     *interleave.Merger // delta = source 0, main = source 1
 	main      *core.Stream
-	mainEst   float64 // estimated matching records remaining in the main view
 	mainQueue []record.Record
 	mainDone  bool
 	delta     []record.Record // matching delta records, shuffled
@@ -97,13 +109,14 @@ func (v *View) queryOn(main *core.Tree, q record.Box, rng *rand.Rand) (*Stream, 
 	if err != nil {
 		return nil, err
 	}
-	s := &Stream{rng: rng, main: ms, mainEst: est}
+	s := &Stream{main: ms}
 	for i := range v.delta {
 		if q.ContainsRecord(&v.delta[i]) {
 			s.delta = append(s.delta, v.delta[i])
 		}
 	}
 	rng.Shuffle(len(s.delta), func(i, j int) { s.delta[i], s.delta[j] = s.delta[j], s.delta[i] })
+	s.merge = interleave.New(rng, []float64{float64(len(s.delta)), est})
 	return s, nil
 }
 
@@ -113,16 +126,14 @@ func (v *View) queryOn(main *core.Tree, q record.Box, rng *rand.Rand) (*Stream, 
 // the delta, estimated from the internal-node counts for the main view).
 func (s *Stream) Next() (record.Record, error) {
 	for {
-		mainRem := s.mainEst
-		if mainRem < 0 {
-			mainRem = 0
-		}
 		if s.mainDone && len(s.mainQueue) == 0 {
-			mainRem = 0
+			s.merge.Exhaust(srcMain)
 		}
-		deltaRem := float64(len(s.delta))
-		total := mainRem + deltaRem
-		if total <= 0 {
+		if len(s.delta) == 0 {
+			s.merge.Exhaust(srcDelta)
+		}
+		src, ok := s.merge.Pick()
+		if !ok {
 			// The estimate may hit zero while the main stream still holds
 			// records; drain it before giving up.
 			if rec, ok, err := s.popMain(); err != nil {
@@ -135,7 +146,8 @@ func (s *Stream) Next() (record.Record, error) {
 			}
 			return record.Record{}, io.EOF
 		}
-		if s.rng.Float64()*total < deltaRem {
+		if src == srcDelta {
+			s.merge.Deduct(srcDelta)
 			return s.popDelta(), nil
 		}
 		rec, ok, err := s.popMain()
@@ -143,16 +155,20 @@ func (s *Stream) Next() (record.Record, error) {
 			return record.Record{}, err
 		}
 		if ok {
-			s.mainEst--
+			s.merge.Deduct(srcMain)
 			return rec, nil
 		}
 		// Main exhausted earlier than estimated: zero it and retry.
-		s.mainEst = 0
+		s.merge.Exhaust(srcMain)
 		if len(s.delta) == 0 {
 			return record.Record{}, io.EOF
 		}
 	}
 }
+
+// QueryLeaves returns the number of main-tree leaf regions overlapping the
+// query (see core.Stream.QueryLeaves); the delta side holds no leaves.
+func (s *Stream) QueryLeaves() int { return s.main.QueryLeaves() }
 
 func (s *Stream) popDelta() record.Record {
 	rec := s.delta[len(s.delta)-1]

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"sampleview/internal/catalog"
+	"sampleview/internal/record"
+	"sampleview/internal/shard"
+)
+
+// startCatalogServer serves an in-memory catalog hosting one sharded view.
+func startCatalogServer(t *testing.T, cfg Config, policy catalog.Policy, name string, recs []record.Record, opts shard.Options) (*Server, *catalog.Catalog, *shard.View, string) {
+	t.Helper()
+	cat, err := catalog.New("", shard.Options{}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cat.Close() })
+	v, err := cat.Register(name, recs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(cfg)
+	srv.SetCatalog(cat)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve returned %v after Shutdown, want nil", err)
+		}
+	})
+	return srv, cat, v, ln.Addr().String()
+}
+
+// TestCatalogServedByName proves the tentpole wiring end to end: a client
+// lists the hosted catalog's views, opens one by name, and drains a merged
+// K-way stream that returns exactly the matching set.
+func TestCatalogServedByName(t *testing.T) {
+	recs := genRecords(8000, 11)
+	_, _, _, addr := startCatalogServer(t, Config{}, catalog.Policy{}, "orders",
+		recs, shard.Options{K: 4, Seed: 3})
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	views, err := cl.ListViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 {
+		t.Fatalf("ListViews = %+v, want one entry", views)
+	}
+	e := views[0]
+	if e.Name != "orders" || !e.Sharded || e.K != 4 || e.Count != 8000 || e.Health != "ok" {
+		t.Fatalf("view entry = %+v", e)
+	}
+	if e.Partition != "hash" {
+		t.Fatalf("partition = %q, want hash", e.Partition)
+	}
+
+	rv, err := cl.OpenView("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.Count() != 8000 {
+		t.Fatalf("remote Count = %d", rv.Count())
+	}
+	if _, err := cl.OpenView("nope"); !errIsCode(err, CodeUnknownView) {
+		t.Fatalf("OpenView(nope) err = %v, want CodeUnknownView", err)
+	}
+
+	q := record.Box1D(0, 1<<19)
+	est, err := rv.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[uint64]record.Record)
+	for _, r := range recs {
+		if q.ContainsRecord(&r) {
+			want[r.Seq] = r
+		}
+	}
+	if ratio := est / float64(len(want)); ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("estimate %.1f vs true %d", est, len(want))
+	}
+
+	s, err := rv.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[uint64]record.Record)
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, dup := got[rec.Seq]; dup {
+			t.Fatalf("duplicate record seq %d", rec.Seq)
+		}
+		got[rec.Seq] = rec
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d records, want %d", len(got), len(want))
+	}
+	for seq := range want {
+		if _, ok := got[seq]; !ok {
+			t.Fatalf("matching record seq %d never served", seq)
+		}
+	}
+}
+
+func errIsCode(err error, code uint16) bool {
+	se, ok := err.(*Error)
+	return ok && se.Code == code
+}
+
+// TestShardDeathDegradesOverWire kills one shard of a served view and
+// checks the failure semantics across the protocol: the client sees typed
+// CodeDegraded frames, keeps the stream, and still receives every matching
+// record the surviving shards hold.
+func TestShardDeathDegradesOverWire(t *testing.T) {
+	recs := genRecords(6000, 13)
+	srv, _, v, addr := startCatalogServer(t, Config{}, catalog.Policy{}, "orders",
+		recs, shard.Options{K: 4, Seed: 5})
+
+	const dead = 2
+	v.KillShard(dead)
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rv, err := cl.OpenView("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := record.FullBox(1)
+	s, err := rv.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(map[uint64]record.Record)
+	degraded := 0
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !IsDegraded(err) {
+				t.Fatalf("stream error %v, want typed degraded frames only", err)
+			}
+			degraded++
+			if degraded > 10_000 {
+				t.Fatal("stream never finished degrading")
+			}
+			continue
+		}
+		got[rec.Seq] = rec
+	}
+	if degraded == 0 {
+		t.Fatal("dead shard produced no degraded frames")
+	}
+	for _, r := range recs {
+		fromDead := v.Route(r) == dead
+		_, served := got[r.Seq]
+		if fromDead && served {
+			t.Fatalf("record seq %d served from the dead shard", r.Seq)
+		}
+		if !fromDead && !served {
+			t.Fatalf("surviving-shard record seq %d never served", r.Seq)
+		}
+	}
+	if n := srv.Snapshot().DegradedErrors; n == 0 {
+		t.Fatalf("server counted %d degraded frames", n)
+	}
+}
+
+// TestMaintenanceRunsBetweenBursts crosses a view's compaction threshold,
+// then shows the server folding the pending appends in the idle gap after
+// a request burst — without any client asking for it.
+func TestMaintenanceRunsBetweenBursts(t *testing.T) {
+	recs := genRecords(4000, 17)
+	srv, cat, v, addr := startCatalogServer(t, Config{}, catalog.Policy{CompactThreshold: 32}, "orders",
+		recs, shard.Options{K: 2, Seed: 7})
+
+	extra := genRecords(40, 99)
+	for i := range extra {
+		extra[i].Seq += 1 << 40
+		v.Append(extra[i])
+	}
+	infos := cat.List()
+	if infos[0].Health != catalog.HealthStale {
+		t.Fatalf("health before maintenance = %q, want stale", infos[0].Health)
+	}
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		// Any request will do: when its response flushes and the server goes
+		// idle, the due compaction job gets its window.
+		if _, err := cl.ServerStats(); err != nil {
+			t.Fatal(err)
+		}
+		if srv.Snapshot().MaintJobs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("maintenance never ran between request bursts")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := v.PendingAppends(); n != 0 {
+		t.Fatalf("%d appends still pending after background compaction", n)
+	}
+	views, err := cl.ListViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if views[0].Health != "ok" {
+		t.Fatalf("health after maintenance = %q, want ok", views[0].Health)
+	}
+	snap, err := cl.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.MaintJobs == 0 || snap.MaintJobErrors != 0 {
+		t.Fatalf("snapshot maintenance counters = %d run / %d failed", snap.MaintJobs, snap.MaintJobErrors)
+	}
+}
+
+// TestStaticAndCatalogViewsCoexist registers one view statically and one
+// through the catalog and checks both serve and both are listed.
+func TestStaticAndCatalogViewsCoexist(t *testing.T) {
+	recs := genRecords(3000, 23)
+	srv, _, _, addr := startCatalogServer(t, Config{}, catalog.Policy{}, "sharded",
+		recs, shard.Options{K: 2, Seed: 9})
+	_, lv, _, _ := startServer(t, Config{}, "plain", recs)
+	_ = lv
+	// Reuse the first server: register the plain view on it too.
+	srv.AddView("plain", lv)
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	views, err := cl.ListViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 || views[0].Name != "plain" || views[1].Name != "sharded" {
+		t.Fatalf("ListViews = %+v", views)
+	}
+	if views[0].Sharded || !views[1].Sharded {
+		t.Fatalf("sharded flags wrong: %+v", views)
+	}
+	for _, name := range []string{"plain", "sharded"} {
+		rv, err := cl.OpenView(name)
+		if err != nil {
+			t.Fatalf("OpenView(%s): %v", name, err)
+		}
+		s, err := rv.Query(record.Box1D(0, 1<<18))
+		if err != nil {
+			t.Fatalf("Query(%s): %v", name, err)
+		}
+		batch, err := s.Sample(100)
+		if err != nil {
+			t.Fatalf("Sample(%s): %v", name, err)
+		}
+		if len(batch) == 0 {
+			t.Fatalf("view %s served no records", name)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close(%s): %v", name, err)
+		}
+	}
+}

@@ -220,6 +220,20 @@ func (c *Client) OpenView(name string) (*RemoteView, error) {
 	return &RemoteView{c: c, id: info.ViewID, dims: int(info.Dims), height: int(info.Height), count: info.Count}, nil
 }
 
+// ListViews enumerates the server's servable views: statically registered
+// ones plus the hosted catalog's registry, sorted by name.
+func (c *Client) ListViews() ([]ViewListEntry, error) {
+	rbody, err := c.expect(FListViews, nil, FViewList)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := decodeViewListResp(rbody)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Views, nil
+}
+
 // ServerStats fetches the server's observability snapshot.
 func (c *Client) ServerStats() (*StatsSnapshot, error) {
 	rbody, err := c.expect(FStats, nil, FStatsResult)

@@ -62,6 +62,7 @@ const (
 	FEstimate   FrameType = 0x04 // body: viewID, box — estimate matching-record count
 	FCancel     FrameType = 0x05 // body: streamID — close a stream early
 	FStats      FrameType = 0x06 // body: empty — snapshot server/session counters
+	FListViews  FrameType = 0x07 // body: empty — enumerate servable views
 
 	// Server → client.
 	FViewInfo       FrameType = 0x81 // body: viewID, dims, height, count
@@ -70,6 +71,7 @@ const (
 	FEstimateResult FrameType = 0x84 // body: float64 count
 	FCancelOK       FrameType = 0x85 // body: streamID
 	FStatsResult    FrameType = 0x86 // body: encoded StatsSnapshot
+	FViewList       FrameType = 0x87 // body: view-list entries (name, shape, health)
 	FError          FrameType = 0xff // body: code, message
 )
 
@@ -87,6 +89,8 @@ func (t FrameType) String() string {
 		return "Cancel"
 	case FStats:
 		return "Stats"
+	case FListViews:
+		return "ListViews"
 	case FViewInfo:
 		return "ViewInfo"
 	case FStreamOpened:
@@ -99,6 +103,8 @@ func (t FrameType) String() string {
 		return "CancelOK"
 	case FStatsResult:
 		return "StatsResult"
+	case FViewList:
+		return "ViewList"
 	case FError:
 		return "Error"
 	default:

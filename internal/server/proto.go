@@ -304,6 +304,81 @@ func decodeCancelReq(b []byte) (cancelReq, error) {
 
 var errTrailing = fmt.Errorf("server: trailing bytes after message body")
 
+// ViewListEntry is one view in an FViewList response: its name, whether it
+// is sharded (and across how many disks, under which partitioning), its
+// record count, and the catalog's health verdict ("ok", "stale",
+// "degraded"; statically registered views always report "ok").
+type ViewListEntry struct {
+	Name      string
+	Sharded   bool
+	K         uint32
+	Partition string
+	Count     int64
+	Health    string
+}
+
+type viewListResp struct{ Views []ViewListEntry }
+
+func (m viewListResp) encode() []byte {
+	b := appendU32(nil, uint32(len(m.Views)))
+	for i := range m.Views {
+		e := &m.Views[i]
+		b = appendString(b, e.Name)
+		if e.Sharded {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendU32(b, e.K)
+		b = appendString(b, e.Partition)
+		b = appendI64(b, e.Count)
+		b = appendString(b, e.Health)
+	}
+	return b
+}
+
+func decodeViewListResp(b []byte) (viewListResp, error) {
+	n, b, err := consumeU32(b)
+	if err != nil {
+		return viewListResp{}, err
+	}
+	// Each entry costs at least 13 bytes, bounding n before any allocation.
+	if uint64(len(b)) < uint64(n)*13 {
+		return viewListResp{}, fmt.Errorf("server: view list claims %d entries but only %d bytes follow", n, len(b))
+	}
+	m := viewListResp{Views: make([]ViewListEntry, n)}
+	for i := range m.Views {
+		e := &m.Views[i]
+		if e.Name, b, err = consumeString(b); err != nil {
+			return viewListResp{}, err
+		}
+		if len(b) < 1 {
+			return viewListResp{}, errShort
+		}
+		if b[0] > 1 {
+			return viewListResp{}, fmt.Errorf("server: view sharded flag %d, want 0 or 1", b[0])
+		}
+		e.Sharded = b[0] == 1
+		b = b[1:]
+		if e.K, b, err = consumeU32(b); err != nil {
+			return viewListResp{}, err
+		}
+		if e.Partition, b, err = consumeString(b); err != nil {
+			return viewListResp{}, err
+		}
+		if e.Count, b, err = consumeI64(b); err != nil {
+			return viewListResp{}, err
+		}
+		if e.Health, b, err = consumeString(b); err != nil {
+			return viewListResp{}, err
+		}
+	}
+	if len(b) != 0 {
+		return viewListResp{}, errTrailing
+	}
+	return m, nil
+}
+
 // --- response messages ----------------------------------------------------
 
 type viewInfo struct {

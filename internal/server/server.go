@@ -3,11 +3,15 @@ package server
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sampleview"
+	"sampleview/internal/catalog"
 	"sampleview/internal/record"
+	"sampleview/internal/shard"
 )
 
 // Config tunes the server's admission control and housekeeping. The zero
@@ -64,11 +68,62 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// ViewStream is the per-stream surface the serving layer drives: batch
+// pulls, teardown, and the simulated time used for idle accounting. Both
+// the unsharded and the sharded stream implement it.
+type ViewStream interface {
+	Sample(n int) ([]record.Record, error)
+	Close() error
+	SimNow() time.Duration
+}
+
+// ViewSource abstracts a servable view — unsharded or sharded — behind the
+// exact surface the request handlers need.
+type ViewSource interface {
+	Dims() int
+	Height() int
+	Count() int64
+	EstimateCount(record.Box) (float64, error)
+	SimNow() time.Duration
+	OpenStream(record.Box) (ViewStream, error)
+}
+
+// localSource adapts an in-process unsharded view to ViewSource.
+type localSource struct{ *sampleview.View }
+
+func (v localSource) OpenStream(q record.Box) (ViewStream, error) {
+	s, err := v.View.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// shardedSource adapts a multi-disk sharded view to ViewSource.
+type shardedSource struct{ *shard.View }
+
+func (v shardedSource) OpenStream(q record.Box) (ViewStream, error) {
+	s, err := v.View.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LocalSource adapts an unsharded view for AddSource.
+func LocalSource(v *sampleview.View) ViewSource { return localSource{v} }
+
+// ShardedSource adapts a sharded view for AddSource.
+func ShardedSource(v *shard.View) ViewSource { return shardedSource{v} }
+
 // servedView is one view registered with the server.
 type servedView struct {
 	id   uint32
 	name string
-	v    *sampleview.View
+	v    ViewSource
+	// fromCatalog marks views resolved lazily through the hosted catalog, so
+	// list-views does not report them twice.
+	fromCatalog bool
 }
 
 // Server multiplexes client sessions over a set of served sample views.
@@ -83,10 +138,16 @@ type Server struct {
 	viewsByID   map[uint32]*servedView // guarded by mu
 	sessions    map[*session]struct{}  // guarded by mu
 	listeners   []net.Listener         // guarded by mu
+	catalog     *catalog.Catalog       // guarded by mu
 	openStreams int                    // guarded by mu; admission-controlled total
 	nextSession uint64                 // guarded by mu
 	nextView    uint32                 // guarded by mu
 	draining    bool                   // guarded by mu
+
+	// inFlight counts requests currently being handled across all sessions;
+	// background maintenance runs only when it drops to zero, so jobs fill
+	// the gaps between request bursts instead of delaying live traffic.
+	inFlight atomic.Int64
 
 	wg       sync.WaitGroup
 	shutOnce sync.Once
@@ -112,12 +173,88 @@ func (s *Server) Config() Config { return s.cfg }
 // open-view requests; streams already open keep sampling the view they
 // started on.
 func (s *Server) AddView(name string, v *sampleview.View) {
+	s.AddSource(name, localSource{v})
+}
+
+// AddSource registers any ViewSource (for example ShardedSource) under
+// name, with the same replacement semantics as AddView.
+func (s *Server) AddSource(name string, v ViewSource) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextView++
 	sv := &servedView{id: s.nextView, name: name, v: v}
 	s.views[name] = sv
 	s.viewsByID[sv.id] = sv
+}
+
+// SetCatalog hosts a view catalog on the server: open-view requests fall
+// through to it by name, list-views reports its registry, and its due
+// background jobs (compaction, checksum scrubs) run in the gaps between
+// request bursts — whenever the last in-flight request finishes.
+func (s *Server) SetCatalog(c *catalog.Catalog) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.catalog = c
+}
+
+// getCatalog returns the hosted catalog, if any.
+func (s *Server) getCatalog() *catalog.Catalog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.catalog
+}
+
+// runMaintenance offers the hosted catalog one maintenance slot. It is
+// called when the server goes idle (the last in-flight request finished);
+// TryRunDueJobs backs off instead of blocking if the catalog is busy, so
+// a request arriving concurrently is never queued behind a compaction.
+func (s *Server) runMaintenance() {
+	c := s.getCatalog()
+	if c == nil {
+		return
+	}
+	reports, ok := c.TryRunDueJobs()
+	if !ok {
+		return
+	}
+	for i := range reports {
+		s.stats.MaintJobs.Add(1)
+		if reports[i].Err != nil {
+			s.stats.MaintJobErrors.Add(1)
+		}
+	}
+}
+
+// listViews reports every servable view: statically registered ones plus
+// the hosted catalog's registry, sorted by name.
+func (s *Server) listViews() []ViewListEntry {
+	s.mu.Lock()
+	c := s.catalog
+	static := make([]*servedView, 0, len(s.views))
+	for _, sv := range s.views {
+		if !sv.fromCatalog {
+			static = append(static, sv)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]ViewListEntry, 0, len(static))
+	for _, sv := range static {
+		out = append(out, ViewListEntry{Name: sv.name, Count: sv.v.Count(), Health: "ok"})
+	}
+	if c != nil {
+		for _, info := range c.List() {
+			out = append(out, ViewListEntry{
+				Name:      info.Name,
+				Sharded:   true,
+				K:         uint32(info.K),
+				Partition: info.Partition.String(),
+				Count:     info.Count,
+				Health:    info.Health,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Serve accepts connections on ln until the listener fails or Shutdown is
@@ -207,12 +344,27 @@ func (s *Server) unregister(sess *session) {
 	s.stats.ConnsClosed.Add(1)
 }
 
-// lookupView resolves a view by name or id.
+// lookupView resolves a view by name or id. A name missing from the static
+// registry falls through to the hosted catalog; the resolution is cached so
+// streams opened against it keep a stable view id.
 func (s *Server) lookupView(name string) (*servedView, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sv, ok := s.views[name]
-	return sv, ok
+	if sv, ok := s.views[name]; ok {
+		return sv, true
+	}
+	if s.catalog == nil {
+		return nil, false
+	}
+	v, ok := s.catalog.Get(name)
+	if !ok {
+		return nil, false
+	}
+	s.nextView++
+	sv := &servedView{id: s.nextView, name: name, v: shardedSource{v}, fromCatalog: true}
+	s.views[name] = sv
+	s.viewsByID[sv.id] = sv
+	return sv, true
 }
 
 func (s *Server) lookupViewID(id uint32) (*servedView, bool) {
@@ -304,6 +456,8 @@ func (s *Server) Snapshot() *StatsSnapshot {
 		SimIO:           time.Duration(c.SimIONanos.Load()),
 		TransientErrors: c.TransientErrors.Load(),
 		DegradedErrors:  c.DegradedErrors.Load(),
+		MaintJobs:       c.MaintJobs.Load(),
+		MaintJobErrors:  c.MaintJobErrors.Load(),
 	}
 	for _, sess := range sessions {
 		snap.Sessions = append(snap.Sessions, sess.snapshot())

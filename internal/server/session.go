@@ -12,16 +12,17 @@ import (
 	"time"
 
 	"sampleview"
+	"sampleview/internal/shard"
 )
 
-// servedStream is one open stream of one session. The underlying
-// sampleview.Stream is internally synchronized, so the request path and
-// the idle reaper may race on it freely; lastActive and simSeen are
-// atomics for the same reason.
+// servedStream is one open stream of one session. The underlying view
+// stream (unsharded or sharded) is internally synchronized, so the request
+// path and the idle reaper may race on it freely; lastActive and simSeen
+// are atomics for the same reason.
 type servedStream struct {
 	id   uint32
 	view *servedView
-	s    *sampleview.Stream
+	s    ViewStream
 	// lastActive is the view's simulated time (nanoseconds) when the stream
 	// last served a request; the reaper compares it against the view's
 	// current simulated clock.
@@ -150,11 +151,13 @@ func (s *Server) serveConn(nc net.Conn) {
 			return
 		}
 		sess.busy.Lock()
+		s.inFlight.Add(1)
 		rt, rbody := sess.handle(t, body)
 		werr := WriteFrame(bw, rt, rbody)
 		if werr == nil {
 			werr = bw.Flush()
 		}
+		idle := s.inFlight.Add(-1) == 0
 		sess.busy.Unlock()
 		if werr != nil {
 			return
@@ -162,6 +165,11 @@ func (s *Server) serveConn(nc net.Conn) {
 		sess.clearDeadline()
 		if s.isDraining() {
 			return
+		}
+		if idle {
+			// The burst just drained: give the catalog's background jobs
+			// (compaction, checksum scrubs) their window.
+			s.runMaintenance()
 		}
 	}
 }
@@ -232,6 +240,12 @@ func (sess *session) handle(t FrameType, body []byte) (FrameType, []byte) {
 		return sess.handleEstimate(body)
 	case FCancel:
 		return sess.handleCancel(body)
+	case FListViews:
+		if len(body) != 0 {
+			sess.srv.stats.BadFrames.Add(1)
+			return reject(sess, CodeBadRequest, errTrailing.Error())
+		}
+		return FViewList, viewListResp{Views: sess.srv.listViews()}.encode()
 	case FStats:
 		return FStatsResult, sess.srv.Snapshot().encode()
 	default:
@@ -244,6 +258,12 @@ func (sess *session) handle(t FrameType, body []byte) (FrameType, []byte) {
 func reject(sess *session, code uint16, msg string) (FrameType, []byte) {
 	sess.counters.Rejections.Add(1)
 	return FError, errorResp{Code: code, Msg: msg}.encode()
+}
+
+// isStreamClosed matches either view layer's stream-closed sentinel; the
+// server treats both as losing a race with the reaper.
+func isStreamClosed(err error) bool {
+	return errors.Is(err, sampleview.ErrStreamClosed) || errors.Is(err, shard.ErrStreamClosed)
 }
 
 // classifyStreamErr maps a view-layer stream failure to its wire code,
@@ -318,7 +338,7 @@ func (sess *session) handleOpenStream(body []byte) (FrameType, []byte) {
 		return reject(sess, CodeConnStreams, "connection stream limit reached")
 	}
 
-	stream, err := sv.v.Query(req.Query)
+	stream, err := sv.v.OpenStream(req.Query)
 	if err != nil {
 		sess.dropConnSlot()
 		sess.srv.releaseStreams(1)
@@ -395,7 +415,7 @@ func (sess *session) handleNextBatch(body []byte) (FrameType, []byte) {
 	st.chargeSim(sess)
 	st.touch()
 	if err != nil {
-		if err == sampleview.ErrStreamClosed {
+		if isStreamClosed(err) {
 			// Lost a race with the reaper between lookup and Sample.
 			sess.removeStream(req.StreamID, true)
 			return reject(sess, CodeStreamReaped, "stream reaped after simulated-clock idle timeout")

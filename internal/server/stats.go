@@ -30,6 +30,8 @@ type serverCounters struct {
 	SimIONanos      atomic.Int64 // simulated I/O time charged by served streams
 	TransientErrors atomic.Int64 // CodeTransient frames sent (storage retry budget exhausted)
 	DegradedErrors  atomic.Int64 // CodeDegraded frames sent (leaves permanently lost)
+	MaintJobs       atomic.Int64 // catalog background jobs run between request bursts
+	MaintJobErrors  atomic.Int64 // catalog background jobs that failed
 }
 
 // sessionCounters is the per-session slice of the same surface.
@@ -68,6 +70,8 @@ type StatsSnapshot struct {
 	SimIO           time.Duration
 	TransientErrors int64
 	DegradedErrors  int64
+	MaintJobs       int64
+	MaintJobErrors  int64
 
 	Sessions []SessionSnapshot
 }
@@ -91,7 +95,7 @@ type SessionSnapshot struct {
 // scope, so decoders can stay compatible with older servers that send
 // fewer fields.
 const (
-	serverFieldCount  = 19
+	serverFieldCount  = 21
 	sessionFieldCount = 10
 )
 
@@ -103,6 +107,7 @@ func (s *StatsSnapshot) serverFields() []int64 {
 		s.RejectedServer, s.RejectedConn, s.RejectedDrain, s.BadFrames,
 		s.BytesRead, s.BytesWritten, int64(s.SimIO),
 		s.TransientErrors, s.DegradedErrors,
+		s.MaintJobs, s.MaintJobErrors,
 	}
 }
 
@@ -113,6 +118,7 @@ func (s *StatsSnapshot) setServerFields(f []int64) {
 	s.RejectedServer, s.RejectedConn, s.RejectedDrain, s.BadFrames = f[10], f[11], f[12], f[13]
 	s.BytesRead, s.BytesWritten, s.SimIO = f[14], f[15], time.Duration(f[16])
 	s.TransientErrors, s.DegradedErrors = f[17], f[18]
+	s.MaintJobs, s.MaintJobErrors = f[19], f[20]
 }
 
 func (s *SessionSnapshot) fields() []int64 {
@@ -212,6 +218,8 @@ func (s *StatsSnapshot) Dump(w io.Writer) {
 	fmt.Fprintf(w, "simulated I/O:   %v charged by served streams\n", s.SimIO)
 	fmt.Fprintf(w, "fault frames:    %d transient, %d degraded\n",
 		s.TransientErrors, s.DegradedErrors)
+	fmt.Fprintf(w, "maintenance:     %d jobs run, %d failed\n",
+		s.MaintJobs, s.MaintJobErrors)
 	for i := range s.Sessions {
 		ss := &s.Sessions[i]
 		fmt.Fprintf(w, "session %-6d   %d open, %d opened (%d reaped), %d records / %d batches, %d rej, %dB in / %dB out, sim %v\n",

@@ -1,0 +1,308 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"sampleview/internal/core"
+	"sampleview/internal/diffview"
+	"sampleview/internal/interleave"
+	"sampleview/internal/iosim"
+	"sampleview/internal/record"
+)
+
+// ErrStreamClosed is returned by Stream.Next (and Sample) after Close.
+var ErrStreamClosed = errors.New("shard: stream closed")
+
+// ShardError wraps an error from one shard's stream with the shard index,
+// so callers can tell which partition faulted while the merged stream
+// keeps serving the others. It unwraps to the underlying error, so the
+// IsTransient / IsDegraded predicates see through it.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard: shard %d: %v", e.Shard, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// sub is one shard's contribution to a merged stream: its per-shard sample
+// stream (core when the shard has no pending appends, diffview otherwise)
+// and the private clock its page reads charge.
+type sub struct {
+	clock *iosim.Clock
+	core  *core.Stream
+	diff  *diffview.Stream
+	// rng shuffles each batch before it is served record-by-record. The
+	// tree's uniformity guarantee is per batch (section contents are random
+	// subsets, but within a section records sit in the key-correlated order
+	// the tag sort left them in); the K-way merger cuts batches mid-way on
+	// every draw, so without the shuffle the merged prefix would lean
+	// toward each shard's low-key records.
+	rng   *rand.Rand
+	queue []record.Record
+	// est0 and queryLeaves size the Reduce applied when the shard loses a
+	// leaf: one lost leaf forfeits roughly est0/queryLeaves matching records.
+	est0        float64
+	queryLeaves int
+	done        bool
+}
+
+func (u *sub) next() (record.Record, error) {
+	if u.diff != nil {
+		return u.diff.Next()
+	}
+	for len(u.queue) == 0 {
+		batch, err := u.core.NextBatch()
+		if err != nil {
+			return record.Record{}, err
+		}
+		u.rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+		u.queue = batch
+	}
+	rec := u.queue[0]
+	u.queue = u.queue[1:]
+	return rec, nil
+}
+
+// Stream is an online random sample over a sharded view: the K per-shard
+// streams, interleaved by remaining matching count, so every prefix is a
+// uniform without-replacement sample of the full matching set.
+//
+// Safe for concurrent use the same way the unsharded stream is: a private
+// lock serializes draws, Close is idempotent and may race with Next, and
+// each shard's I/O lands on a clock forked from that shard's own disk.
+type Stream struct {
+	mu     sync.Mutex
+	merge  *interleave.Merger // guarded by mu
+	subs   []*sub             // guarded by mu (clocks retained after Close)
+	clocks []*iosim.Clock
+	closed bool // guarded by mu
+	// fault accounting, frozen by Close so Stats stays valid after it.
+	retries  int64        // guarded by mu
+	degLeaf  int64        // guarded by mu
+	degSec   int64        // guarded by mu
+	degShard map[int]bool // guarded by mu
+}
+
+// Query opens a merged online sample stream for predicate q. Records
+// appended after the stream was created do not join it.
+func (v *View) Query(q record.Box) (*Stream, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	subs := make([]*sub, len(v.shards))
+	clocks := make([]*iosim.Clock, len(v.shards))
+	rem := make([]float64, len(v.shards))
+	for i, sp := range v.shards {
+		ck := v.farm.Disk(i).Fork()
+		est, err := sp.diff.EstimateCount(q)
+		if err != nil {
+			return nil, fmt.Errorf("shard: estimating on shard %d: %w", i, err)
+		}
+		u := &sub{
+			clock: ck,
+			est0:  est,
+			rng:   rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64())),
+		}
+		if sp.diff.DeltaSize() == 0 {
+			cs, err := sp.diff.Main().WithClock(ck).Query(q)
+			if err != nil {
+				return nil, fmt.Errorf("shard: opening shard %d stream: %w", i, err)
+			}
+			u.core, u.queryLeaves = cs, cs.QueryLeaves()
+		} else {
+			ds, err := sp.diff.QueryClocked(ck, q, rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64())))
+			if err != nil {
+				return nil, fmt.Errorf("shard: opening shard %d stream: %w", i, err)
+			}
+			u.diff, u.queryLeaves = ds, ds.QueryLeaves()
+		}
+		subs[i], clocks[i], rem[i] = u, ck, est
+	}
+	return &Stream{
+		merge:    interleave.New(rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64())), rem),
+		subs:     subs,
+		clocks:   clocks,
+		degShard: make(map[int]bool),
+	}, nil
+}
+
+// Next returns the next sample record, io.EOF when the predicate is
+// exhausted across all shards, or ErrStreamClosed after Close.
+//
+// Fault semantics mirror the unsharded stream, per shard: a transient
+// fault surfaces as a *ShardError wrapping a transient error (retry Next;
+// no records are skipped), and a dead shard surfaces one *ShardError
+// wrapping a *DegradedError per lost leaf while the merged stream keeps
+// drawing from the surviving shards — with the dead shard's remaining
+// weight shaved so it cannot soak up draws it can no longer serve.
+func (s *Stream) Next() (record.Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return record.Record{}, ErrStreamClosed
+	}
+	for {
+		for i, u := range s.subs {
+			if u.done {
+				s.merge.Exhaust(i)
+			}
+		}
+		idx, ok := s.merge.Pick()
+		if !ok {
+			// Estimates hit zero; drain any shard that still holds records
+			// (interpolated counts may undershoot).
+			for i := range s.subs {
+				rec, ok, err := s.popLocked(i)
+				if err != nil {
+					return record.Record{}, err
+				}
+				if ok {
+					return rec, nil
+				}
+			}
+			return record.Record{}, io.EOF
+		}
+		rec, ok, err := s.popLocked(idx)
+		if err != nil {
+			return record.Record{}, err
+		}
+		if ok {
+			s.merge.Deduct(idx)
+			return rec, nil
+		}
+		s.merge.Exhaust(idx)
+	}
+}
+
+// popLocked pulls the next record from shard i's stream, translating its
+// outcome: (rec, true, nil) on success, (_, false, nil) when the shard is
+// exhausted, error otherwise. Degraded errors adjust the merge weights
+// before surfacing. Callers hold mu.
+func (s *Stream) popLocked(i int) (record.Record, bool, error) {
+	u := s.subs[i]
+	if u.done {
+		return record.Record{}, false, nil
+	}
+	rec, err := u.next()
+	if err == io.EOF {
+		u.done = true
+		return record.Record{}, false, nil
+	}
+	if err != nil {
+		var de *core.DegradedError
+		if errors.As(err, &de) {
+			s.degLeaf++
+			s.degSec += int64(len(de.Sections))
+			s.degShard[i] = true
+			if u.queryLeaves > 0 {
+				s.merge.Reduce(i, u.est0/float64(u.queryLeaves))
+			}
+		} else {
+			s.retries++
+		}
+		return record.Record{}, false, &ShardError{Shard: i, Err: err}
+	}
+	return rec, true, nil
+}
+
+// Sample collects up to n records (fewer if the predicate exhausts first).
+func (s *Stream) Sample(n int) ([]record.Record, error) {
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	out := make([]record.Record, 0, capHint)
+	for len(out) < n {
+		rec, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Close releases the per-shard sampling state. Idempotent and safe to call
+// concurrently with Next; Stats remains valid after Close.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.merge = nil
+	s.subs = nil
+	return nil
+}
+
+// SimNow returns the stream's elapsed simulated time: the maximum over its
+// per-shard clocks, i.e. when the slowest shard finished the work this
+// stream charged (shards run on separate disks, concurrently).
+func (s *Stream) SimNow() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max time.Duration
+	for _, ck := range s.clocks {
+		if n := ck.Now(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// StreamStats summarizes a merged stream's own I/O and fault activity,
+// summed over its per-shard clocks.
+type StreamStats struct {
+	Counters iosim.Counters
+	Faults   iosim.FaultCounters
+	// Retries counts transient faults surfaced to the caller (and retried).
+	Retries int64
+	// DegradedLeaves / DegradedSections total the hard losses across
+	// shards; DegradedShards lists the shards that lost at least one leaf.
+	DegradedLeaves   int64
+	DegradedSections int64
+	DegradedShards   []int
+	// SimTime is the slowest shard clock (SimNow).
+	SimTime time.Duration
+}
+
+// Stats returns the stream's counters, summed across shards.
+func (s *Stream) Stats() StreamStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st StreamStats
+	for _, ck := range s.clocks {
+		c := ck.Counters()
+		st.Counters.RandomReads += c.RandomReads
+		st.Counters.SequentialReads += c.SequentialReads
+		st.Counters.RandomWrites += c.RandomWrites
+		st.Counters.SequentialWrites += c.SequentialWrites
+		f := ck.FaultCounters()
+		st.Faults.Transient += f.Transient
+		st.Faults.LatencySpikes += f.LatencySpikes
+		st.Faults.Rereads += f.Rereads
+		st.Faults.CorruptPages += f.CorruptPages
+		st.Faults.DeadPages += f.DeadPages
+		if n := ck.Now(); n > st.SimTime {
+			st.SimTime = n
+		}
+	}
+	st.Retries = s.retries
+	st.DegradedLeaves = s.degLeaf
+	st.DegradedSections = s.degSec
+	for i := range s.degShard {
+		st.DegradedShards = append(st.DegradedShards, i)
+	}
+	sort.Ints(st.DegradedShards)
+	return st
+}
