@@ -13,6 +13,7 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"sampleview/internal/btree"
@@ -354,6 +355,37 @@ func BenchmarkAblationShuttle(b *testing.B) {
 			b.ReportMetric(late, "recs@1/2leaves")
 		})
 	}
+}
+
+// BenchmarkStreamParallel drives many concurrent streams over one shared
+// view, the contention profile of the svserve layer. Each iteration runs
+// one seeded query and draws 1000 samples; every leaf read grabs a scratch
+// page from the view file's buffer pool, so this is the benchmark that
+// shows the pool's single mutex versus its striped replacement (see
+// results/realio-bench.md for the before/after numbers).
+func BenchmarkStreamParallel(b *testing.B) {
+	recs := genRecords(200_000, 41)
+	v, err := CreateFromSlice("", recs, Options{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer v.Close()
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			seed := next.Add(1)
+			qg := workload.NewQueryGen(seed)
+			s, err := v.Query(qg.Range1D(0.25))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Sample(1000); err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+		}
+	})
 }
 
 func itoa(n int) string {

@@ -44,9 +44,14 @@ type clientResult struct {
 	records    int64
 	openLat    []time.Duration
 	batchLat   []time.Duration
+	ttf        []time.Duration // wall time from first pull to wallTarget samples
 	rejections int
 	failures   []string
 }
+
+// wallTarget is the sample count whose wall-clock delivery time -wall
+// reports: the serving-path counterpart of svbench -wall's ttf-1000.
+const wallTarget = 1000
 
 func main() {
 	var (
@@ -59,6 +64,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		check   = flag.String("check", "", "view file for exact record-for-record cross-checking")
 		out     = flag.String("out", "", "append a markdown report to this file")
+		wall    = flag.Bool("wall", false, "report wall-clock time-to-first-1000 per query")
 	)
 	flag.Parse()
 
@@ -100,6 +106,7 @@ func main() {
 		total.rejections += r.rejections
 		total.openLat = append(total.openLat, r.openLat...)
 		total.batchLat = append(total.batchLat, r.batchLat...)
+		total.ttf = append(total.ttf, r.ttf...)
 		total.failures = append(total.failures, r.failures...)
 	}
 	snap, err := probe.ServerStats()
@@ -110,7 +117,7 @@ func main() {
 	probe.Close()
 
 	report := buildReport(*connect, *view, *clients, *ops, *samples, *batch, *seed,
-		*check != "", int(peak.Load()), elapsed, &total, snap)
+		*check != "", *wall, int(peak.Load()), elapsed, &total, snap)
 	fmt.Print(report)
 	if *out != "" {
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -202,6 +209,8 @@ func runClient(addr, view, check string, dims int, seed uint64, ops, samples, ba
 		}
 		seen := make(map[uint64]struct{}, samples)
 		got := 0
+		pullStart := time.Now()
+		ttfDone := false
 		for got < samples {
 			t1 := time.Now()
 			recs, err := s.NextBatch()
@@ -232,6 +241,15 @@ func runClient(addr, view, check string, dims int, seed uint64, ops, samples, ba
 				}
 			}
 			got += len(recs)
+			if !ttfDone && got >= min(wallTarget, samples) {
+				res.ttf = append(res.ttf, time.Since(pullStart))
+				ttfDone = true
+			}
+		}
+		if !ttfDone {
+			// The predicate exhausted below the target; the full matching
+			// set arrived in this time.
+			res.ttf = append(res.ttf, time.Since(pullStart))
 		}
 		res.records += int64(got)
 		res.ops++
@@ -259,7 +277,7 @@ func latRow(name string, lat []time.Duration) string {
 }
 
 func buildReport(addr, view string, clients, ops, samples, batch int, seed uint64,
-	checked bool, peak int, elapsed time.Duration, total *clientResult, snap *server.StatsSnapshot) string {
+	checked, wall bool, peak int, elapsed time.Duration, total *clientResult, snap *server.StatsSnapshot) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "\n## svload run: %d clients against %s\n\n", clients, addr)
 	fmt.Fprintf(&b, "- view `%s`, %d ops/client, %d samples/op, batches of %d, seed %d\n",
@@ -281,6 +299,9 @@ func buildReport(addr, view string, clients, ops, samples, batch int, seed uint6
 	fmt.Fprintf(&b, "\n| latency | n | p50 | p90 | p99 | max |\n|---|---|---|---|---|---|\n")
 	b.WriteString(latRow("open-stream", total.openLat))
 	b.WriteString(latRow("next-batch", total.batchLat))
+	if wall {
+		b.WriteString(latRow(fmt.Sprintf("ttf-%d (wall)", wallTarget), total.ttf))
+	}
 	fmt.Fprintf(&b, "\nServer counters after the run:\n\n```\n")
 	snap.Dump(&b)
 	fmt.Fprintf(&b, "```\n")

@@ -46,6 +46,8 @@ func main() {
 		catalogDir  = flag.String("catalog", "", "host the sharded view catalog rooted at this directory")
 		compactAt   = flag.Int("compact-threshold", 256, "catalog: compact a view once this many appends are pending (0 = never)")
 		scrubEvery  = flag.Duration("scrub-every", 0, "catalog: checksum-scrub each view at this simulated-time interval (0 = never)")
+		backendName = flag.String("backend", "default", "raw-I/O backend for stored view files: pread or mmap")
+		prefetch    = flag.Int("prefetch", 0, "async leaf-prefetch workers per opened view file (0 = off)")
 	)
 	views := map[string]string{}
 	flag.Func("view", "serve a view as name=file.view (repeatable, required)", func(s string) error {
@@ -71,6 +73,11 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	backend, err := sampleview.ParseBackendKind(*backendName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svserve: %v\n", err)
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		MaxStreams:        *maxStreams,
@@ -80,7 +87,11 @@ func main() {
 		RequestTimeout:    *reqTimeout,
 	})
 	for name, path := range views {
-		v, err := sampleview.Open(path, sampleview.Options{Faults: plan})
+		v, err := sampleview.Open(path, sampleview.Options{
+			Faults:          plan,
+			Backend:         backend,
+			PrefetchWorkers: *prefetch,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "svserve: %v\n", err)
 			os.Exit(1)
@@ -90,7 +101,8 @@ func main() {
 		fmt.Printf("serving %-16s %s (%d records, %d dims)\n", name, path, v.Count(), v.Dims())
 	}
 	if *catalogDir != "" {
-		cat, err := sampleview.NewCatalog(*catalogDir, sampleview.ShardedOptions{Faults: plan},
+		cat, err := sampleview.NewCatalog(*catalogDir,
+			sampleview.ShardedOptions{Faults: plan, Backend: backend, PrefetchWorkers: *prefetch},
 			sampleview.CatalogPolicy{CompactThreshold: *compactAt, ScrubEvery: *scrubEvery})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "svserve: %v\n", err)

@@ -90,6 +90,7 @@ func All() []*Analyzer {
 		NoGlobalRand,
 		NoWallClock,
 		NoFrameAlias,
+		NoDirectIO,
 		LockGuard,
 		ErrPrefix,
 		NoPanic,

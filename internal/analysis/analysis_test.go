@@ -72,6 +72,7 @@ func TestAnalyzers(t *testing.T) {
 		{NoGlobalRand, "noglobalrand", "internal/fixture"},
 		{NoWallClock, "nowallclock", "internal/fixture"},
 		{NoFrameAlias, "noframealias", "internal/fixture"},
+		{NoDirectIO, "nodirectio", "internal/fixture"},
 		{LockGuard, "lockguard", "internal/fixture"},
 		{ErrPrefix, "errprefix", "internal/fixture"},
 		{NoPanic, "nopanic", "internal/fixture"},
@@ -126,6 +127,9 @@ func TestScopeExemptions(t *testing.T) {
 		{NoGlobalRand, "noglobalrand", "examples/demo"},
 		{NoWallClock, "nowallclock", "cmd/tool"},
 		{NoWallClock, "nowallclock", "examples/demo"},
+		{NoDirectIO, "nodirectio", "cmd/tool"},
+		{NoDirectIO, "nodirectio", "examples/demo"},
+		{NoDirectIO, "nodirectio", "internal/pagefile"},
 		{ErrPrefix, "errprefix", ""},
 		{ErrPrefix, "errprefix", "cmd/tool"},
 		{NoPanic, "nopanic", "cmd/tool"},

@@ -1,0 +1,29 @@
+// Package fixture exercises the nodirectio analyzer: acquiring an os.File
+// handle outside internal/pagefile is a violation.
+package fixture
+
+import "os"
+
+func openRaw(path string) (*os.File, error) {
+	return os.Open(path) // want `os\.Open acquires a raw file handle outside internal/pagefile`
+}
+
+func createRaw(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644) // want `os\.OpenFile acquires a raw file handle outside internal/pagefile`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func truncateRaw(path string) error {
+	f, err := os.Create(path) // want `os\.Create acquires a raw file handle outside internal/pagefile`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func wrapFD(fd uintptr) *os.File {
+	return os.NewFile(fd, "pipe") // want `os\.NewFile acquires a raw file handle outside internal/pagefile`
+}

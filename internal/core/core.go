@@ -443,14 +443,42 @@ func (t *Tree) readDirRegion() error {
 }
 
 // readLeaf reads leaf data from disk (first page random, the rest
-// sequential) and returns the records of each section, in section order.
+// sequential) and returns the records of each section, in section order,
+// freshly allocated: offline consumers (Verify, tests) may hold the result
+// across further reads. The query hot path uses readLeafInto instead.
 func (t *Tree) readLeaf(ordinal int64) ([][]record.Record, error) {
+	var d leafDecoder
+	return t.readLeafInto(ordinal, &d)
+}
+
+// leafDecoder is the reusable arena one stream decodes leaves into. Every
+// leaf of a stream lands in the same record slab, so the per-leaf
+// allocations and per-record copies of the naive decode disappear; the
+// returned sections alias the arena and are valid only until the next
+// readLeafInto call with the same decoder. Reuse is safe for the query
+// path because everything it keeps past a stab (emitted records, parked
+// bucket batches) is copied out of the sections by value.
+type leafDecoder struct {
+	arena    []record.Record
+	sections [][]record.Record
+}
+
+// readLeafInto decodes one leaf into d: each page's payload is obtained
+// with a zero-copy read where the backend allows it and decoded as a whole
+// batch, instead of copying the page and unmarshalling record by record.
+func (t *Tree) readLeafInto(ordinal int64, d *leafDecoder) ([][]record.Record, error) {
 	if ordinal < 0 || ordinal >= t.nLeaves {
 		return nil, fmt.Errorf("core: leaf %d out of range [0,%d)", ordinal, t.nLeaves)
 	}
 	m := &t.leaves[ordinal]
 	total := m.totalRecords()
-	sections := make([][]record.Record, t.h)
+	if cap(d.sections) < t.h {
+		d.sections = make([][]record.Record, t.h)
+	}
+	sections := d.sections[:t.h]
+	for s := range sections {
+		sections[s] = nil
+	}
 	if total == 0 {
 		return sections, nil
 	}
@@ -458,21 +486,19 @@ func (t *Tree) readLeaf(ordinal int64) ([][]record.Record, error) {
 	pages := ceilDiv(total, perPage)
 	buf := t.f.PageBuf()
 	defer t.f.PutPageBuf(buf)
-	var flat []record.Record
+	flat := d.arena[:0]
 	for p := int64(0); p < pages; p++ {
-		if err := t.f.Read(m.firstPage+p, buf); err != nil {
+		payload, err := t.f.ReadPayload(m.firstPage+p, buf)
+		if err != nil {
 			return nil, err
 		}
 		n := perPage
 		if rem := total - p*perPage; rem < n {
 			n = rem
 		}
-		for i := int64(0); i < n; i++ {
-			var rec record.Record
-			rec.Unmarshal(buf[i*record.Size : (i+1)*record.Size])
-			flat = append(flat, rec)
-		}
+		flat = record.AppendBatch(flat, payload, int(n))
 	}
+	d.arena = flat
 	off := 0
 	for s := 0; s < t.h; s++ {
 		n := int(m.secCounts[s])
@@ -480,4 +506,20 @@ func (t *Tree) readLeaf(ordinal int64) ([][]record.Record, error) {
 		off += n
 	}
 	return sections, nil
+}
+
+// prefetchLeaf hints the given leaf's data pages to the file's async
+// prefetcher: a wall-clock page-cache warm-up that charges no simulated
+// time. A no-op when the file has no prefetcher attached.
+func (t *Tree) prefetchLeaf(ordinal int64) {
+	if ordinal < 0 || ordinal >= t.nLeaves {
+		return
+	}
+	m := &t.leaves[ordinal]
+	total := m.totalRecords()
+	if total == 0 {
+		return
+	}
+	perPage := int64(t.f.PageSize() / record.Size)
+	t.f.Prefetch(m.firstPage, ceilDiv(total, perPage))
 }

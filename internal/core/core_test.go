@@ -229,7 +229,8 @@ func TestShuttleVisitsEachLeafOnce(t *testing.T) {
 	}
 	visited := map[int64]bool{}
 	for i := int64(0); i < tree.NumLeaves(); i++ {
-		leaf := stream.shuttle()
+		stream.shuttle(&stream.cur)
+		leaf := stream.cur.leaf
 		if visited[leaf] {
 			t.Fatalf("leaf %d visited twice", leaf)
 		}
@@ -272,7 +273,8 @@ func TestShuttleOrderMatchesPaper(t *testing.T) {
 	}
 	want := []int64{2, 4, 3, 5, 0, 6, 1, 7}
 	for i, ord := range want {
-		got := stream.shuttle()
+		stream.shuttle(&stream.cur)
+		got := stream.cur.leaf
 		if got != ord {
 			t.Fatalf("stab %d retrieved leaf %d, want %d (paper order)", i+1, got, ord)
 		}

@@ -58,18 +58,37 @@ type Stream struct {
 	// pending is the leaf ordinal of a stab whose read failed transiently
 	// (-1 if none). The shuttle already consumed the leaf's remaining
 	// counters when the stab was routed, so the retry re-reads the same leaf
-	// over the preserved pathIdx/pathBox instead of stabbing again — a
-	// transient fault never skips a leaf, preserving prefix equality with a
-	// fault-free run.
+	// over the preserved cur path instead of stabbing again — a transient
+	// fault never skips a leaf, preserving prefix equality with a fault-free
+	// run.
 	pending int64
 	// fault accounting, surfaced through Stream stats.
 	transientRetries int64
 	degradedLeaves   int64
 	degradedSections int64
 
-	// scratch for stabs
-	pathIdx []int64
-	pathBox []record.Box
+	// cur is the stab being served. When the file has an async prefetcher,
+	// next holds one stab of lookahead (valid while haveNext): the shuttle's
+	// schedule is deterministic, so the following leaf is routed as soon as
+	// the current one starts and its pages are hinted to the prefetcher.
+	cur, next stab
+	haveNext  bool
+	prefetch  bool
+
+	// dec is the stream's reusable leaf-decode arena.
+	dec leafDecoder
+}
+
+// stab is one routed root-to-leaf traversal: the leaf it reached plus the
+// path's heap indices and regions per level (1-based, levels 1..h).
+type stab struct {
+	leaf int64
+	idx  []int64
+	box  []record.Box
+}
+
+func newStab(h int) stab {
+	return stab{leaf: -1, idx: make([]int64, h+1), box: make([]record.Box, h+1)}
 }
 
 // StreamOptions tunes the query algorithm.
@@ -107,8 +126,9 @@ func (t *Tree) QueryWithOptions(q record.Box, opts StreamOptions) (*Stream, erro
 		remaining: make([]int32, 2*t.nLeaves),
 		buckets:   make([]map[int64][][]record.Record, t.h),
 		pending:   -1,
-		pathIdx:   make([]int64, t.h+1),
-		pathBox:   make([]record.Box, t.h+1),
+		cur:       newStab(t.h),
+		next:      newStab(t.h),
+		prefetch:  t.f.Prefetchable(),
 	}
 	for i := range s.buckets {
 		s.buckets[i] = make(map[int64][][]record.Record)
@@ -174,9 +194,16 @@ func (s *Stream) QueryLeaves() int {
 	return len(s.requiredAll[len(s.requiredAll)-1])
 }
 
-// RemainingLeaves returns the number of leaves not yet consumed by stabs
-// (over the whole tree, not just the query-overlapping region).
-func (s *Stream) RemainingLeaves() int64 { return int64(s.remaining[1]) }
+// RemainingLeaves returns the number of leaves not yet served to the caller
+// (over the whole tree, not just the query-overlapping region). A routed
+// but unserved lookahead stab still counts as remaining.
+func (s *Stream) RemainingLeaves() int64 {
+	n := int64(s.remaining[1])
+	if s.haveNext {
+		n++
+	}
+	return n
+}
 
 // LeavesRead returns the number of leaf nodes retrieved so far.
 func (s *Stream) LeavesRead() int64 { return s.leavesRead }
@@ -256,13 +283,27 @@ func (s *Stream) NextLeaf() (int, error) {
 	if s.done {
 		return 0, io.EOF
 	}
-	leaf := s.pending
-	if leaf >= 0 {
-		s.pending = -1
-	} else {
-		leaf = s.shuttle()
+	switch {
+	case s.pending >= 0:
+		s.pending = -1 // retry cur over its preserved path
+	case s.haveNext:
+		s.cur, s.next = s.next, s.cur
+		s.haveNext = false
+	default:
+		s.shuttle(&s.cur)
 	}
-	emitted, err := s.combineTuples(leaf)
+	// One stab of lookahead when a prefetcher is attached: route the
+	// following leaf now and hint its pages, so they warm on wall-clock time
+	// while this leaf is read and decoded. Routing early changes nothing the
+	// caller can observe — the stab sequence, the simulated charges and the
+	// emitted sample prefix are exactly those of the unprefetched run.
+	if s.prefetch && !s.haveNext && s.remaining[1] > 0 {
+		s.shuttle(&s.next)
+		s.haveNext = true
+		s.t.prefetchLeaf(s.next.leaf)
+	}
+	leaf := s.cur.leaf
+	emitted, err := s.combineTuples(&s.cur)
 	if err != nil {
 		if retriable(err) {
 			s.pending = leaf
@@ -272,13 +313,13 @@ func (s *Stream) NextLeaf() (int, error) {
 		secs := s.lostSections()
 		s.degradedLeaves++
 		s.degradedSections += int64(len(secs))
-		if s.remaining[1] == 0 {
+		if s.remaining[1] == 0 && !s.haveNext {
 			s.done = true
 		}
 		return 0, &DegradedError{Leaf: leaf, Sections: secs, Err: err}
 	}
 	s.leavesRead++
-	if s.remaining[1] == 0 {
+	if s.remaining[1] == 0 && !s.haveNext {
 		s.done = true
 	}
 	return emitted, nil
@@ -290,7 +331,7 @@ func (s *Stream) NextLeaf() (int, error) {
 func (s *Stream) lostSections() []int {
 	var secs []int
 	for sec := 0; sec < s.t.h; sec++ {
-		if s.pathBox[sec+1].Overlaps(s.q) {
+		if s.cur.box[sec+1].Overlaps(s.q) {
 			secs = append(secs, sec+1)
 		}
 	}
@@ -300,14 +341,14 @@ func (s *Stream) lostSections() []int {
 // shuttle picks the next leaf to read: starting at the root it prefers, at
 // every node, an undone child overlapping the query; between two eligible
 // children it alternates via the node's next bit. It records the path's
-// heap indices and regions, decrements the remaining counters, and returns
-// the leaf ordinal.
-func (s *Stream) shuttle() int64 {
+// heap indices and regions into st, decrements the remaining counters, and
+// sets st.leaf to the routed leaf ordinal.
+func (s *Stream) shuttle(st *stab) {
 	t := s.t
 	idx := int64(1)
 	box := record.FullBox(t.dims)
-	s.pathIdx[1] = 1
-	s.pathBox[1] = box
+	st.idx[1] = 1
+	st.box[1] = box
 	s.remaining[1]--
 	for level := 1; level < t.h; level++ {
 		split := t.splits[idx]
@@ -355,26 +396,26 @@ func (s *Stream) shuttle() int64 {
 			s.sent[idx]++
 		}
 		s.remaining[idx]--
-		s.pathIdx[level+1] = idx
-		s.pathBox[level+1] = box
+		st.idx[level+1] = idx
+		st.box[level+1] = box
 	}
-	return idx - t.nLeaves // leaf ordinal
+	st.leaf = idx - t.nLeaves // leaf ordinal
 }
 
 // combineTuples implements Algorithm 4 for the leaf just retrieved: filter
 // each section by the query, emit covering sections immediately, park
 // partially overlapping sections, and flush every bucket group that has a
 // batch for each required region.
-func (s *Stream) combineTuples(leaf int64) (int, error) {
+func (s *Stream) combineTuples(st *stab) (int, error) {
 	t := s.t
-	sections, err := t.readLeaf(leaf)
+	sections, err := t.readLeafInto(st.leaf, &s.dec)
 	if err != nil {
 		return 0, err
 	}
 	emitted := 0
 	for sec := 0; sec < t.h; sec++ {
 		level := sec + 1
-		box := s.pathBox[level]
+		box := st.box[level]
 		if !box.Overlaps(s.q) {
 			continue // useless section: its region misses the query
 		}
@@ -395,7 +436,7 @@ func (s *Stream) combineTuples(leaf int64) (int, error) {
 		}
 		// Partial overlap: park under this region and try to append one
 		// batch per required region (appendability).
-		nodeIdx := s.pathIdx[level]
+		nodeIdx := st.idx[level]
 		s.buckets[sec][nodeIdx] = append(s.buckets[sec][nodeIdx], batch)
 		s.buffered += len(batch)
 		emitted += s.tryCombine(sec)

@@ -225,7 +225,12 @@ func formRunsParallel(src *pagefile.ItemFile, cmp Compare, memPages, workers int
 				}
 				// Rewrap on the unclocked file so the merge pass charges the
 				// caller's clock, not this chunk's.
-				runs[k] = pagefile.OpenItemFile(mem, itemSize, 0, run.Count())
+				reopened, err := pagefile.OpenItemFile(mem, itemSize, 0, run.Count())
+				if err != nil {
+					fail.Set(err)
+					continue
+				}
+				runs[k] = reopened
 			}
 		}()
 	}
@@ -270,7 +275,12 @@ func mergeGroupsParallel(next, runs []*pagefile.ItemFile, cmp Compare, memPages,
 					fail.Set(err)
 					continue
 				}
-				next[g] = pagefile.OpenItemFile(mem, itemSize, 0, out.Count())
+				merged, err := pagefile.OpenItemFile(mem, itemSize, 0, out.Count())
+				if err != nil {
+					fail.Set(err)
+					continue
+				}
+				next[g] = merged
 			}
 		}()
 	}

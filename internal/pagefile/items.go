@@ -24,10 +24,31 @@ func NewItemFile(f *File, itemSize int) *ItemFile {
 	return wrapItemFile(f, itemSize, f.NumPages(), 0)
 }
 
+// ItemRangeError reports an OpenItemFile item region that does not fit the
+// underlying file: the region's pages, as implied by startPage and count,
+// must all exist at open time rather than surfacing as ErrPageOutOfRange on
+// the first read of a missing page.
+type ItemRangeError struct {
+	StartPage int64 // first page of the requested region
+	Pages     int64 // pages the requested items occupy
+	NumPages  int64 // pages actually in the file
+}
+
+func (e *ItemRangeError) Error() string {
+	return fmt.Sprintf("pagefile: item region [%d,%d) outside file of %d pages",
+		e.StartPage, e.StartPage+e.Pages, e.NumPages)
+}
+
 // OpenItemFile wraps f as an item file holding count items whose item
-// region starts at page startPage.
-func OpenItemFile(f *File, itemSize int, startPage, count int64) *ItemFile {
-	return wrapItemFile(f, itemSize, startPage, count)
+// region starts at page startPage. It validates the region against the
+// file's current page count and returns an *ItemRangeError if any item
+// would live on a page the file does not have.
+func OpenItemFile(f *File, itemSize int, startPage, count int64) (*ItemFile, error) {
+	t := wrapItemFile(f, itemSize, startPage, count)
+	if n := f.NumPages(); startPage < 0 || count < 0 || startPage+t.NumPages() > n {
+		return nil, &ItemRangeError{StartPage: startPage, Pages: t.NumPages(), NumPages: n}
+	}
+	return t, nil
 }
 
 // wrapItemFile builds the ItemFile wrapper. It panics if itemSize does not

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package pagefile
+
+import "os"
+
+// mmapAvailable reports whether this platform supports the mmap backend.
+// Without it, OpenWith silently falls back to the pread backend, keeping
+// BackendMmap a portable request rather than a hard requirement.
+const mmapAvailable = false
+
+// newMmapBackend is never reached when mmapAvailable is false; it exists so
+// OpenWith compiles on every platform.
+func newMmapBackend(f *os.File, pageSize int, npages int64) (Backend, error) {
+	return &osBackend{f: f, pageSize: pageSize, npages: npages}, nil
+}

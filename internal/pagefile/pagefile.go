@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"sampleview/internal/iosim"
 )
@@ -38,6 +39,17 @@ type Backend interface {
 	Close() error
 }
 
+// viewBackend is implemented by backends that can expose a stored frame as
+// a slice of process memory without copying (the mmap backend's read-only
+// mapping, the memory backend's page store). PageView returns the frame of
+// page i and true, or false when the page cannot be served zero-copy (for
+// the mmap backend: pages appended after the mapping was established).
+// The returned slice stays valid until Close; callers must treat it as
+// read-only and must not hold it across a WritePage of the same page.
+type viewBackend interface {
+	PageView(i int64) ([]byte, bool)
+}
+
 // File is a page file on a simulated disk. Concurrent Reads are safe;
 // writers require external synchronization (a file is written by one
 // goroutine during construction and read-only afterwards).
@@ -58,40 +70,77 @@ type File struct {
 	// frames recycles physical-frame scratch buffers for the checksum
 	// encode/verify paths; nil for legacy v1 files.
 	frames *bufPool
+	// pf is the async page-cache warmer attached by OpenWith, nil otherwise;
+	// shared across OnClock views of the same file.
+	pf *prefetcher
 }
 
 // bufPool is a bounded free list of page buffers. A plain sync.Pool of
 // []byte would box the slice header into an interface on every Put,
 // costing one small heap allocation per recycle on the sampler hot path;
 // the explicit list keeps steady-state gets and puts allocation-free.
+// The list is striped: every page read of every stream of a file passes
+// through this pool, so a single mutex would serialize otherwise
+// independent streams.
 type bufPool struct {
-	mu   sync.Mutex
-	free [][]byte // guarded by mu
-	ps   int
+	ps      int
+	next    atomic.Uint32 // round-robin stripe cursor
+	stripes [bufStripes]bufStripe
 }
 
-// maxFreeBufs bounds a file's free list (with 8 KB pages: 512 KB).
-const maxFreeBufs = 64
+type bufStripe struct {
+	mu   sync.Mutex
+	free [][]byte // guarded by mu
+	// Pad the stripe to its own cache line so neighbouring stripe locks do
+	// not false-share.
+	_ [64 - 8]byte
+}
 
+// bufStripes is the stripe count (power of two for cheap masking) and
+// maxFreePerStripe bounds each stripe's free list, keeping the total
+// buffers retained per file at 64 — the same bound the pool had when it
+// was a single list (with 8 KB pages: 512 KB).
+const (
+	bufStripes       = 8
+	maxFreePerStripe = 8
+)
+
+// get starts at the stripe the most recent put filled (likely non-empty,
+// and a different stripe per concurrent putter) and falls back to scanning
+// the rest before allocating, so buffers are only ever allocated when the
+// whole pool is genuinely drained.
 func (p *bufPool) get() []byte {
-	p.mu.Lock()
-	if n := len(p.free); n > 0 {
-		b := p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
-		p.mu.Unlock()
-		return b
+	home := p.next.Load()
+	for k := uint32(0); k < bufStripes; k++ {
+		s := &p.stripes[(home+k)&(bufStripes-1)]
+		s.mu.Lock()
+		if n := len(s.free); n > 0 {
+			b := s.free[n-1]
+			s.free[n-1] = nil
+			s.free = s.free[:n-1]
+			s.mu.Unlock()
+			return b
+		}
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
 	return make([]byte, p.ps)
 }
 
+// put advances the cursor so successive puts (and the gets chasing them)
+// spread across stripes; a full home stripe overflows into the next ones
+// before the buffer is dropped.
 func (p *bufPool) put(b []byte) {
-	p.mu.Lock()
-	if len(p.free) < maxFreeBufs {
-		p.free = append(p.free, b)
+	home := p.next.Add(1)
+	for k := uint32(0); k < bufStripes; k++ {
+		s := &p.stripes[(home+k)&(bufStripes-1)]
+		s.mu.Lock()
+		if len(s.free) < maxFreePerStripe {
+			s.free = append(s.free, b)
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
 }
 
 // newFile wires a File over backend. hdrSize selects the format (v2
@@ -140,33 +189,10 @@ func Create(sim *iosim.Sim, path string) (*File, error) {
 // must be a whole number of pages. Files whose first page carries the v2
 // superblock are verified with per-page checksums on every read; files
 // without it are legacy v1 seed files, served verbatim for back-compat.
+// The raw-I/O backend is BackendDefault; use OpenWith to choose one
+// explicitly or to attach a prefetcher.
 func Open(sim *iosim.Sim, path string) (*File, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("pagefile: open %s: %w", path, err)
-	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pagefile: stat %s: %w", path, err)
-	}
-	ps := int64(sim.Model().PageSize)
-	if st.Size()%ps != 0 {
-		f.Close()
-		return nil, fmt.Errorf("pagefile: %s size %d is not a multiple of page size %d", path, st.Size(), ps)
-	}
-	b := &osBackend{f: f, pageSize: sim.Model().PageSize, npages: st.Size() / ps}
-	if b.npages > 0 {
-		v2, err := readSuper(b, sim.Model().PageSize)
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("pagefile: open %s: %w", path, err)
-		}
-		if v2 {
-			return newFile(sim, b, frameHdrSize, 1), nil
-		}
-	}
-	return newFile(sim, b, 0, 0), nil
+	return OpenWith(sim, path, OpenOptions{})
 }
 
 // OnClock returns a view of the file whose accesses are charged to the
@@ -204,9 +230,28 @@ func (f *File) Sim() *iosim.Sim { return f.sim }
 // verification runs on every read of a v2 page; failures that outlive the
 // budget surface as *TransientError, *DeadPageError or *CorruptPageError.
 func (f *File) Read(i int64, dst []byte) error {
+	_, err := f.readPage(i, dst, false)
+	return err
+}
+
+// ReadPayload reads logical page i and returns its payload bytes, charging
+// the clock exactly as Read does. When the backend can expose the stored
+// frame as stable process memory (mmap, memory backend) and no fault
+// injection needs to mutate the bytes, the returned slice aliases the
+// backend's frame and no copy is made; otherwise the payload is copied into
+// dst (at least one page long) and a sub-slice of dst is returned. Callers
+// must treat the result as read-only; a zero-copy result stays valid until
+// the file is closed.
+func (f *File) ReadPayload(i int64, dst []byte) ([]byte, error) {
+	return f.readPage(i, dst, true)
+}
+
+// readPage is the shared fault/attempt loop behind Read and ReadPayload.
+// With zerocopy set, the payload may alias the backend's stored frame.
+func (f *File) readPage(i int64, dst []byte, zerocopy bool) ([]byte, error) {
 	n := f.NumPages()
 	if i < 0 || i >= n {
-		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, i, n)
+		return nil, fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, i, n)
 	}
 	phys := i + f.physOff
 	budget := f.charge.FaultPlan().Attempts()
@@ -223,9 +268,9 @@ func (f *File) Read(i int64, dst []byte) error {
 			transient = true
 			continue
 		}
-		err := f.readFrame(phys, i, flt, dst)
+		payload, err := f.readFrame(phys, i, flt, dst, zerocopy)
 		if err == nil {
-			return nil
+			return payload, nil
 		}
 		var cpe *CorruptPageError
 		if errors.As(err, &cpe) {
@@ -235,50 +280,70 @@ func (f *File) Read(i int64, dst []byte) error {
 			}
 			continue
 		}
-		return err
+		return nil, err
 	}
 	switch {
 	case sticky:
 		f.charge.NoteFault(iosim.FaultDead)
-		return &DeadPageError{Page: i, Attempts: budget}
+		return nil, &DeadPageError{Page: i, Attempts: budget}
 	case corrupt != nil:
 		f.charge.NoteFault(iosim.FaultCorrupt)
-		return corrupt
+		return nil, corrupt
 	case transient:
-		return &TransientError{Page: i, Attempts: budget}
+		return nil, &TransientError{Page: i, Attempts: budget}
 	}
-	return &TransientError{Page: i, Attempts: budget}
+	return nil, &TransientError{Page: i, Attempts: budget}
 }
 
 // readFrame performs one uncharged read attempt of physical page phys
 // (logical page i): fetch the frame, apply any injected bit rot, verify the
-// checksum, and copy the payload out to dst.
-func (f *File) readFrame(phys, i int64, flt iosim.Fault, dst []byte) error {
+// checksum, and produce the payload — a view of the backend's frame when
+// zerocopy is allowed and safe, a copy into dst otherwise. Bit-rot
+// injection always forces the copy path: the flip must never scribble on a
+// backend's stored frame.
+func (f *File) readFrame(phys, i int64, flt iosim.Fault, dst []byte, zerocopy bool) ([]byte, error) {
+	if vb, ok := f.backend.(viewBackend); ok && flt.FlipBit < 0 {
+		if frame, ok := vb.PageView(phys); ok {
+			payload := frame[:f.pageSize:f.pageSize]
+			if f.hdrSize > 0 {
+				got, want, ok := verifyFrame(frame, phys)
+				if !ok {
+					return nil, &CorruptPageError{Page: i, Got: got, Want: want}
+				}
+				payload = frame[f.hdrSize : f.hdrSize+f.pageSize : f.hdrSize+f.pageSize]
+			}
+			if zerocopy {
+				return payload, nil
+			}
+			copy(dst[:f.pageSize], payload)
+			return dst[:f.pageSize], nil
+		}
+	}
 	if f.hdrSize == 0 {
 		// Legacy v1: no header, nothing to verify. Injected bit rot lands in
 		// the payload undetected — exactly the failure mode v2 exists to fix.
 		if err := f.backend.ReadPage(phys, dst[:f.pageSize]); err != nil {
-			return err
+			return nil, err
 		}
 		if flt.FlipBit >= 0 {
 			flipBit(dst[:f.pageSize], flt.FlipBit)
 		}
-		return nil
+		return dst[:f.pageSize], nil
 	}
 	frame := f.frames.get()
 	defer f.frames.put(frame)
 	if err := f.backend.ReadPage(phys, frame); err != nil {
-		return err
+		return nil, err
 	}
 	if flt.FlipBit >= 0 {
 		flipBit(frame, flt.FlipBit)
 	}
 	got, want, ok := verifyFrame(frame, phys)
 	if !ok {
-		return &CorruptPageError{Page: i, Got: got, Want: want}
+		return nil, &CorruptPageError{Page: i, Got: got, Want: want}
 	}
 	copy(dst[:f.pageSize], frame[f.hdrSize:])
-	return nil
+	return dst[:f.pageSize], nil
 }
 
 // Write writes logical page i from src (at least one page long), charging
@@ -323,8 +388,42 @@ func (f *File) Append(src []byte) (int64, error) {
 	return i, nil
 }
 
-// Close releases the backing storage.
-func (f *File) Close() error { return f.backend.Close() }
+// Prefetch hints that logical pages [i, i+n) will be read soon. The hint
+// goes to the async prefetcher attached at open, which warms the pages into
+// memory on wall-clock time only: no simulated time is charged, so the
+// deterministic iosim accounting of the foreground reads is unchanged.
+// Safe from any goroutine; a no-op without a prefetcher, for n <= 0, and
+// for out-of-range pages (the range is clamped to the file).
+func (f *File) Prefetch(i, n int64) {
+	if f.pf == nil {
+		return
+	}
+	if i < 0 {
+		n += i
+		i = 0
+	}
+	if m := f.NumPages() - i; n > m {
+		n = m
+	}
+	if n <= 0 {
+		return
+	}
+	f.pf.hint(i+f.physOff, n)
+}
+
+// Prefetchable reports whether an async prefetcher is attached, letting
+// callers skip computing read-ahead hints when nobody consumes them.
+func (f *File) Prefetchable() bool { return f.pf != nil }
+
+// Close stops the prefetcher (waiting for in-flight warm-ups, so no worker
+// touches backend memory being released) and then releases the backing
+// storage.
+func (f *File) Close() error {
+	if f.pf != nil {
+		f.pf.close()
+	}
+	return f.backend.Close()
+}
 
 // memBackend stores pages in memory.
 type memBackend struct {
@@ -350,6 +449,16 @@ func (m *memBackend) WritePage(i int64, src []byte) error {
 
 func (m *memBackend) NumPages() int64 { return int64(len(m.pages)) }
 func (m *memBackend) Close() error    { m.pages = nil; return nil }
+
+// PageView exposes the stored page directly: memory pages are written once
+// during construction and read-only afterwards, so views handed out on the
+// read path are stable.
+func (m *memBackend) PageView(i int64) ([]byte, bool) {
+	if i < 0 || i >= int64(len(m.pages)) {
+		return nil, false
+	}
+	return m.pages[i], true
+}
 
 // osBackend stores pages in an operating-system file.
 type osBackend struct {

@@ -365,7 +365,10 @@ func TestItemFileWithHeaderOffset(t *testing.T) {
 	if dst[0] != 8 {
 		t.Fatalf("Get(7) = %d", dst[0])
 	}
-	reopened := OpenItemFile(f, 100, 1, 9)
+	reopened, err := OpenItemFile(f, 100, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := reopened.NewReader()
 	for i := 0; i < 9; i++ {
 		item, err := r.Next()

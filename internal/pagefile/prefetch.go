@@ -1,0 +1,136 @@
+package pagefile
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// prefetcher warms upcoming pages into memory below the charged read path.
+// A small bounded pool of workers takes page-range hints and either touches
+// the backend's mapped frames (mmap backend) or reads them into recycled
+// scratch buffers (pread backend, priming the OS page cache). No simulated
+// time is ever charged and no data is handed to callers, which is what
+// keeps iosim the determinism oracle: with and without a prefetcher the
+// charged access sequence — and therefore every simulated figure — is
+// byte-for-byte identical. Read errors are swallowed here on purpose; the
+// foreground read of the same page surfaces them with proper fault
+// accounting.
+type prefetcher struct {
+	backend  Backend
+	physSize int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []pageRange // guarded by mu
+	closed bool        // guarded by mu
+	wg     sync.WaitGroup
+
+	hinted  atomic.Int64 // ranges accepted
+	dropped atomic.Int64 // ranges dropped on queue overflow
+	touched atomic.Int64 // pages actually warmed
+	sink    atomic.Uint64
+}
+
+type pageRange struct{ first, n int64 }
+
+// prefetchQueueCap bounds the pending-hint queue. When streams outrun the
+// workers the newest hints are dropped, degrading to no-prefetch instead of
+// queueing unboundedly; the foreground reads are never affected.
+const prefetchQueueCap = 64
+
+func newPrefetcher(b Backend, physSize, workers int) *prefetcher {
+	p := &prefetcher{backend: b, physSize: physSize}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.run()
+	}
+	return p
+}
+
+// hint enqueues physical pages [first, first+n) for warming. Never blocks.
+func (p *prefetcher) hint(first, n int64) {
+	p.mu.Lock()
+	switch {
+	case p.closed:
+	case len(p.queue) >= prefetchQueueCap:
+		p.dropped.Add(1)
+	default:
+		p.queue = append(p.queue, pageRange{first, n})
+		p.hinted.Add(1)
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// run is one worker: dequeue a range, warm its pages, repeat until close.
+func (p *prefetcher) run() {
+	defer p.wg.Done()
+	var buf []byte
+	vb, hasView := p.backend.(viewBackend)
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		r := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		var sum uint64
+		for i := int64(0); i < r.n; i++ {
+			if p.isClosed() {
+				return
+			}
+			if hasView {
+				if frame, ok := vb.PageView(r.first + i); ok {
+					// One touch per 4 KB faults the mapped page in.
+					for off := 0; off < len(frame); off += 4096 {
+						sum += uint64(frame[off])
+					}
+					p.touched.Add(1)
+					continue
+				}
+			}
+			if buf == nil {
+				buf = make([]byte, p.physSize)
+			}
+			if p.backend.ReadPage(r.first+i, buf) == nil {
+				p.touched.Add(1)
+			}
+		}
+		// Publish the touch sum so the page-faulting loads above cannot be
+		// optimized away.
+		p.sink.Add(sum)
+	}
+}
+
+// isClosed checks for cancellation between pages so Close never waits for
+// a long range to finish warming.
+func (p *prefetcher) isClosed() bool {
+	p.mu.Lock()
+	c := p.closed
+	p.mu.Unlock()
+	return c
+}
+
+// close cancels pending hints and waits for every worker to exit; after it
+// returns no prefetch goroutine touches the backend again, so the caller
+// may release backend memory. Idempotent.
+func (p *prefetcher) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.queue = nil
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

@@ -127,7 +127,11 @@ func Open(f *pagefile.File) (*File, error) {
 		return nil, fmt.Errorf("permfile: bad magic")
 	}
 	count := int64(binary.LittleEndian.Uint64(page[8:16]))
-	return &File{items: pagefile.OpenItemFile(f, record.Size, 1, count)}, nil
+	items, err := pagefile.OpenItemFile(f, record.Size, 1, count)
+	if err != nil {
+		return nil, fmt.Errorf("permfile: %w", err)
+	}
+	return &File{items: items}, nil
 }
 
 func writeHeader(f *pagefile.File, count int64) error {

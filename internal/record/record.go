@@ -67,3 +67,27 @@ func (r *Record) Unmarshal(src []byte) {
 	r.Seq = binary.LittleEndian.Uint64(src[16:24])
 	copy(r.Payload[:], src[24:Size])
 }
+
+// AppendBatch decodes n consecutive records from src (at least n*Size bytes
+// long) and appends them to dst, returning the extended slice. It is the
+// batch counterpart of Unmarshal for whole-section decoding: each record is
+// decoded in place in the grown slice instead of being built on the stack
+// and copied in by append, so a page decodes with one growth check and no
+// per-record copy.
+func AppendBatch(dst []Record, src []byte, n int) []Record {
+	if n <= 0 {
+		return dst
+	}
+	_ = src[n*Size-1]
+	base := len(dst)
+	if need := base + n; cap(dst) < need {
+		grown := make([]Record, base, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+n]
+	for i := 0; i < n; i++ {
+		dst[base+i].Unmarshal(src[i*Size:])
+	}
+	return dst
+}

@@ -179,10 +179,14 @@ func Open(f *pagefile.File, pool *pagefile.Pool) (*Tree, error) {
 	count := int64(binary.LittleEndian.Uint64(page[8:16]))
 	root := int64(binary.LittleEndian.Uint64(page[16:24]))
 	height := int(binary.LittleEndian.Uint64(page[24:32]))
+	items, err := pagefile.OpenItemFile(f, record.Size, 1, count)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: %w", err)
+	}
 	return &Tree{
 		f:        f,
 		pool:     pool,
-		items:    pagefile.OpenItemFile(f, record.Size, 1, count),
+		items:    items,
 		count:    count,
 		rootPage: root,
 		height:   height,

@@ -86,6 +86,13 @@ type Options struct {
 	// Faults installs a fault schedule on every disk after the build (each
 	// disk gets an independently mixed seed; see iosim.Farm.SetFaultPlan).
 	Faults iosim.FaultPlan
+	// Backend selects the raw-I/O backend used when stored shard files are
+	// opened (pread by default, mmap for the zero-copy fast path); it
+	// changes wall-clock speed only, never the simulated accounting.
+	Backend pagefile.BackendKind
+	// PrefetchWorkers > 0 attaches an async leaf prefetcher to each opened
+	// shard file. 0 disables prefetching.
+	PrefetchWorkers int
 }
 
 func (o Options) k() int {
@@ -378,7 +385,10 @@ func Open(dir string, opts Options) (*View, error) {
 		rng:    rand.New(rand.NewPCG(m.Seed^0x5aa3d01f, m.Seed+1)),
 	}
 	for i := 0; i < m.K; i++ {
-		f, err := pagefile.Open(v.farm.Disk(i), v.shardPath(i))
+		f, err := pagefile.OpenWith(v.farm.Disk(i), v.shardPath(i), pagefile.OpenOptions{
+			Backend:         opts.Backend,
+			PrefetchWorkers: opts.PrefetchWorkers,
+		})
 		if err != nil {
 			v.closeShards()
 			return nil, fmt.Errorf("shard: opening shard %d: %w", i, err)

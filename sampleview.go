@@ -55,7 +55,24 @@ type (
 	DegradedError = core.DegradedError
 	// PageFault locates one corrupt page found by View.Fsck.
 	PageFault = core.PageFault
+	// BackendKind selects the raw-I/O backend of an OS-backed view file
+	// (see Options.Backend).
+	BackendKind = pagefile.BackendKind
+	// ItemRangeError reports an item region that does not fit its file.
+	ItemRangeError = pagefile.ItemRangeError
 )
+
+// Raw-I/O backends for Options.Backend.
+const (
+	// BackendPread serves pages with positional reads: the portable default.
+	BackendPread = pagefile.BackendPread
+	// BackendMmap maps the view file read-only and serves pages zero-copy.
+	BackendMmap = pagefile.BackendMmap
+)
+
+// ParseBackendKind maps a flag spelling ("pread", "mmap", "default") to a
+// BackendKind for Options.Backend.
+func ParseBackendKind(s string) (BackendKind, error) { return pagefile.ParseBackendKind(s) }
 
 // FaultProfile returns the named fault profile ("none", "flaky-disk",
 // "slow-disk", "flaky-deep", "bitrot", "bad-sector", "hell") with the given
@@ -117,6 +134,17 @@ type Options struct {
 	// The zero value injects nothing; View.InjectFaults replaces the plan at
 	// runtime.
 	Faults FaultPlan
+	// Backend selects the raw-I/O backend for OS-backed view files opened
+	// with Open: BackendPread (the portable default) or BackendMmap (the
+	// zero-copy fast path). It changes only wall-clock speed — the simulated
+	// accounting and every sampled byte are identical across backends.
+	// Ignored by Create and by in-memory views.
+	Backend BackendKind
+	// PrefetchWorkers > 0 attaches an async leaf prefetcher to files opened
+	// with Open: while a stream decodes one leaf, the next leaf of its
+	// deterministic schedule is warmed into memory on wall-clock time, with
+	// no simulated charge. 0 disables prefetching.
+	PrefetchWorkers int
 }
 
 func (o Options) model() iosim.Model {
@@ -218,7 +246,10 @@ func CreateFromSlice(path string, recs []Record, opts Options) (*View, error) {
 // Open opens a view previously stored by Create.
 func Open(path string, opts Options) (*View, error) {
 	sim := iosim.New(opts.model())
-	f, err := pagefile.Open(sim, path)
+	f, err := pagefile.OpenWith(sim, path, pagefile.OpenOptions{
+		Backend:         opts.Backend,
+		PrefetchWorkers: opts.PrefetchWorkers,
+	})
 	if err != nil {
 		return nil, err
 	}
