@@ -2,20 +2,26 @@
 // standard-library-only multichecker enforcing the contracts the
 // reproduction's correctness rests on (seeded randomness, simulated time,
 // copy-out buffer-pool access, lock annotations, error prefixes,
-// documented panics). See internal/analysis for the individual checks and
+// documented panics), plus a type-aware interprocedural tier (clock-charge
+// dataflow, lock-order deadlock detection, goroutine and resource
+// lifecycle). See internal/analysis for the individual checks and
 // DESIGN.md "Enforced invariants" for the contract each encodes.
 //
 // Usage:
 //
-//	svlint [-list] [packages]
+//	svlint [-list] [-json] [-nottyped] [packages]
 //
 // Package patterns are directories relative to the current working
 // directory; a trailing /... recurses. With no arguments, ./... is
-// assumed. svlint exits 0 when the tree is clean, 1 when it found
-// violations, and 2 on usage or load errors.
+// assumed. Findings can be silenced case by case with a
+// "//lint:ignore <analyzer> <reason>" comment on or directly above the
+// offending line; unused or malformed directives are themselves reported.
+// svlint exits 0 when the tree is clean, 1 when it found violations, and 2
+// on usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -26,15 +32,29 @@ import (
 	"sampleview/internal/analysis"
 )
 
+// jsonDiag is the -json wire form of one finding, one object per line.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
-		list = flag.Bool("list", false, "list the analyzers and exit")
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		jsonOut = flag.Bool("json", false, "emit diagnostics as JSON Lines on stdout")
+		noTyped = flag.Bool("notyped", false, "skip the type-aware tier (syntactic analyzers only)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range analysis.AllTyped() {
+			fmt.Printf("%-14s %s (type-aware)\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -83,11 +103,29 @@ func main() {
 		pkgs = append(pkgs, pkg)
 	}
 
-	diags := analysis.Run(pkgs, analysis.All())
+	var prog *analysis.Program
+	if !*noTyped {
+		prog, err = analysis.TypeCheck(fset, pkgs, modRoot)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	diags := analysis.RunSuite(pkgs, prog, analysis.All(), analysis.AllTyped())
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		pos := d.Pos
 		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
+		}
+		if *jsonOut {
+			if err := enc.Encode(jsonDiag{
+				File: pos.Filename, Line: pos.Line, Column: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			}); err != nil {
+				fatal(err)
+			}
+			continue
 		}
 		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
 	}

@@ -20,8 +20,10 @@ import (
 	"go/token"
 	"path"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding: a position, the analyzer that produced it, and
@@ -98,15 +100,118 @@ func All() []*Analyzer {
 	}
 }
 
-// Run applies every analyzer to every package and returns the diagnostics
-// sorted by file, line and column.
+// workerCount bounds the suite's worker pools: enough to use the machine,
+// capped so a wide tree does not fork hundreds of goroutines for passes
+// that each take microseconds.
+func workerCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Run applies every analyzer to every package, fanning the (package,
+// analyzer) pairs out over a bounded worker pool, and returns the
+// diagnostics sorted. Each pass appends to its own slot, so scheduling
+// never reorders output: determinism comes from the final sort, which ties
+// down to the message.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
+	type unit struct {
+		pkg *Package
+		a   *Analyzer
+	}
+	var units []unit
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Pkg: pkg, name: a.Name, out: &out})
+			units = append(units, unit{pkg, a})
 		}
 	}
+	outs := make([][]Diagnostic, len(units))
+	sem := make(chan struct{}, workerCount())
+	var wg sync.WaitGroup
+	for i, u := range units {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			u.a.Run(&Pass{Pkg: u.pkg, name: u.a.Name, out: &outs[i]})
+		}()
+	}
+	wg.Wait()
+	var out []Diagnostic
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	sortDiags(out)
+	return out
+}
+
+// RunTyped applies the typed analyzers to a type-checked program. Typed
+// analyzers are whole-program passes, so the fan-out is per analyzer; they
+// only read the shared Program, which is immutable once built.
+func RunTyped(prog *Program, analyzers []*TypedAnalyzer) []Diagnostic {
+	outs := make([][]Diagnostic, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.Run(&TypedPass{Prog: prog, name: a.Name, out: &outs[i]})
+		}()
+	}
+	wg.Wait()
+	var out []Diagnostic
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	sortDiags(out)
+	return out
+}
+
+// Names returns every analyzer name of both tiers plus "directive", the
+// name hygiene findings report under — the "known" set that lint:ignore
+// directives are validated against.
+func Names() map[string]bool {
+	known := map[string]bool{"directive": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range AllTyped() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// RunSuite runs the full suite: the syntactic analyzers over pkgs, the
+// typed analyzers over prog (skipped when prog is nil), then filters both
+// tiers' output through the lint:ignore directives collected from pkgs and
+// appends the directive hygiene diagnostics.
+func RunSuite(pkgs []*Package, prog *Program, syn []*Analyzer, typed []*TypedAnalyzer) []Diagnostic {
+	out := Run(pkgs, syn)
+	if prog != nil {
+		out = append(out, RunTyped(prog, typed)...)
+	}
+	active := make(map[string]bool)
+	for _, a := range syn {
+		active[a.Name] = true
+	}
+	if prog != nil {
+		for _, a := range typed {
+			active[a.Name] = true
+		}
+	}
+	out = collectDirectives(pkgs).apply(out, active, Names())
+	sortDiags(out)
+	return out
+}
+
+// sortDiags orders diagnostics by file, line, column, analyzer, message.
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -117,9 +222,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if out[i].Pos.Column != out[j].Pos.Column {
 			return out[i].Pos.Column < out[j].Pos.Column
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
 	})
-	return out
 }
 
 // inDir reports whether the package lives in (or under) the given

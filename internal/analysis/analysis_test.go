@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -90,27 +91,8 @@ func TestAnalyzers(t *testing.T) {
 				if d.Analyzer != c.analyzer.Name {
 					t.Errorf("diagnostic attributed to %q, want %q", d.Analyzer, c.analyzer.Name)
 				}
-				if d.Pos.Column <= 0 {
-					t.Errorf("%s: diagnostic without a column", d.Pos)
-				}
-				base := filepath.Base(d.Pos.Filename)
-				matched := false
-				for i, w := range wants {
-					if w != nil && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
-						wants[i] = nil
-						matched = true
-						break
-					}
-				}
-				if !matched {
-					t.Errorf("unexpected diagnostic at %s:%d: %s", base, d.Pos.Line, d.Message)
-				}
 			}
-			for _, w := range wants {
-				if w != nil {
-					t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
-				}
-			}
+			matchExact(t, wants, diags)
 		})
 	}
 }
@@ -129,7 +111,6 @@ func TestScopeExemptions(t *testing.T) {
 		{NoWallClock, "nowallclock", "examples/demo"},
 		{NoDirectIO, "nodirectio", "cmd/tool"},
 		{NoDirectIO, "nodirectio", "examples/demo"},
-		{NoDirectIO, "nodirectio", "internal/pagefile"},
 		{ErrPrefix, "errprefix", ""},
 		{ErrPrefix, "errprefix", "cmd/tool"},
 		{NoPanic, "nopanic", "cmd/tool"},
@@ -145,6 +126,23 @@ func TestScopeExemptions(t *testing.T) {
 				t.Errorf("diagnostic in exempt scope %q: %s", c.rel, d)
 			}
 		})
+	}
+}
+
+// TestNoDirectIOPagefileSplit pins the asymmetry of the nodirectio scopes:
+// internal/pagefile is the sanctioned owner of os.File handles, but the
+// syscall layer stays banned even there.
+func TestNoDirectIOPagefileSplit(t *testing.T) {
+	pkg := loadFixture(t, "nodirectio", "internal/pagefile")
+	diags := Run([]*Package{pkg}, []*Analyzer{NoDirectIO})
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "syscall.") {
+			t.Errorf("os-level diagnostic inside internal/pagefile: %s", d)
+		}
+	}
+	want := 2 // syscall.Open and syscall.Openat in the fixture
+	if len(diags) != want {
+		t.Errorf("got %d diagnostics in internal/pagefile, want %d (the syscall sites)", len(diags), want)
 	}
 }
 
@@ -169,9 +167,10 @@ func TestImportTable(t *testing.T) {
 	}
 }
 
-// TestTreeCleanAtHead is the meta-test: the full suite over the whole
-// repository must be silent. A failure here is a real contract violation
-// in the tree — fix the code, not this test.
+// TestTreeCleanAtHead is the meta-test: the full suite — both tiers plus
+// directive hygiene — over the whole repository must be silent. A failure
+// here is a real contract violation in the tree (or a stale lint:ignore) —
+// fix the code, not this test.
 func TestTreeCleanAtHead(t *testing.T) {
 	wd, err := os.Getwd()
 	if err != nil {
@@ -181,14 +180,22 @@ func TestTreeCleanAtHead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs, err := LoadTree(token.NewFileSet(), root, root)
+	fset := token.NewFileSet()
+	pkgs, err := LoadTree(fset, root, root)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages from %s; loader is missing the tree", len(pkgs), root)
 	}
-	for _, d := range Run(pkgs, All()) {
+	prog, err := TypeCheck(fset, pkgs, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Analyzed) < 5 {
+		t.Fatalf("type-checked only %d packages; the typed tier is missing the tree", len(prog.Analyzed))
+	}
+	for _, d := range RunSuite(pkgs, prog, All(), AllTyped()) {
 		t.Errorf("violation at HEAD: %s", d)
 	}
 }

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClockCharge enforces the cost-model contract the whole reproduction
+// hangs on: every raw page access must be charged to a simulated clock.
+// The charged entry points are pagefile.File's methods, which route every
+// access through an iosim.Charger; anything that talks to a pagefile
+// Backend directly (the interface or a concrete backend) is below that
+// line and performs I/O the simulated clock cannot see.
+//
+// A raw access site is a ReadPage/WritePage call on a non-File type
+// declared in internal/pagefile. The site is legal when a simulated charge
+// — a ReadPage/WritePage/Advance/BeginRead call on an internal/iosim
+// receiver (Sim, Clock, or the Charger interface) — is reachable from the
+// enclosing function's own call tree, or when every static caller of the
+// enclosing function (transitively) charges: that is the call-summary
+// propagation that blesses pagefile's own readFrame helper, whose caller
+// readPage charges before descending.
+//
+// Approximations: call summaries follow static calls only, so coverage
+// does not flow through function values or goroutine launches; bodies of
+// the raw methods themselves (osBackend.ReadPage and friends) are exempt —
+// they are the primitive being policed at its call sites. The async
+// prefetcher is the one sanctioned wall-clock-only reader and carries a
+// lint:ignore with its justification.
+//
+// Scope: non-test files of analyzed packages outside internal/iosim (the
+// clock cannot charge itself) and internal/analysis.
+var ClockCharge = &TypedAnalyzer{
+	Name: "clockcharge",
+	Doc:  "raw page reads must be charged to a simulated iosim clock on some call path",
+	Run:  runClockCharge,
+}
+
+// chargeMethods are the iosim methods that constitute a simulated charge.
+var chargeMethods = map[string]bool{
+	"ReadPage": true, "WritePage": true, "Advance": true, "BeginRead": true,
+}
+
+// isRawAccess reports whether fn is a raw page access primitive: a
+// ReadPage/WritePage method on an internal/pagefile type other than File.
+func isRawAccess(fn *types.Func) bool {
+	if fn == nil || (fn.Name() != "ReadPage" && fn.Name() != "WritePage") {
+		return false
+	}
+	n := recvNamed(fn)
+	return n != nil && n.Obj().Name() != "File" && pkgPathHasSuffix(n.Obj().Pkg(), "internal/pagefile")
+}
+
+// isCharge reports whether fn charges a simulated clock.
+func isCharge(fn *types.Func) bool {
+	if fn == nil || !chargeMethods[fn.Name()] {
+		return false
+	}
+	n := recvNamed(fn)
+	return n != nil && pkgPathHasSuffix(n.Obj().Pkg(), "internal/iosim")
+}
+
+func runClockCharge(pass *TypedPass) {
+	ix := pass.Prog.funcs
+
+	// Bottom-up: which functions (transitively) charge a clock?
+	directCharge := make(map[*types.Func]bool)
+	type rawSite struct {
+		node *FuncNode
+		call *ast.CallExpr
+		fn   *types.Func
+	}
+	var sites []rawSite
+	for _, node := range ix.order {
+		if isRawAccess(node.Fn) {
+			// The primitive itself; policed at call sites.
+			continue
+		}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// staticCallee resolves interface methods too, which is what
+			// Backend.ReadPage and Charger.ReadPage calls come in as.
+			callee := staticCallee(node.Pkg.Info, call)
+			if isCharge(callee) {
+				directCharge[node.Fn] = true
+			}
+			if isRawAccess(callee) && analyzedPkg(pass.Prog, node.Pkg) && !node.Pkg.inDir("internal/iosim") {
+				sites = append(sites, rawSite{node, call, callee})
+			}
+			return true
+		})
+	}
+	charges := ix.reach(directCharge)
+
+	// Top-down: a function is covered when it charges itself or when every
+	// static caller is covered. The fixpoint starts from the charging
+	// functions and only ever adds coverage, so cycles of uncovered
+	// functions conservatively stay uncovered.
+	covered := make(map[*types.Func]bool, len(charges))
+	for fn := range charges {
+		covered[fn] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range ix.order {
+			if covered[node.Fn] {
+				continue
+			}
+			callers := ix.callers[node.Fn]
+			if len(callers) == 0 {
+				continue
+			}
+			all := true
+			for _, c := range callers {
+				if !covered[c] {
+					all = false
+					break
+				}
+			}
+			if all {
+				covered[node.Fn] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, s := range sites {
+		if covered[s.node.Fn] {
+			continue
+		}
+		pass.Reportf(s.call,
+			"raw %s on %s is never charged to a simulated clock: neither %s nor its callers charge an iosim.Charger",
+			s.fn.Name(), recvNamed(s.fn).Obj().Name(), s.node.Fn.Name())
+	}
+}
+
+// analyzedPkg reports whether tp is part of the program's analyzed set.
+func analyzedPkg(prog *Program, tp *TypedPackage) bool {
+	if !analyzedScope(tp) {
+		return false
+	}
+	for _, a := range prog.Analyzed {
+		if a == tp {
+			return true
+		}
+	}
+	return false
+}

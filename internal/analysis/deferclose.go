@@ -1,0 +1,495 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeferClose demands that acquired resources are released on every path.
+// A resource is a value returned by an acquiring call — a function or
+// method whose name starts with Open, Create, Dial, Listen, Accept or Fork
+// — whose type has a Close method and is declared in os, net, or this
+// module. That covers the shapes this repository owns: pagefile handles
+// and backends, mmap-backed files, sample streams, network connections and
+// listeners. Constructors (New*) are deliberately not acquisitions: an
+// in-memory structure needs no teardown, and the sanctioned wrappers
+// (pagefile.NewMem) would otherwise drown the signal.
+//
+// From the acquisition on, the variable is tracked along a source-order
+// walk with branch forking: a path is satisfied when the resource is
+// closed (x.Close(), defer x.Close(), or a deferred closure that closes
+// it) or when ownership escapes — the value is returned, passed as a call
+// argument, stored into a struct/slice/map/channel or another variable, or
+// captured by a function literal. Using the resource as the receiver of
+// other method calls or reading its fields keeps it tracked: "opened it,
+// read from it, forgot to close it" is exactly the leak this catches. A
+// return (or the function's end) with a live resource is reported at the
+// acquisition, once per resource.
+//
+// The idiomatic failure path is understood: when the acquisition is
+// `f, err := Open(...)`, the branch where that same err is known non-nil
+// (an `err != nil` condition) owes no close — the callee failed and
+// returned nothing to release. The pairing dissolves as soon as err is
+// reassigned from another call, so later error returns still demand the
+// close they really do owe.
+//
+// Approximations: branches merge by union (a resource closed on only one
+// arm stays tracked), loop bodies are walked once, and any escape is
+// trusted to transfer the release obligation. Intentional handle transfer
+// the walker cannot see documents itself with a lint:ignore.
+//
+// Scope: non-test files of analyzed packages.
+var DeferClose = &TypedAnalyzer{
+	Name: "deferclose",
+	Doc:  "acquired resources (files, backends, streams, conns) are released on all paths",
+	Run:  runDeferClose,
+}
+
+// acquirePrefixes are the call-name prefixes that transfer a release
+// obligation to the caller.
+var acquirePrefixes = []string{"Open", "Create", "Dial", "Listen", "Accept", "Fork"}
+
+func isAcquiringName(name string) bool {
+	for _, p := range acquirePrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isResourceType reports whether t (through one pointer) is a closeable
+// type owned by os, net, or the analyzed module.
+func isResourceType(modPath string, t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	switch {
+	case path == "os", path == "net":
+	case path == modPath, strings.HasPrefix(path, modPath+"/"):
+	default:
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, n.Obj().Pkg(), "Close")
+	fn, ok := obj.(*types.Func)
+	return ok && fn != nil
+}
+
+func runDeferClose(pass *TypedPass) {
+	for _, tp := range pass.Prog.Analyzed {
+		if !analyzedScope(tp) {
+			continue
+		}
+		for _, f := range tp.Checked {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				dw := &closeWalk{pass: pass, tp: tp, reported: make(map[*types.Var]bool)}
+				st := &closeState{live: make(map[*types.Var]*acquisition)}
+				out := dw.walkStmts(fd.Body.List, st)
+				if out != nil {
+					dw.reportLive(out)
+				}
+			}
+		}
+	}
+}
+
+// closeWalk tracks acquired resources through one function body.
+type closeWalk struct {
+	pass     *TypedPass
+	tp       *TypedPackage
+	reported map[*types.Var]bool
+}
+
+// acquisition is one tracked resource: where it was acquired and, for the
+// `f, err := Open(...)` shape, the error variable whose non-nil branch
+// waives the close.
+type acquisition struct {
+	at     ast.Node
+	errVar *types.Var
+}
+
+// closeState maps each live (acquired, not yet closed or escaped) resource
+// variable to its acquisition.
+type closeState struct {
+	live map[*types.Var]*acquisition
+}
+
+func (st *closeState) clone() *closeState {
+	c := &closeState{live: make(map[*types.Var]*acquisition, len(st.live))}
+	for k, v := range st.live {
+		c.live[k] = v
+	}
+	return c
+}
+
+// mergeClose unions two branch results: still live if live on either arm.
+func mergeClose(a, b *closeState) *closeState {
+	out := a.clone()
+	for k, v := range b.live {
+		if _, ok := out.live[k]; !ok {
+			out.live[k] = v
+		}
+	}
+	return out
+}
+
+func (dw *closeWalk) reportLive(st *closeState) {
+	for v, a := range st.live {
+		if dw.reported[v] {
+			continue
+		}
+		dw.reported[v] = true
+		dw.pass.Reportf(a.at, "%s acquired here is not closed on every path (close it, defer its Close, or hand it off)", v.Name())
+	}
+}
+
+// reportReturn reports resources leaked by one explicit return.
+func (dw *closeWalk) reportReturn(st *closeState) {
+	dw.reportLive(st)
+	st.live = make(map[*types.Var]*acquisition)
+}
+
+func (dw *closeWalk) walkStmts(stmts []ast.Stmt, st *closeState) *closeState {
+	for _, s := range stmts {
+		if st == nil {
+			return nil
+		}
+		st = dw.walkStmt(s, st)
+	}
+	return st
+}
+
+func (dw *closeWalk) walkStmt(s ast.Stmt, st *closeState) *closeState {
+	info := dw.tp.Info
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		// Scan the RHS for uses/escapes first, then register acquisitions
+		// for LHS identifiers fed by an acquiring call.
+		for _, e := range s.Rhs {
+			dw.scanUses(e, st, nil)
+		}
+		var lhsVars []*types.Var
+		for _, lhs := range s.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				lhsVars = append(lhsVars, nil)
+				continue
+			}
+			var v *types.Var
+			if d, ok := info.Defs[id].(*types.Var); ok {
+				v = d
+			} else if u, ok := info.Uses[id].(*types.Var); ok && u.Parent() != u.Pkg().Scope() {
+				v = u
+			}
+			lhsVars = append(lhsVars, v)
+		}
+		// Any assignment to an error variable paired with a live resource
+		// dissolves that pairing: err no longer speaks for the acquisition.
+		for _, v := range lhsVars {
+			if v == nil {
+				continue
+			}
+			for res, a := range st.live {
+				if a.errVar == v {
+					st.live[res] = &acquisition{at: a.at}
+				}
+			}
+		}
+		if len(s.Rhs) == 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok && dw.isAcquire(call) {
+				var errVar *types.Var
+				for _, v := range lhsVars {
+					if v != nil && isErrorType(v.Type()) {
+						errVar = v
+					}
+				}
+				for i, v := range lhsVars {
+					if v != nil && isResourceType(dw.pass.Prog.ModPath, v.Type()) {
+						st.live[v] = &acquisition{at: s.Lhs[i], errVar: errVar}
+					}
+				}
+			}
+		}
+		// An assignment THROUGH a selector or index on the LHS does not
+		// affect tracking; reassigning a tracked variable drops the old
+		// handle — conservatively treat it as an escape of the old value.
+	case *ast.ExprStmt:
+		dw.scanUses(s.X, st, nil)
+	case *ast.DeferStmt:
+		dw.applyDeferredClose(s.Call, st)
+	case *ast.GoStmt:
+		dw.scanUses(s.Call, st, nil)
+	case *ast.SendStmt:
+		dw.scanUses(s.Chan, st, nil)
+		dw.scanUses(s.Value, st, nil)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			dw.scanUses(e, st, nil)
+		}
+		dw.reportReturn(st)
+		return nil
+	case *ast.BranchStmt:
+		return nil
+	case *ast.BlockStmt:
+		return dw.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return dw.walkStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = dw.walkStmt(s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		dw.scanUses(s.Cond, st, nil)
+		thenIn, elseIn := st.clone(), st.clone()
+		// On the failure branch of an err-paired acquisition the callee
+		// returned nothing to close: drop those resources there.
+		if ev, failsOnThen, ok := errNilCond(info, s.Cond); ok {
+			fail := thenIn
+			if !failsOnThen {
+				fail = elseIn
+			}
+			for res, a := range fail.live {
+				if a.errVar == ev {
+					delete(fail.live, res)
+				}
+			}
+		}
+		thenOut := dw.walkStmts(s.Body.List, thenIn)
+		elseOut := elseIn
+		if s.Else != nil {
+			elseOut = dw.walkStmt(s.Else, elseIn)
+		}
+		switch {
+		case thenOut == nil:
+			return elseOut
+		case elseOut == nil:
+			return thenOut
+		default:
+			return mergeClose(thenOut, elseOut)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = dw.walkStmt(s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		if s.Cond != nil {
+			dw.scanUses(s.Cond, st, nil)
+		}
+		dw.walkStmts(s.Body.List, st.clone())
+		return st
+	case *ast.RangeStmt:
+		dw.scanUses(s.X, st, nil)
+		dw.walkStmts(s.Body.List, st.clone())
+		return st
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				st = dw.walkStmt(s.Init, st)
+				if st == nil {
+					return nil
+				}
+			}
+			if s.Tag != nil {
+				dw.scanUses(s.Tag, st, nil)
+			}
+			clauses = s.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = s.Body.List
+		case *ast.SelectStmt:
+			clauses = s.Body.List
+		}
+		var merged *closeState
+		for _, c := range clauses {
+			var body []ast.Stmt
+			switch c := c.(type) {
+			case *ast.CaseClause:
+				body = c.Body
+			case *ast.CommClause:
+				body = c.Body
+			}
+			out := dw.walkStmts(body, st.clone())
+			if out != nil {
+				if merged == nil {
+					merged = out
+				} else {
+					merged = mergeClose(merged, out)
+				}
+			}
+		}
+		if merged == nil {
+			return st
+		}
+		return mergeClose(merged, st)
+	}
+	return st
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errNilCond matches the conditions `ev != nil` and `ev == nil` for a
+// variable ev of type error. failsOnThen is true for !=: the then branch is
+// the failure path.
+func errNilCond(info *types.Info, cond ast.Expr) (ev *types.Var, failsOnThen, ok bool) {
+	bin, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNilIdent(info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(info, y) {
+		return nil, false, false
+	}
+	id, isIdentX := x.(*ast.Ident)
+	if !isIdentX {
+		return nil, false, false
+	}
+	v, isVar := info.Uses[id].(*types.Var)
+	if !isVar || !isErrorType(v.Type()) {
+		return nil, false, false
+	}
+	return v, bin.Op == token.NEQ, true
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// isAcquire reports whether the call transfers a release obligation: an
+// acquiring name returning a closeable type.
+func (dw *closeWalk) isAcquire(call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	return isAcquiringName(name)
+}
+
+// applyDeferredClose handles defer statements: defer x.Close() (or a
+// deferred closure that closes x) discharges x; any other use of a tracked
+// variable inside a defer is an escape like everywhere else.
+func (dw *closeWalk) applyDeferredClose(call *ast.CallExpr, st *closeState) {
+	if v := dw.closeReceiver(call); v != nil {
+		delete(st.live, v)
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if v := dw.closeReceiver(c); v != nil {
+					delete(st.live, v)
+				}
+			}
+			return true
+		})
+		return
+	}
+	dw.scanUses(call, st, nil)
+}
+
+// closeReceiver returns the tracked variable x when call is x.Close().
+func (dw *closeWalk) closeReceiver(call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := dw.tp.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// scanUses walks an expression applying each tracked variable's fate:
+// x.Close() discharges, x as a method-call receiver or field access stays
+// tracked, any other appearance escapes. skip marks identifiers to leave
+// alone (unused today, reserved for targeted exclusions).
+func (dw *closeWalk) scanUses(e ast.Expr, st *closeState, skip map[*ast.Ident]bool) {
+	info := dw.tp.Info
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if v := dw.closeReceiver(n); v != nil {
+				delete(st.live, v)
+				// Still scan the arguments.
+				for _, a := range n.Args {
+					dw.scanUses(a, st, skip)
+				}
+				return false
+			}
+			// Method call x.M(...): receiver use keeps x tracked.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if _, isVar := info.Uses[id].(*types.Var); isVar {
+						for _, a := range n.Args {
+							dw.scanUses(a, st, skip)
+						}
+						return false
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			// Field access x.f: keeps x tracked.
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				if _, isVar := info.Uses[id].(*types.Var); isVar {
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			// Captures escape: anything the literal mentions is off the
+			// books.
+			dw.escapeAll(n, st)
+			return false
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok {
+				if _, tracked := st.live[v]; tracked && (skip == nil || !skip[n]) {
+					delete(st.live, v) // escape: obligation transferred
+				}
+			}
+		}
+		return true
+	})
+}
+
+// escapeAll unregisters every tracked variable mentioned inside n.
+func (dw *closeWalk) escapeAll(n ast.Node, st *closeState) {
+	info := dw.tp.Info
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				delete(st.live, v)
+			}
+		}
+		return true
+	})
+}

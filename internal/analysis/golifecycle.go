@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLifecycle demands that every goroutine launched by library code is
+// tied to a shutdown mechanism, so subsystem teardown can prove the
+// goroutine is gone before releasing what it touches — the invariant the
+// prefetch pool (workers must exit before the mmap backend unmaps) and the
+// serving layer (Shutdown waits for every session) are built on. A bare
+// `go` statement with none of the mechanisms below leaks a goroutine whose
+// lifetime nothing bounds.
+//
+// Accepted mechanisms, checked against the goroutine body (a function
+// literal, or the static callee's body) and its transitive static call
+// summaries:
+//
+//   - WaitGroup pairing: the launching function calls Add on a
+//     sync.WaitGroup before the go statement, and the goroutine reaches a
+//     matching Done.
+//   - stop channel: the goroutine reaches a channel receive (expression,
+//     select arm, or range over a channel), so closing the channel can end
+//     it.
+//   - context: the goroutine reaches ctx.Done or ctx.Err on a
+//     context.Context.
+//
+// Approximations: the Add-before-go check is textual within the launching
+// function, and the three signals are existence checks, not proofs that
+// the select arm actually exits the loop. That is deliberate: the analyzer
+// pins the shape reviewers agreed to look for, and the fixtures pin the
+// shape. Launches through function values (`go fn()` where fn is a
+// parameter) are unresolvable and reported — name the function or wrap it
+// in a literal that owns the shutdown signal.
+//
+// Scope: non-test files of analyzed packages (cmd/ and examples/ are
+// host-side and exempt; a main that leaks a goroutine dies with the
+// process).
+var GoLifecycle = &TypedAnalyzer{
+	Name: "golifecycle",
+	Doc:  "every goroutine in library code is tied to a WaitGroup, stop channel, or context",
+	Run:  runGoLifecycle,
+}
+
+func runGoLifecycle(pass *TypedPass) {
+	ix := pass.Prog.funcs
+
+	// Bottom-up summaries: can a function reach WaitGroup.Done, and can it
+	// reach a stop signal (channel receive or context.Done/Err)?
+	directDone := make(map[*types.Func]bool)
+	directStop := make(map[*types.Func]bool)
+	for _, node := range ix.order {
+		info := node.Pkg.Info
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isWaitGroupCall(info, n, "Done") {
+					directDone[node.Fn] = true
+				}
+				if isContextSignal(info, n) {
+					directStop[node.Fn] = true
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					directStop[node.Fn] = true
+				}
+			case *ast.RangeStmt:
+				if isChanType(info, n.X) {
+					directStop[node.Fn] = true
+				}
+			}
+			return true
+		})
+	}
+	reachesDone := ix.reach(directDone)
+	reachesStop := ix.reach(directStop)
+
+	// bodyOK decides whether a goroutine body satisfies a mechanism, given
+	// whether the launcher paired an Add.
+	bodyHas := func(info *types.Info, body *ast.BlockStmt, added bool) bool {
+		ok := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if ok {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if added && isWaitGroupCall(info, n, "Done") {
+					ok = true
+				}
+				if isContextSignal(info, n) {
+					ok = true
+				}
+				if fn := staticCallee(info, n); fn != nil {
+					if (added && reachesDone[fn]) || reachesStop[fn] {
+						ok = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					ok = true
+				}
+			case *ast.RangeStmt:
+				if isChanType(info, n.X) {
+					ok = true
+				}
+			}
+			return true
+		})
+		return ok
+	}
+
+	for _, tp := range pass.Prog.Analyzed {
+		if !analyzedScope(tp) {
+			continue
+		}
+		info := tp.Info
+		for _, f := range tp.Checked {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				// Collect the positions of WaitGroup.Add calls in the
+				// launching function; a go statement after any of them is
+				// considered paired.
+				var addPositions []int
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok && isWaitGroupCall(info, call, "Add") {
+						addPositions = append(addPositions, int(call.Pos()))
+					}
+					return true
+				})
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					added := false
+					for _, p := range addPositions {
+						if p < int(g.Pos()) {
+							added = true
+							break
+						}
+					}
+					if goStmtOK(info, g, added, bodyHas, reachesDone, reachesStop) {
+						return true
+					}
+					pass.Reportf(g, "goroutine is not tied to a shutdown mechanism (WaitGroup Add/Done pairing, stop-channel receive, or context.Done)")
+					return true
+				})
+			}
+		}
+	}
+}
+
+// goStmtOK checks one go statement against the accepted mechanisms.
+func goStmtOK(info *types.Info, g *ast.GoStmt, added bool,
+	bodyHas func(*types.Info, *ast.BlockStmt, bool) bool,
+	reachesDone, reachesStop map[*types.Func]bool) bool {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return bodyHas(info, lit.Body, added)
+	}
+	if fn := staticCallee(info, g.Call); fn != nil {
+		return (added && reachesDone[fn]) || reachesStop[fn]
+	}
+	return false
+}
+
+// isWaitGroupCall reports whether call invokes the named method on a
+// sync.WaitGroup receiver.
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := namedOf(s.Recv())
+	return recv != nil && recv.Obj().Pkg() != nil &&
+		recv.Obj().Pkg().Path() == "sync" && recv.Obj().Name() == "WaitGroup"
+}
+
+// isContextSignal reports ctx.Done() / ctx.Err() calls on context.Context.
+func isContextSignal(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Err") {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := namedOf(s.Recv())
+	return recv != nil && recv.Obj().Pkg() != nil &&
+		recv.Obj().Pkg().Path() == "context" && recv.Obj().Name() == "Context"
+}
+
+// isChanType reports whether the expression's type is a channel.
+func isChanType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

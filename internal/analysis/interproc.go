@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The interprocedural framework: a whole-program index of every function
+// with a body, the static call graph between them, and a generic bottom-up
+// reachability operator over it. Each typed analyzer derives per-function
+// facts ("charges a clock", "acquires lock L", "calls WaitGroup.Done") by
+// scanning bodies, then propagates them along the graph with reach, which
+// is the "per-function summaries computed bottom-up" of the design: the
+// propagation is a monotone fixpoint, so mutual recursion converges without
+// special SCC handling.
+//
+// Approximations, shared by every client: only static calls are edges —
+// calls through function values, interface methods without a syntactic
+// receiver resolution, and reflection are not. Function literals are
+// attributed to their enclosing declaration (a fact inside a closure is a
+// fact of the function that wrote it), except where an analyzer walks
+// literals itself (golifecycle inspects go-statement bodies directly).
+
+// FuncNode is one declared function or method with a body.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *TypedPackage
+	// Callees are the distinct static callees that have bodies in the
+	// program, in first-call-site order.
+	Callees []*types.Func
+}
+
+// funcIndex is the program-wide function table and call graph.
+type funcIndex struct {
+	nodes   map[*types.Func]*FuncNode
+	callers map[*types.Func][]*types.Func
+	// order lists every node deterministically: by package path, then by
+	// source position within the package.
+	order []*FuncNode
+}
+
+// buildFuncIndex indexes every package of the program, dependencies
+// included: a fixture or subtree being analyzed still needs summaries for
+// the module packages it calls into.
+func buildFuncIndex(prog *Program) *funcIndex {
+	ix := &funcIndex{
+		nodes:   make(map[*types.Func]*FuncNode),
+		callers: make(map[*types.Func][]*types.Func),
+	}
+	var paths []string
+	for path := range prog.byPath {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		tp := prog.byPath[path]
+		for _, f := range tp.Checked {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := tp.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ix.nodes[fn] = &FuncNode{Fn: fn, Decl: fd, Pkg: tp}
+				ix.order = append(ix.order, ix.nodes[fn])
+			}
+		}
+	}
+	for _, node := range ix.order {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(node.Pkg.Info, call)
+			if callee == nil || ix.nodes[callee] == nil || seen[callee] {
+				return true
+			}
+			seen[callee] = true
+			node.Callees = append(node.Callees, callee)
+			ix.callers[callee] = append(ix.callers[callee], node.Fn)
+			return true
+		})
+	}
+	return ix
+}
+
+// staticCallee resolves a call expression to the *types.Func it statically
+// invokes: a package-level function, a method on a concrete or interface
+// type, or a qualified function of another package. Calls through plain
+// function values resolve to nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// No Selection: a package-qualified call (pkg.Fn).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// reach propagates a boolean fact bottom-up over the call graph: the result
+// holds fn when direct[fn] holds or any static callee (transitively) has
+// the fact. Runs a worklist fixpoint, so recursion and mutual recursion
+// converge.
+func (ix *funcIndex) reach(direct map[*types.Func]bool) map[*types.Func]bool {
+	out := make(map[*types.Func]bool, len(direct))
+	work := make([]*types.Func, 0, len(direct))
+	for fn, ok := range direct {
+		if ok {
+			out[fn] = true
+			work = append(work, fn)
+		}
+	}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range ix.callers[fn] {
+			if !out[caller] {
+				out[caller] = true
+				work = append(work, caller)
+			}
+		}
+	}
+	return out
+}
+
+// recvNamed returns the named type of a method's receiver (through one
+// pointer), or nil for plain functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+// namedOf unwraps pointers and aliases down to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// pkgPathHasSuffix reports whether the object's package path ends in the
+// given module-relative suffix (e.g. "internal/iosim"). Matching by suffix
+// instead of full path keeps the analyzers honest on fixture trees, which
+// type-check under the real module path but could equally live elsewhere.
+func pkgPathHasSuffix(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}
+
+// isMethodOn reports whether fn is a method named name declared on a named
+// type whose package path ends in pkgSuffix. An empty name matches any
+// method name.
+func isMethodOn(fn *types.Func, pkgSuffix, name string) bool {
+	if fn == nil || (name != "" && fn.Name() != name) {
+		return false
+	}
+	n := recvNamed(fn)
+	return n != nil && pkgPathHasSuffix(n.Obj().Pkg(), pkgSuffix)
+}
+
+// TypedPass is one typed analyzer's view of the program.
+type TypedPass struct {
+	Prog *Program
+	name string
+	out  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *TypedPass) Reportf(pos ast.Node, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos.Pos()),
+		Analyzer: p.name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypedAnalyzer is one whole-program, type-aware check.
+type TypedAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*TypedPass)
+}
+
+// AllTyped returns the type-aware analyzer suite in a stable order.
+func AllTyped() []*TypedAnalyzer {
+	return []*TypedAnalyzer{
+		ClockCharge,
+		LockOrder,
+		GoLifecycle,
+		DeferClose,
+	}
+}
+
+// analyzedScope reports whether a typed package is subject to the
+// simulation contracts: everything analyzed except host-side trees (cmd/
+// and examples/ are already excluded at load) and the analysis package
+// itself, which manipulates source trees, not pages.
+func analyzedScope(tp *TypedPackage) bool {
+	return !tp.inDir("internal/analysis")
+}

@@ -1,0 +1,694 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder analyzes the repository's whole lock graph for two concurrency
+// hazards the per-package lockguard annotations cannot see:
+//
+//   - lock-order cycles: if one code path acquires A then B while another
+//     acquires B then A, two goroutines can deadlock. Locks are identified
+//     per declaration site — "pkg.Struct.field" for mutex fields (so every
+//     instance of Server.mu is one node, the right granularity for
+//     ordering) and "pkg.var" for package-level mutexes. An edge A→B is
+//     recorded when B is acquired while A is held, either directly or
+//     because a call made while holding A reaches, through the static call
+//     summaries, a function that acquires B. Every edge that lies on a
+//     cycle is reported at its acquisition site.
+//
+//   - held-lock returns: a return path on which an acquired mutex has
+//     neither been unlocked nor scheduled for a deferred unlock. Functions
+//     that intentionally transfer a held lock to the caller document it
+//     with a lint:ignore.
+//
+// The walk is CFG-ish rather than a real CFG: statements are interpreted
+// in source order with a held-lock set; if/switch/select branches fork the
+// set and merge by intersection (a lock is held after the branch only if
+// every arm leaves it held); loop bodies are assumed lock-balanced;
+// sync.Cond.Wait's unlock window is ignored. TryLock in the two idiomatic
+// conditional shapes (`if mu.TryLock() {…}` / `if !mu.TryLock() { return }`)
+// is modelled branch-accurately; other TryLock uses count as plain
+// acquisitions. The lockguard annotation tier declares which fields a lock
+// protects; this analyzer orders the locks themselves, so the two compose:
+// annotations name the nodes, observed Lock/Unlock pairs draw the edges.
+//
+// Scope: non-test files of analyzed packages.
+var LockOrder = &TypedAnalyzer{
+	Name: "lockorder",
+	Doc:  "lock-order cycles across the repo and return paths holding a mutex",
+	Run:  runLockOrder,
+}
+
+// lockOp classifies one mutex call site.
+type lockOp int
+
+const (
+	opNone    lockOp = iota
+	opLock           // Lock, RLock
+	opUnlock         // Unlock, RUnlock
+	opTryLock        // TryLock, TryRLock
+)
+
+// mutexOp resolves a call to (operation, lock identity). The receiver must
+// be a sync.Mutex or sync.RWMutex (directly or through one pointer).
+func mutexOp(info *types.Info, call *ast.CallExpr) (lockOp, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return opNone, ""
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	case "TryLock", "TryRLock":
+		op = opTryLock
+	default:
+		return opNone, ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return opNone, ""
+	}
+	recv := namedOf(s.Recv())
+	if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != "sync" ||
+		(recv.Obj().Name() != "Mutex" && recv.Obj().Name() != "RWMutex") {
+		return opNone, ""
+	}
+	return op, lockIdent(info, sel.X)
+}
+
+// lockIdent names the mutex designated by expr per declaration site: the
+// owning struct type and field name for field mutexes, package path and
+// variable name for package-level ones, function-local names otherwise.
+func lockIdent(info *types.Info, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if owner := namedOf(s.Recv()); owner != nil {
+				return typeDisplay(owner) + "." + e.Sel.Name
+			}
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return shortPath(v.Pkg().Path()) + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return shortPath(v.Pkg().Path()) + "." + v.Name()
+			}
+			return "local." + v.Name()
+		}
+	}
+	return "?" + exprKey(expr)
+}
+
+// typeDisplay renders a named type as shortpkg.Type.
+func typeDisplay(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return shortPath(n.Obj().Pkg().Path()) + "." + n.Obj().Name()
+}
+
+// shortPath trims the module prefix off an import path for display.
+func shortPath(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// lockEdge is one observed A-held-while-acquiring-B event.
+type lockEdge struct {
+	from, to string
+	pos      ast.Node
+}
+
+// lockWalk is the per-function interpreter state.
+type lockWalk struct {
+	pass     *TypedPass
+	info     *types.Info
+	acquires map[*types.Func]map[string]bool // bottom-up summary: locks a function may take
+	edges    *[]lockEdge
+	report   bool // report held-at-return (true only for analyzed packages)
+}
+
+// lockState is the abstract state flowing through a body: the ordered held
+// set and the locks with a deferred unlock pending.
+type lockState struct {
+	held     []string
+	deferred map[string]bool
+}
+
+func (st *lockState) clone() *lockState {
+	c := &lockState{held: append([]string(nil), st.held...), deferred: make(map[string]bool, len(st.deferred))}
+	for k, v := range st.deferred {
+		c.deferred[k] = v
+	}
+	return c
+}
+
+func (st *lockState) holds(id string) bool {
+	for _, h := range st.held {
+		if h == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *lockState) acquire(id string) {
+	if !st.holds(id) {
+		st.held = append(st.held, id)
+	}
+}
+
+func (st *lockState) release(id string) {
+	for i := len(st.held) - 1; i >= 0; i-- {
+		if st.held[i] == id {
+			st.held = append(st.held[:i], st.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// merge intersects branch results: held afterwards only if held on every
+// arm; deferred unlocks union (a registered defer stays registered).
+func mergeStates(a, b *lockState) *lockState {
+	out := &lockState{deferred: make(map[string]bool, len(a.deferred)+len(b.deferred))}
+	for _, h := range a.held {
+		if b.holds(h) {
+			out.held = append(out.held, h)
+		}
+	}
+	for k := range a.deferred {
+		out.deferred[k] = true
+	}
+	for k := range b.deferred {
+		out.deferred[k] = true
+	}
+	return out
+}
+
+func runLockOrder(pass *TypedPass) {
+	ix := pass.Prog.funcs
+
+	// Bottom-up acquisition summaries: the set of lock identities each
+	// function may take, propagated over the static call graph. Computed as
+	// one reach per lock identity over the functions that acquire it
+	// directly.
+	directAcq := make(map[*types.Func]map[string]bool)
+	lockIDs := make(map[string][]*types.Func)
+	for _, node := range ix.order {
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, id := mutexOp(node.Pkg.Info, call); op == opLock || op == opTryLock {
+				if directAcq[node.Fn] == nil {
+					directAcq[node.Fn] = make(map[string]bool)
+				}
+				directAcq[node.Fn][id] = true
+				lockIDs[id] = append(lockIDs[id], node.Fn)
+			}
+			return true
+		})
+	}
+	acquires := make(map[*types.Func]map[string]bool)
+	var ids []string
+	for id := range lockIDs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		direct := make(map[*types.Func]bool)
+		for _, fn := range lockIDs[id] {
+			direct[fn] = true
+		}
+		for fn := range ix.reach(direct) {
+			if acquires[fn] == nil {
+				acquires[fn] = make(map[string]bool)
+			}
+			acquires[fn][id] = true
+		}
+	}
+
+	// Walk every function, collecting edges program-wide but reporting
+	// held-at-return only inside the analyzed set.
+	var edges []lockEdge
+	for _, node := range ix.order {
+		lw := &lockWalk{
+			pass:     pass,
+			info:     node.Pkg.Info,
+			acquires: acquires,
+			edges:    &edges,
+			report:   analyzedPkg(pass.Prog, node.Pkg),
+		}
+		st := &lockState{deferred: make(map[string]bool)}
+		out := lw.walkStmts(node.Decl.Body.List, st)
+		lw.checkFallthrough(node, out)
+	}
+
+	// Cycle detection: every edge inside a strongly connected component of
+	// the lock graph (or a self-loop) lies on a cycle.
+	reportCycles(pass, edges)
+}
+
+// checkFallthrough reports locks still held when a body runs off its end.
+// Functions with results cannot fall off the end, so this only fires for
+// plain bodies (and is where `mu.Lock()` with no unlock at all lands).
+func (lw *lockWalk) checkFallthrough(node *FuncNode, st *lockState) {
+	if !lw.report || st == nil {
+		return
+	}
+	for _, h := range st.held {
+		if !st.deferred[h] {
+			lw.pass.Reportf(node.Decl.Name, "%s returns with %s still held (no unlock or deferred unlock on this path)", node.Fn.Name(), h)
+		}
+	}
+}
+
+// walkStmts interprets a statement list. It returns the fall-through state,
+// or nil when every path through the list terminates (return/panic).
+func (lw *lockWalk) walkStmts(stmts []ast.Stmt, st *lockState) *lockState {
+	for _, s := range stmts {
+		if st == nil {
+			return nil
+		}
+		st = lw.walkStmt(s, st)
+	}
+	return st
+}
+
+func (lw *lockWalk) walkStmt(s ast.Stmt, st *lockState) *lockState {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		lw.evalExpr(s.X, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lw.evalExpr(e, st)
+		}
+	case *ast.DeclStmt, *ast.EmptyStmt:
+	case *ast.SendStmt:
+		lw.evalExpr(s.Value, st)
+	case *ast.IncDecStmt:
+	case *ast.DeferStmt:
+		lw.evalDefer(s.Call, st)
+	case *ast.GoStmt:
+		// A goroutine's acquisitions order against nothing on this stack;
+		// its body is walked as an independent pseudo-function.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			sub := &lockState{deferred: make(map[string]bool)}
+			lw.walkStmts(lit.Body.List, sub)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lw.evalExpr(e, st)
+		}
+		lw.checkReturn(s, st)
+		return nil
+	case *ast.BranchStmt:
+		// break/continue/goto: stop interpreting this path conservatively.
+		return nil
+	case *ast.BlockStmt:
+		return lw.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return lw.walkStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		return lw.walkIf(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = lw.walkStmt(s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		if s.Cond != nil {
+			lw.evalExpr(s.Cond, st)
+		}
+		lw.walkStmts(s.Body.List, st.clone())
+		return st
+	case *ast.RangeStmt:
+		lw.evalExpr(s.X, st)
+		lw.walkStmts(s.Body.List, st.clone())
+		return st
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = lw.walkStmt(s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		if s.Tag != nil {
+			lw.evalExpr(s.Tag, st)
+		}
+		return lw.walkClauses(s.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		return lw.walkClauses(s.Body.List, st)
+	case *ast.SelectStmt:
+		return lw.walkClauses(s.Body.List, st)
+	}
+	return st
+}
+
+// walkIf handles conditionals, including the two idiomatic TryLock shapes.
+func (lw *lockWalk) walkIf(s *ast.IfStmt, st *lockState) *lockState {
+	if s.Init != nil {
+		st = lw.walkStmt(s.Init, st)
+		if st == nil {
+			return nil
+		}
+	}
+
+	// `if mu.TryLock() { … }`: held inside the then-branch only.
+	// `if !mu.TryLock() { … }`: held on the fall-through path only.
+	cond := ast.Unparen(s.Cond)
+	negated := false
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		cond = ast.Unparen(u.X)
+		negated = true
+	}
+	if call, ok := cond.(*ast.CallExpr); ok {
+		if op, id := mutexOp(lw.info, call); op == opTryLock {
+			thenSt := st.clone()
+			elseSt := st.clone()
+			if negated {
+				elseSt.acquire(id)
+			} else {
+				thenSt.acquire(id)
+				lw.recordEdges(st, id, call)
+			}
+			thenOut := lw.walkStmts(s.Body.List, thenSt)
+			elseOut := elseSt
+			if s.Else != nil {
+				elseOut = lw.walkStmt(s.Else, elseSt)
+			}
+			return mergeOrSurvivor(thenOut, elseOut)
+		}
+	}
+
+	lw.evalExpr(s.Cond, st)
+	thenOut := lw.walkStmts(s.Body.List, st.clone())
+	elseOut := st
+	if s.Else != nil {
+		elseOut = lw.walkStmt(s.Else, st.clone())
+	}
+	return mergeOrSurvivor(thenOut, elseOut)
+}
+
+// mergeOrSurvivor merges two branch results where nil means "that arm never
+// falls through".
+func mergeOrSurvivor(a, b *lockState) *lockState {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return mergeStates(a, b)
+	}
+}
+
+// walkClauses interprets the case clauses of a switch/select, merging arm
+// results by intersection.
+func (lw *lockWalk) walkClauses(clauses []ast.Stmt, st *lockState) *lockState {
+	var merged *lockState
+	sawDefault := false
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			body = c.Body
+			sawDefault = sawDefault || c.List == nil
+		case *ast.CommClause:
+			body = c.Body
+			sawDefault = sawDefault || c.Comm == nil
+		}
+		out := lw.walkStmts(body, st.clone())
+		if out != nil {
+			if merged == nil {
+				merged = out
+			} else {
+				merged = mergeStates(merged, out)
+			}
+		}
+	}
+	if merged == nil {
+		if sawDefault && len(clauses) > 0 {
+			return nil // every arm terminated and the switch was total
+		}
+		return st
+	}
+	if !sawDefault {
+		merged = mergeStates(merged, st)
+	}
+	return merged
+}
+
+// evalExpr scans an expression for mutex operations and for calls whose
+// acquisition summaries draw interprocedural edges. Function literals are
+// walked with the current state: an immediately-invoked or synchronous
+// closure runs on this goroutine's lock stack.
+func (lw *lockWalk) evalExpr(e ast.Expr, st *lockState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lw.walkStmts(n.Body.List, st)
+			return false
+		case *ast.CallExpr:
+			lw.evalCall(n, st)
+			return false
+		}
+		return true
+	})
+}
+
+// evalCall applies one call's effect: acquire/release for mutex ops,
+// summary edges for everything else. Arguments are scanned first, matching
+// evaluation order.
+func (lw *lockWalk) evalCall(call *ast.CallExpr, st *lockState) {
+	for _, a := range call.Args {
+		lw.evalExpr(a, st)
+	}
+	op, id := mutexOp(lw.info, call)
+	switch op {
+	case opLock, opTryLock:
+		lw.recordEdges(st, id, call)
+		st.acquire(id)
+	case opUnlock:
+		st.release(id)
+	default:
+		if fn := staticCallee(lw.info, call); fn != nil {
+			for to := range lw.acquires[fn] {
+				lw.recordEdges(st, to, call)
+			}
+		}
+	}
+}
+
+// evalDefer handles defer statements: a deferred Unlock discharges the
+// held-at-return obligation; a deferred call with an acquisition summary
+// still draws edges (it runs while surviving locks are held).
+func (lw *lockWalk) evalDefer(call *ast.CallExpr, st *lockState) {
+	for _, a := range call.Args {
+		lw.evalExpr(a, st)
+	}
+	if op, id := mutexOp(lw.info, call); op == opUnlock {
+		st.deferred[id] = true
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		// A deferred closure that unlocks counts as a deferred unlock.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if op, id := mutexOp(lw.info, c); op == opUnlock {
+					st.deferred[id] = true
+				}
+			}
+			return true
+		})
+		return
+	}
+	if fn := staticCallee(lw.info, call); fn != nil {
+		for to := range lw.acquires[fn] {
+			lw.recordEdges(st, to, call)
+		}
+	}
+}
+
+// recordEdges draws held→to edges for every currently held lock.
+func (lw *lockWalk) recordEdges(st *lockState, to string, at ast.Node) {
+	for _, from := range st.held {
+		if from != to {
+			*lw.edges = append(*lw.edges, lockEdge{from: from, to: to, pos: at})
+		} else {
+			if lw.report {
+				lw.pass.Reportf(at, "%s acquired while already held (self-deadlock)", to)
+			}
+		}
+	}
+}
+
+// checkReturn reports locks still held at an explicit return.
+func (lw *lockWalk) checkReturn(ret *ast.ReturnStmt, st *lockState) {
+	if !lw.report {
+		return
+	}
+	for _, h := range st.held {
+		if !st.deferred[h] {
+			lw.pass.Reportf(ret, "return with %s still held (no unlock or deferred unlock on this path)", h)
+		}
+	}
+}
+
+// reportCycles finds strongly connected components of the edge set and
+// reports each distinct edge that lies on a cycle, at its first recorded
+// position, with the cycle spelled out.
+func reportCycles(pass *TypedPass, edges []lockEdge) {
+	adj := make(map[string]map[string]ast.Node)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]ast.Node)
+		}
+		if _, ok := adj[e.from][e.to]; !ok {
+			adj[e.from][e.to] = e.pos
+		}
+	}
+	scc := tarjanSCC(adj)
+	comp := make(map[string]int)
+	for i, c := range scc {
+		for _, v := range c {
+			comp[v] = i
+		}
+	}
+	seen := make(map[string]bool)
+	for _, e := range edges {
+		if comp[e.from] != comp[e.to] || len(sccOf(scc, comp, e.from)) < 2 {
+			continue
+		}
+		key := e.from + "->" + e.to
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cycle := cyclePath(adj, e.from, e.to)
+		pass.Reportf(e.pos, "acquiring %s while holding %s completes a lock-order cycle (potential deadlock): %s",
+			e.to, e.from, cycle)
+	}
+}
+
+func sccOf(scc [][]string, comp map[string]int, v string) []string {
+	return scc[comp[v]]
+}
+
+// cyclePath renders from→to→…→from using a shortest path back from to.
+func cyclePath(adj map[string]map[string]ast.Node, from, to string) string {
+	// BFS from `to` back to `from`.
+	prev := map[string]string{to: ""}
+	queue := []string{to}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == from {
+			break
+		}
+		var nexts []string
+		for n := range adj[v] {
+			nexts = append(nexts, n)
+		}
+		sort.Strings(nexts)
+		for _, n := range nexts {
+			if _, ok := prev[n]; !ok {
+				prev[n] = v
+				queue = append(queue, n)
+			}
+		}
+	}
+	path := []string{from, to}
+	for v := prev[from]; v != "" && v != to; v = prev[v] {
+		path = append(path, v)
+	}
+	if _, ok := prev[from]; ok && from != to {
+		path = append(path, from)
+	}
+	return strings.Join(path, " -> ")
+}
+
+// tarjanSCC computes strongly connected components over string nodes,
+// iteratively and in deterministic order.
+func tarjanSCC(adj map[string]map[string]ast.Node) [][]string {
+	var nodes []string
+	seenNode := make(map[string]bool)
+	add := func(v string) {
+		if !seenNode[v] {
+			seenNode[v] = true
+			nodes = append(nodes, v)
+		}
+	}
+	for from, tos := range adj {
+		add(from)
+		for to := range tos {
+			add(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var out [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			out = append(out, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	return out
+}

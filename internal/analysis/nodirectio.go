@@ -8,7 +8,10 @@ import "go/ast"
 // os.File for itself would read pages that bypass checksum verification,
 // fault injection and the simulated-clock charging at once — three
 // invariants at a stroke. This analyzer bans acquiring an os.File handle
-// (os.Open, os.OpenFile, os.Create, os.NewFile) outside internal/pagefile.
+// (os.Open, os.OpenFile, os.Create, os.NewFile) outside internal/pagefile,
+// and the raw descriptors underneath it (syscall.Open, syscall.Openat)
+// everywhere including pagefile — even the sanctioned owner goes through
+// os, never the syscall layer directly.
 //
 // One-shot whole-file helpers (os.ReadFile, os.WriteFile) stay legal: the
 // shard and catalog layers use them for small JSON manifests, which are
@@ -28,11 +31,19 @@ var fileOpenFns = map[string]bool{
 	"Open": true, "OpenFile": true, "Create": true, "NewFile": true,
 }
 
+// sysOpenFns are the syscall-level descriptor acquisitions, banned
+// everywhere: a bare fd has no place to hang checksums or fault injection,
+// so not even pagefile gets to use one.
+var sysOpenFns = map[string]bool{
+	"Open": true, "Openat": true,
+}
+
 func runNoDirectIO(pass *Pass) {
 	p := pass.Pkg
-	if p.inDir("cmd") || p.inDir("examples") || p.inDir("internal/pagefile") {
+	if p.inDir("cmd") || p.inDir("examples") {
 		return
 	}
+	inPagefile := p.inDir("internal/pagefile")
 	for _, f := range p.Files {
 		if f.Test {
 			continue
@@ -43,9 +54,13 @@ func runNoDirectIO(pass *Pass) {
 			if !ok {
 				return true
 			}
-			if name, ok := pkgCall(tab, call, "os"); ok && fileOpenFns[name] {
+			if name, ok := pkgCall(tab, call, "os"); ok && fileOpenFns[name] && !inPagefile {
 				pass.Reportf(call.Pos(),
 					"os.%s acquires a raw file handle outside internal/pagefile; page I/O must go through a pagefile.Backend (one-shot os.ReadFile/os.WriteFile are fine for manifests)", name)
+			}
+			if name, ok := pkgCall(tab, call, "syscall"); ok && sysOpenFns[name] {
+				pass.Reportf(call.Pos(),
+					"syscall.%s acquires a raw descriptor; use the os package so the handle stays visible to checksums and fault injection", name)
 			}
 			return true
 		})

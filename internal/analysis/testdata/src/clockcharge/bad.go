@@ -1,0 +1,27 @@
+// Package fixture exercises the clockcharge analyzer: raw backend page
+// access with no simulated-clock charge anywhere on the call path.
+package fixture
+
+import (
+	"sampleview/internal/pagefile"
+)
+
+// scanRaw reads straight off the backend; neither it nor any caller
+// charges, so the simulated clock never sees the I/O.
+func scanRaw(b pagefile.Backend, buf []byte) error {
+	return b.ReadPage(0, buf) // want `raw ReadPage on Backend is never charged to a simulated clock`
+}
+
+// storeRaw writes straight to the backend, equally invisible to the clock.
+func storeRaw(b pagefile.Backend, buf []byte) {
+	_ = b.WritePage(1, buf) // want `raw WritePage on Backend is never charged to a simulated clock`
+}
+
+// helperRaw is covered by neither itself nor its one caller.
+func helperRaw(b pagefile.Backend, buf []byte) error {
+	return b.ReadPage(2, buf) // want `raw ReadPage on Backend is never charged to a simulated clock`
+}
+
+func unchargedCaller(b pagefile.Backend, buf []byte) error {
+	return helperRaw(b, buf)
+}

@@ -1,0 +1,37 @@
+package fixture
+
+import (
+	"sampleview/internal/iosim"
+	"sampleview/internal/pagefile"
+)
+
+// chargedRead charges the simulated clock itself before touching the
+// backend: the site is covered by the function's own call tree.
+func chargedRead(sim *iosim.Sim, id iosim.FileID, b pagefile.Backend, buf []byte) error {
+	sim.ReadPage(id, 0)
+	return b.ReadPage(0, buf)
+}
+
+// chargedWrite covers a raw write through a Clock rather than the Sim.
+func chargedWrite(c *iosim.Clock, id iosim.FileID, b pagefile.Backend, buf []byte) error {
+	c.WritePage(id, 1)
+	return b.WritePage(1, buf)
+}
+
+// readFrameLike mirrors pagefile's own readFrame: raw itself, but every
+// static caller charges first, so the summary propagation covers it.
+func readFrameLike(b pagefile.Backend, buf []byte) error {
+	return b.ReadPage(3, buf)
+}
+
+func chargedCaller(sim *iosim.Sim, id iosim.FileID, b pagefile.Backend, buf []byte) error {
+	sim.ReadPage(id, 3)
+	return readFrameLike(b, buf)
+}
+
+// advanceOnly charges by advancing the clock (a scan-style cost), which
+// counts: the model saw simulated time pass for the access.
+func advanceOnly(sim *iosim.Sim, b pagefile.Backend, buf []byte) error {
+	sim.Advance(sim.ScanCost(1))
+	return b.ReadPage(4, buf)
+}

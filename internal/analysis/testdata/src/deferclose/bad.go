@@ -1,0 +1,51 @@
+// Package fixture exercises the deferclose analyzer: acquired resources
+// that leak on some path.
+package fixture
+
+// res is a module-owned closeable resource; OpenRes transfers the release
+// obligation to its caller.
+type res struct {
+	open bool
+}
+
+func (r *res) Close() error { r.open = false; return nil }
+func (r *res) Use() int     { return 1 }
+
+func OpenRes() (*res, error) {
+	return &res{open: true}, nil
+}
+
+// leakPlain uses the resource and falls off the end without closing.
+func leakPlain() int {
+	r, err := OpenRes() // want `r acquired here is not closed on every path`
+	if err != nil {
+		return 0
+	}
+	return r.Use()
+}
+
+// leakBranch closes on one arm only; the early return leaks.
+func leakBranch(cond bool) error {
+	r, err := OpenRes() // want `r acquired here is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil
+	}
+	return r.Close()
+}
+
+// leakShadowedErr reassigns err from another call before checking it: the
+// original pairing is dissolved, so the second error return owes a close.
+func leakShadowedErr(probe func() error) error {
+	r, err := OpenRes() // want `r acquired here is not closed on every path`
+	if err != nil {
+		return err
+	}
+	err = probe()
+	if err != nil {
+		return err
+	}
+	return r.Close()
+}

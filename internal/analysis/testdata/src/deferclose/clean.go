@@ -1,0 +1,69 @@
+package fixture
+
+// deferred is the canonical shape: check err, defer Close, use freely.
+func deferred() (int, error) {
+	r, err := OpenRes()
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	return r.Use(), nil
+}
+
+// explicit closes on every path by hand.
+func explicit(cond bool) error {
+	r, err := OpenRes()
+	if err != nil {
+		return err
+	}
+	if cond {
+		r.Close()
+		return nil
+	}
+	return r.Close()
+}
+
+// handedOff returns the resource: the caller inherits the obligation.
+func handedOff() (*res, error) {
+	r, err := OpenRes()
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// holder stores the resource; teardown happens wherever holder is closed.
+type holder struct {
+	r *res
+}
+
+func stored(h *holder) error {
+	r, err := OpenRes()
+	if err != nil {
+		return err
+	}
+	h.r = r
+	return nil
+}
+
+// passedAlong hands the resource to a consumer that owns it from then on.
+func passedAlong(consume func(*res)) error {
+	r, err := OpenRes()
+	if err != nil {
+		return err
+	}
+	consume(r)
+	return nil
+}
+
+// deferredClosure closes inside a deferred literal.
+func deferredClosure() int {
+	r, err := OpenRes()
+	if err != nil {
+		return 0
+	}
+	defer func() {
+		r.Close()
+	}()
+	return r.Use()
+}

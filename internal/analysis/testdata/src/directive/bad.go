@@ -1,0 +1,43 @@
+// Package fixture exercises the lint:ignore directive machinery: a
+// justified suppression that works, plus the hygiene diagnostics for
+// directives that are stale or wrong. The `want` markers for hygiene
+// findings ride inside the directives' own reason text, since hygiene
+// diagnostics are reported at the directive itself.
+package fixture
+
+import "os"
+
+// wrapHarness is the sanctioned exception: the suppression names the
+// analyzer and carries its justification, so the nodirectio finding on the
+// next line is silenced.
+func wrapHarness(fd uintptr) *os.File {
+	//lint:ignore nodirectio the harness owns this descriptor and closes it itself
+	return os.NewFile(fd, "harness-pipe")
+}
+
+// sameLine suppresses from the violating line itself.
+func sameLine(fd uintptr) *os.File {
+	return os.NewFile(fd, "pipe") //lint:ignore nodirectio trailing-form suppression, equally justified
+}
+
+// stale: nothing on the next line violates nodirectio, so the suppression
+// is dead weight and reported.
+//
+//lint:ignore nodirectio stale excuse kept after a refactor; want `unused lint:ignore suppression for nodirectio`
+func innocent() int {
+	return 42
+}
+
+// unknown: the named analyzer does not exist.
+//
+//lint:ignore nosuchcheck reasons abound; want `unknown analyzer "nosuchcheck"`
+func alsoInnocent() int {
+	return 7
+}
+
+// malformed: analyzer names are lower-case identifiers.
+//
+//lint:ignore NoDirectIO caps are not the convention; want `malformed analyzer name`
+func stillInnocent() int {
+	return 1
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises the golifecycle analyzer: goroutines with no
+// shutdown mechanism.
+package fixture
+
+// leakLiteral launches a bare literal bounded by nothing.
+func leakLiteral(work chan<- int) {
+	go func() { // want `goroutine is not tied to a shutdown mechanism`
+		for i := 0; ; i++ {
+			work <- i
+		}
+	}()
+}
+
+func spin(n *int) {
+	for {
+		*n++
+	}
+}
+
+// leakNamed launches a named function that neither Dones a WaitGroup nor
+// watches any signal.
+func leakNamed(n *int) {
+	go spin(n) // want `goroutine is not tied to a shutdown mechanism`
+}
+
+// leakUnpaired reaches Done in the body, but the launcher never Adds: the
+// pairing is half missing.
+func leakUnpaired(done func()) {
+	go func() { // want `goroutine is not tied to a shutdown mechanism`
+		done()
+	}()
+}
+
+// leakFuncValue launches through a function value the analyzer cannot
+// resolve; unresolvable means unproven.
+func leakFuncValue(fn func()) {
+	go fn() // want `goroutine is not tied to a shutdown mechanism`
+}

@@ -1,0 +1,66 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// waitGroupPaired: Add before go, Done in the body.
+func waitGroupPaired() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// stopChannel: the goroutine blocks on a receive, so closing stop ends it.
+func stopChannel(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+// rangeChannel: ranging over a channel ends when the sender closes it.
+func rangeChannel(work chan int, sink *int) {
+	go func() {
+		for v := range work {
+			*sink += v
+		}
+	}()
+}
+
+// contextBound: the goroutine watches ctx.Done.
+func contextBound(ctx context.Context, tick chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// pool pairs Add with a Done reached through the named worker's summary.
+type pool struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	<-p.stop
+}
+
+func (p *pool) start() {
+	p.wg.Add(1)
+	go p.worker()
+}
+
+func (p *pool) close() {
+	close(p.stop)
+	p.wg.Wait()
+}

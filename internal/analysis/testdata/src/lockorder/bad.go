@@ -1,0 +1,73 @@
+// Package fixture exercises the lockorder analyzer: lock-order cycles,
+// held-lock returns, and self-deadlocks.
+package fixture
+
+import "sync"
+
+// pair seeds a direct two-lock cycle: abPath orders a before b, baPath
+// orders b before a.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) abPath() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want `acquiring fixture\.pair\.b while holding fixture\.pair\.a completes a lock-order cycle`
+	p.b.Unlock()
+}
+
+func (p *pair) baPath() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // want `acquiring fixture\.pair\.a while holding fixture\.pair\.b completes a lock-order cycle`
+	p.a.Unlock()
+}
+
+// other seeds the same cycle interprocedurally: cThenD never touches d
+// itself, but the call summary of lockD draws the c→d edge.
+type other struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+func (o *other) lockD() {
+	o.d.Lock()
+	o.d.Unlock()
+}
+
+func (o *other) cThenD() {
+	o.c.Lock()
+	o.lockD() // want `acquiring fixture\.other\.d while holding fixture\.other\.c completes a lock-order cycle`
+	o.c.Unlock()
+}
+
+func (o *other) dThenC() {
+	o.d.Lock()
+	o.c.Lock() // want `acquiring fixture\.other\.c while holding fixture\.other\.d completes a lock-order cycle`
+	o.c.Unlock()
+	o.d.Unlock()
+}
+
+// box exercises the held-lock diagnostics.
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) leakyReturn(cond bool) int {
+	b.mu.Lock()
+	if cond {
+		return b.n // want `return with fixture\.box\.mu still held`
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func (b *box) doubleLock() {
+	b.mu.Lock()
+	b.mu.Lock() // want `fixture\.box\.mu acquired while already held \(self-deadlock\)`
+	b.mu.Unlock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,62 @@
+package fixture
+
+import "sync"
+
+// cleanPair is only ever ordered x before y: edges exist but no cycle.
+type cleanPair struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (p *cleanPair) both() {
+	p.x.Lock()
+	defer p.x.Unlock()
+	p.y.Lock()
+	defer p.y.Unlock()
+}
+
+func (p *cleanPair) bothAgain() {
+	p.x.Lock()
+	p.y.Lock()
+	p.y.Unlock()
+	p.x.Unlock()
+}
+
+// guarded exercises the idiomatic TryLock shapes and branch merging.
+type guarded struct {
+	mu    sync.Mutex
+	state int
+}
+
+func (g *guarded) tryBody() {
+	if g.mu.TryLock() {
+		g.state++
+		g.mu.Unlock()
+	}
+}
+
+func (g *guarded) tryBail() int {
+	if !g.mu.TryLock() {
+		return -1
+	}
+	defer g.mu.Unlock()
+	return g.state
+}
+
+func (g *guarded) branchBalanced(cond bool) int {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		return 1
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+func (g *guarded) deferredClosure() {
+	g.mu.Lock()
+	defer func() {
+		g.mu.Unlock()
+	}()
+	g.state++
+}

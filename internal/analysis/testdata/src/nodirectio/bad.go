@@ -2,7 +2,10 @@
 // handle outside internal/pagefile is a violation.
 package fixture
 
-import "os"
+import (
+	"os"
+	"syscall"
+)
 
 func openRaw(path string) (*os.File, error) {
 	return os.Open(path) // want `os\.Open acquires a raw file handle outside internal/pagefile`
@@ -26,4 +29,14 @@ func truncateRaw(path string) error {
 
 func wrapFD(fd uintptr) *os.File {
 	return os.NewFile(fd, "pipe") // want `os\.NewFile acquires a raw file handle outside internal/pagefile`
+}
+
+// The syscall layer is banned everywhere — even pagefile must go through
+// os so handles stay visible to checksums and fault injection.
+func sysOpen(path string) (int, error) {
+	return syscall.Open(path, 0, 0) // want `syscall\.Open acquires a raw descriptor`
+}
+
+func sysOpenat(dirfd int, path string) (int, error) {
+	return syscall.Openat(dirfd, path, 0, 0) // want `syscall\.Openat acquires a raw descriptor`
 }

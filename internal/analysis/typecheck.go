@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the loader of the suite's type-aware tier. The syntactic
+// tier (load.go) deliberately stops at go/parser; the four interprocedural
+// analyzers (clockcharge, lockorder, golifecycle, deferclose) need answers
+// the AST cannot give — which method a selector resolves to, whether a
+// receiver is a sync.Mutex, what a call's static callee is — so this loader
+// type-checks the module with go/types.
+//
+// It stays standard-library-only, preserving go.mod's empty require block:
+// module-internal imports are resolved against the already-parsed tree
+// (loading missing packages from disk on demand), and everything else falls
+// back to the compiler's source importer, which type-checks the standard
+// library from GOROOT sources rather than reading export data (none is
+// shipped since Go 1.20). Build-constrained files are filtered with
+// go/build's MatchFile against the host context with cgo disabled, so
+// platform-split files (mmap_unix.go vs mmap_stub.go) type-check as one
+// coherent configuration and no C toolchain is ever needed.
+
+// TypedPackage is one type-checked package of a Program.
+type TypedPackage struct {
+	*Package
+	// Path is the full import path (module path + "/" + Rel).
+	Path string
+	// Types and Info hold the go/types results for the checked files.
+	Types *types.Package
+	Info  *types.Info
+	// Checked are the non-test files that survived build-constraint
+	// filtering and were handed to the type checker. Typed analyzers walk
+	// these, not Files, so they never see an AST without type information.
+	Checked []*File
+}
+
+// Program is a type-checked module subtree plus the interprocedural
+// function index the typed analyzers share.
+type Program struct {
+	Fset    *token.FileSet
+	ModPath string
+	ModRoot string
+	// Analyzed are the packages the typed analyzers run over, in
+	// deterministic (Rel) order: everything that was asked for except cmd/
+	// and examples/, which host-side analyzers exempt wholesale.
+	Analyzed []*TypedPackage
+	// byPath indexes every module package type-checked for this program,
+	// including dependency-only ones loaded on demand.
+	byPath map[string]*TypedPackage
+
+	funcs *funcIndex
+}
+
+// stdImporter is the shared source importer for non-module packages. The
+// source importer caches aggressively but is not safe for concurrent use,
+// so all type-checking serializes on typeCheckMu. Disabling cgo in the
+// global build context must happen before the importer is created: the
+// importer captures &build.Default, and with cgo off the pure-Go fallbacks
+// of packages like net are selected, keeping the load hermetic.
+var (
+	typeCheckMu sync.Mutex
+	stdOnce     sync.Once
+	stdImp      types.Importer
+)
+
+func stdImporter(fset *token.FileSet) types.Importer {
+	stdOnce.Do(func() {
+		build.Default.CgoEnabled = false
+		stdImp = importer.ForCompiler(fset, "source", nil)
+	})
+	return stdImp
+}
+
+// buildCtx returns the file-matching context: the host context with cgo
+// disabled, mirroring stdImporter's configuration.
+func buildCtx() *build.Context {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	return &ctx
+}
+
+// ModulePath reads the module path from modRoot/go.mod.
+func ModulePath(modRoot string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module"); ok {
+			p := strings.TrimSpace(rest)
+			if p != "" {
+				return strings.Trim(p, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", modRoot)
+}
+
+// TypeCheck type-checks pkgs (plus any module-internal dependencies, loaded
+// from disk under modRoot on demand) and returns the resulting Program.
+// Packages under cmd/ and examples/ are excluded from the analyzed set but
+// may still be passed in; they are skipped rather than checked, since no
+// typed analyzer looks at them and main packages are never imported.
+//
+// Type errors abort the load: like the parser tier, the linter refuses to
+// bless a tree it cannot fully understand.
+func TypeCheck(fset *token.FileSet, pkgs []*Package, modRoot string) (*Program, error) {
+	typeCheckMu.Lock()
+	defer typeCheckMu.Unlock()
+
+	modPath, err := ModulePath(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Fset:    fset,
+		ModPath: modPath,
+		ModRoot: modRoot,
+		byPath:  make(map[string]*TypedPackage),
+	}
+	ld := &loader{prog: prog, ctx: buildCtx(), std: stdImporter(fset), parsed: make(map[string]*Package)}
+	for _, pkg := range pkgs {
+		ld.parsed[pkg.Rel] = pkg
+	}
+	for _, pkg := range pkgs {
+		if pkg.inDir("cmd") || pkg.inDir("examples") || pkg.Name == "main" {
+			continue
+		}
+		tp, err := ld.check(pkg.Rel)
+		if err != nil {
+			return nil, err
+		}
+		prog.Analyzed = append(prog.Analyzed, tp)
+	}
+	sort.Slice(prog.Analyzed, func(i, j int) bool { return prog.Analyzed[i].Rel < prog.Analyzed[j].Rel })
+	prog.funcs = buildFuncIndex(prog)
+	return prog, nil
+}
+
+// loader performs the recursive, memoized type-checking of module packages.
+type loader struct {
+	prog     *Program
+	ctx      *build.Context
+	std      types.Importer
+	parsed   map[string]*Package // by Rel; pre-parsed or loaded on demand
+	checking []string            // import cycle detection
+}
+
+// Import implements types.Importer over the module tree with the source
+// importer as fallback, which is how dependencies of the checked packages
+// resolve.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if rel, ok := modRel(ld.prog.ModPath, path); ok {
+		tp, err := ld.check(rel)
+		if err != nil {
+			return nil, err
+		}
+		return tp.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// modRel splits a module-internal import path into its Rel part.
+func modRel(modPath, path string) (string, bool) {
+	if path == modPath {
+		return "", true
+	}
+	return strings.CutPrefix(path, modPath+"/")
+}
+
+// check type-checks the package at the given module-relative path,
+// memoized per Program.
+func (ld *loader) check(rel string) (*TypedPackage, error) {
+	path := ld.prog.ModPath
+	if rel != "" {
+		path += "/" + rel
+	}
+	if tp, ok := ld.prog.byPath[path]; ok {
+		return tp, nil
+	}
+	for _, c := range ld.checking {
+		if c == path {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+	}
+	ld.checking = append(ld.checking, path)
+	defer func() { ld.checking = ld.checking[:len(ld.checking)-1] }()
+
+	pkg, ok := ld.parsed[rel]
+	if !ok {
+		var err error
+		pkg, err = LoadDir(ld.prog.Fset, filepath.Join(ld.prog.ModRoot, filepath.FromSlash(rel)), rel)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import %q resolves to a directory without Go files", path)
+		}
+		ld.parsed[rel] = pkg
+	}
+
+	var checked []*File
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		match, err := ld.ctx.MatchFile(pkg.Dir, f.Name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: matching %s: %w", f.Name, err)
+		}
+		if !match {
+			continue
+		}
+		checked = append(checked, f)
+		files = append(files, f.AST)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, ld.prog.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w (and %d more)", path, errs[0], len(errs)-1)
+	}
+	tp := &TypedPackage{Package: pkg, Path: path, Types: tpkg, Info: info, Checked: checked}
+	ld.prog.byPath[path] = tp
+	return tp, nil
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadTypedFixture parses one testdata/src directory under the rel path
+// "internal/fixture" and type-checks it against the real module, so fixture
+// code can import and exercise the repository's own packages.
+func loadTypedFixture(t *testing.T, fixture, rel string) (*Program, *Package) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := LoadDir(fset, filepath.Join("testdata", "src", fixture), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s holds no Go files", fixture)
+	}
+	prog, err := TypeCheck(fset, []*Package{pkg}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, pkg
+}
+
+// matchExact demands a 1:1 match between diagnostics and want annotations:
+// same file, same line, message matching the regexp, nothing extra, nothing
+// missing. It consumes the wants slice.
+func matchExact(t *testing.T, wants []*want, diags []Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Pos.Column <= 0 {
+			t.Errorf("%s: diagnostic without a column", d.Pos)
+		}
+		base := filepath.Base(d.Pos.Filename)
+		matched := false
+		for i, w := range wants {
+			if w != nil && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				wants[i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s", base, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w != nil {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestTypedAnalyzers runs each type-aware analyzer over its fixture with
+// the same exactness contract as the syntactic tier.
+func TestTypedAnalyzers(t *testing.T) {
+	cases := []struct {
+		analyzer *TypedAnalyzer
+		fixture  string
+	}{
+		{ClockCharge, "clockcharge"},
+		{LockOrder, "lockorder"},
+		{GoLifecycle, "golifecycle"},
+		{DeferClose, "deferclose"},
+	}
+	for _, c := range cases {
+		t.Run(c.analyzer.Name, func(t *testing.T) {
+			prog, pkg := loadTypedFixture(t, c.fixture, "internal/fixture")
+			wants := collectWants(t, pkg)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s carries no want annotations", c.fixture)
+			}
+			diags := RunTyped(prog, []*TypedAnalyzer{c.analyzer})
+			for _, d := range diags {
+				if d.Analyzer != c.analyzer.Name {
+					t.Errorf("diagnostic attributed to %q, want %q", d.Analyzer, c.analyzer.Name)
+				}
+			}
+			matchExact(t, wants, diags)
+		})
+	}
+}
+
+// TestTypedScopeExemptions re-checks violating typed fixtures under cmd/,
+// which the type-aware tier exempts wholesale, and demands silence.
+func TestTypedScopeExemptions(t *testing.T) {
+	for _, fixture := range []string{"golifecycle", "deferclose"} {
+		t.Run(fixture, func(t *testing.T) {
+			prog, _ := loadTypedFixture(t, fixture, "cmd/tool")
+			for _, d := range RunTyped(prog, AllTyped()) {
+				t.Errorf("diagnostic in exempt scope cmd/tool: %s", d)
+			}
+		})
+	}
+}
+
+// TestSuppression runs the directive fixture through the full pipeline:
+// justified suppressions silence their findings, and the hygiene
+// diagnostics (unused, unknown, malformed) surface at the directives.
+func TestSuppression(t *testing.T) {
+	pkg := loadFixture(t, "directive", "internal/fixture")
+	wants := collectWants(t, pkg)
+	if len(wants) == 0 {
+		t.Fatal("directive fixture carries no want annotations")
+	}
+	diags := RunSuite([]*Package{pkg}, nil, []*Analyzer{NoDirectIO}, nil)
+	matchExact(t, wants, diags)
+}
+
+// TestSuppressionInactive pins the hygiene scoping rule: a directive for an
+// analyzer that is known but not part of the active run is never reported
+// as unused, so single-analyzer runs do not flag exemptions aimed at other
+// checks.
+func TestSuppressionInactive(t *testing.T) {
+	pkg := loadFixture(t, "directive", "internal/fixture")
+	diags := RunSuite([]*Package{pkg}, nil, []*Analyzer{NoPanic}, nil)
+	for _, d := range diags {
+		if d.Analyzer == "directive" && d.Message == "unused lint:ignore suppression for nodirectio" {
+			t.Errorf("nodirectio suppression reported unused in a run without nodirectio: %s", d)
+		}
+	}
+}

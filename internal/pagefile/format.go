@@ -126,6 +126,7 @@ func flipBit(frame []byte, bit int64) {
 // whether it is a valid v2 superblock for the given physical page size.
 func readSuper(b Backend, physSize int) (bool, error) {
 	frame := make([]byte, physSize)
+	//lint:ignore clockcharge format probe at open time runs before the File and its charger exist
 	if err := b.ReadPage(0, frame); err != nil {
 		return false, err
 	}
@@ -193,6 +194,7 @@ func (f *File) CorruptStored(i int64, bit int64) error {
 	phys := i + f.physOff
 	size := f.pageSize + f.hdrSize
 	frame := make([]byte, size)
+	//lint:ignore clockcharge fault injection flips stored bits behind the cost model by design
 	if err := f.backend.ReadPage(phys, frame); err != nil {
 		return err
 	}
@@ -200,6 +202,7 @@ func (f *File) CorruptStored(i int64, bit int64) error {
 		bit = -bit
 	}
 	flipBit(frame, bit)
+	//lint:ignore clockcharge fault injection flips stored bits behind the cost model by design
 	return f.backend.WritePage(phys, frame)
 }
 
