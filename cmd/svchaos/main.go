@@ -16,12 +16,21 @@
 //	svchaos -records 100000 -clients 8 -ops 6 -out results/chaos-bench.md
 //	svchaos -profiles flaky-disk,hell -seed 7
 //	svchaos -shards 4
+//	svchaos -ingest 2 -profiles flaky-disk
 //
 // With -shards K the view is partitioned across K simulated disks and the
 // ladder runs against the merged K-way stream; a final shard-kill phase
 // then kills one shard outright and verifies the blast radius: typed
 // degraded errors only, zero records from the dead shard, every matching
 // record of the surviving shards still delivered.
+//
+// With -ingest W each profile additionally runs W writer connections that
+// append fresh records, tombstone part of what they appended, and flush —
+// so memview flushes and delta compactions race the faulted reads. Every
+// record a reader receives must still be byte-identical to a record some
+// writer (or the original build) produced, still in-predicate and still
+// duplicate-free, and on transient-only profiles the writers themselves
+// must see zero hard errors.
 //
 // The run prints a per-profile summary and, with -out, writes a markdown
 // report. The exit status is non-zero if any contract above was violated.
@@ -37,6 +46,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sampleview"
@@ -73,6 +83,40 @@ type profileResult struct {
 	pFailures int
 	hardErrs  []string // client-visible non-degraded failures
 	badRecs   []string // garbage / duplicate / out-of-predicate records
+	// ingest-phase activity (zero without -ingest).
+	appended  int64
+	wdeleted  int64
+	flushes   int64
+	writeErrs []string // writer-visible hard failures
+}
+
+// writtenSet tracks records added through the wire during the run, so the
+// readers' byte-identity check covers them: anything served must match the
+// original build or a writer's append exactly. Records are registered
+// before the append is sent — a reader can race the ack, never the source
+// of truth. The set persists across profiles (appends from an earlier
+// profile keep getting served in later ones), as does nextWriteSeq, which
+// hands each writer batch a fresh disjoint Seq block so a deleted Seq is
+// never reinserted.
+var (
+	writtenSet   sync.Map // Seq → record.Record
+	nextWriteSeq atomic.Uint64
+)
+
+// writeSeqBase is the first Seq handed to writers; anything at or above it
+// entered through the wire rather than the original build.
+const writeSeqBase = 1 << 40
+
+// lookupSource resolves a served Seq against the original relation and the
+// written set.
+func lookupSource(bySeq map[uint64]record.Record, seq uint64) (record.Record, bool) {
+	if src, ok := bySeq[seq]; ok {
+		return src, true
+	}
+	if v, ok := writtenSet.Load(seq); ok {
+		return v.(record.Record), true
+	}
+	return record.Record{}, false
 }
 
 func main() {
@@ -85,9 +129,11 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload and fault-schedule seed")
 		profs    = flag.String("profiles", "all", "comma-separated fault profiles, or \"all\" for the escalating ladder")
 		shards   = flag.Int("shards", 1, "partition the view across this many simulated disks (>1 adds a shard-kill phase)")
+		ingest   = flag.Int("ingest", 0, "writer connections appending/deleting/flushing under each profile")
 		out      = flag.String("out", "", "write the markdown report to this file")
 	)
 	flag.Parse()
+	nextWriteSeq.Store(writeSeqBase)
 
 	profiles := sampleview.FaultProfiles()
 	if *profs != "all" {
@@ -123,7 +169,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "svchaos: %v\n", err)
 			os.Exit(2)
 		}
-		res := runProfile(tg, bySeq, name, plan, *clients, *ops, *samples, *batch, *seed)
+		res := runProfile(tg, bySeq, name, plan, *clients, *ops, *samples, *batch, *ingest, *seed)
 		results = append(results, res)
 		verdict := "ok"
 		if !contractHolds(&res) {
@@ -133,6 +179,17 @@ func main() {
 		fmt.Printf("%-11s %7d recs %6.1fs  retries=%-5d transient=%-5d degraded=%-4d corrupt=%-4d dead=%-3d uniform-fail=%d  %s\n",
 			name, res.records, res.elapsed.Seconds(), res.retries, res.transient,
 			res.degFrames, res.faults.CorruptPages, res.faults.DeadPages, res.pFailures, verdict)
+		if *ingest > 0 {
+			fmt.Printf("    ingest: %d appended, %d deleted, %d flushes, %d writer errors\n",
+				res.appended, res.wdeleted, res.flushes, len(res.writeErrs))
+			for i, e := range res.writeErrs {
+				if i == 5 {
+					fmt.Printf("    ... and %d more\n", len(res.writeErrs)-5)
+					break
+				}
+				fmt.Printf("    writer error: %s\n", e)
+			}
+		}
 		for i, e := range res.hardErrs {
 			if i == 5 {
 				fmt.Printf("    ... and %d more\n", len(res.hardErrs)-5)
@@ -184,6 +241,15 @@ func main() {
 	}
 }
 
+// fnv1a hashes a profile name into a seed salt (FNV-1a, 64-bit).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
 // contractHolds checks the per-profile failure-handling contract: no
 // garbage records ever; no client-visible hard errors and no uniformity
 // failures unless the profile can permanently lose leaves.
@@ -192,11 +258,13 @@ func contractHolds(r *profileResult) bool {
 		return false
 	}
 	lossy := r.faults.DeadPages > 0 || r.faults.CorruptPages > 0 || r.degEvents > 0
-	if !lossy && (len(r.hardErrs) > 0 || r.pFailures > 0) {
+	if !lossy && (len(r.hardErrs) > 0 || r.pFailures > 0 || len(r.writeErrs) > 0) {
 		return false
 	}
 	// Even lossy profiles must fail cleanly: typed degraded errors are
-	// counted in degEvents, anything else is a hard error.
+	// counted in degEvents, anything else is a hard error. Writer failures
+	// on lossy profiles are tolerated — a flush can legitimately hit a dead
+	// page — but the reads must stay clean regardless.
 	return len(r.hardErrs) == 0
 }
 
@@ -252,7 +320,7 @@ func buildTarget(dir string, recs []record.Record, shards int, seed uint64) (*ta
 
 // runProfile serves the view under one fault plan and drives the fleet.
 func runProfile(tg *target, bySeq map[uint64]record.Record, name string,
-	plan sampleview.FaultPlan, clients, ops, samples, batch int, seed uint64) profileResult {
+	plan sampleview.FaultPlan, clients, ops, samples, batch, ingest int, seed uint64) profileResult {
 	res := profileResult{profile: name}
 	before := tg.faults()
 	tg.inject(plan)
@@ -279,8 +347,36 @@ func runProfile(tg *target, bySeq map[uint64]record.Record, name string,
 				seed+uint64(c)*1000003, ops, samples, batch)
 		}(c)
 	}
+	stop := make(chan struct{})
+	perWriter := make([]profileResult, ingest)
+	var wwg sync.WaitGroup
+	// Writers must NOT replay the same key sequence profile after profile:
+	// the written set accumulates across the ladder, and re-appending one
+	// profile's key multiset under every later profile would pile up
+	// duplicate keys until the census windows of the uniformity check
+	// rightly flag the relation itself as non-uniform. Readers deliberately
+	// keep identical seeds (the same query mix under every profile); the
+	// writer seeds take a per-profile salt.
+	salt := fnv1a(name)
+	for w := 0; w < ingest; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			perWriter[w] = runIngest(ln.Addr().String(), w, seed+salt+uint64(w)*6700417, stop)
+		}(w)
+	}
 	wg.Wait()
+	close(stop)
+	wwg.Wait()
 	res.elapsed = time.Since(start)
+
+	for i := range perWriter {
+		pw := &perWriter[i]
+		res.appended += pw.appended
+		res.wdeleted += pw.wdeleted
+		res.flushes += pw.flushes
+		res.writeErrs = append(res.writeErrs, pw.writeErrs...)
+	}
 
 	for i := range perClient {
 		pc := &perClient[i]
@@ -305,6 +401,84 @@ func runProfile(tg *target, bySeq map[uint64]record.Record, name string,
 		DeadPages:     after.DeadPages - before.DeadPages,
 	}
 	return res
+}
+
+// runIngest drives one writer connection until stop closes: append a fresh
+// batch of records, tombstone the first half of every third batch, and
+// flush every fifth iteration, so the write path churns — memview swaps,
+// L0 flushes, compactions — while the faulted readers sample. Transient
+// faults are absorbed by the client's retry policy; anything that still
+// escapes is recorded as a writer error (tolerated only on lossy profiles).
+func runIngest(addr string, id int, seed uint64, stop <-chan struct{}) profileResult {
+	var res profileResult
+	fail := func(format string, args ...any) {
+		res.writeErrs = append(res.writeErrs, fmt.Sprintf("writer %d: %s", id, fmt.Sprintf(format, args...)))
+	}
+	cl, err := server.Dial(addr)
+	if err != nil {
+		fail("dial: %v", err)
+		return res
+	}
+	defer cl.Close()
+	cl.SetRetryPolicy(server.RetryPolicy{Seed: seed})
+	rv, err := cl.OpenView("chaos")
+	if err != nil {
+		fail("open view: %v", err)
+		return res
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	const batchSize = 64
+	for iter := 0; ; iter++ {
+		select {
+		case <-stop:
+			return res
+		default:
+		}
+		// Claim a fresh Seq block and register the batch before sending it,
+		// so a reader can never see an unregistered record.
+		base := nextWriteSeq.Add(batchSize) - batchSize
+		batch := make([]record.Record, batchSize)
+		for i := range batch {
+			batch[i] = record.Record{
+				Key:    rng.Int64N(workload.KeyDomain),
+				Amount: rng.Int64N(workload.KeyDomain),
+				Seq:    base + uint64(i),
+			}
+			writtenSet.Store(batch[i].Seq, batch[i])
+		}
+		for {
+			n, err := rv.Append(batch)
+			if err == nil {
+				res.appended += int64(n)
+				break
+			}
+			if server.IsWriteReject(err) {
+				if _, ferr := rv.Flush(); ferr != nil {
+					fail("flush under backlog: %v", ferr)
+					return res
+				}
+				res.flushes++
+				continue
+			}
+			fail("append: %v", err)
+			return res
+		}
+		if iter%3 == 2 {
+			if n, err := rv.Delete(batch[:batchSize/2]); err != nil {
+				fail("delete: %v", err)
+				return res
+			} else {
+				res.wdeleted += int64(n)
+			}
+		}
+		if iter%5 == 4 {
+			if _, err := rv.Flush(); err != nil {
+				fail("flush: %v", err)
+				return res
+			}
+			res.flushes++
+		}
+	}
 }
 
 // runClient drives one connection through its operations, verifying every
@@ -371,7 +545,7 @@ func runClient(addr string, bySeq map[uint64]record.Record,
 			}
 			for i := range recs {
 				r := recs[i]
-				src, ok := bySeq[r.Seq]
+				src, ok := lookupSource(bySeq, r.Seq)
 				if !ok || r != src {
 					res.badRecs = append(res.badRecs,
 						fmt.Sprintf("op %d: record seq %d not in the source relation (silent corruption)", op, r.Seq))
@@ -467,12 +641,18 @@ func runShardKill(tg *target, bySeq map[uint64]record.Record, seed uint64) profi
 			break
 		}
 		for i := range recs {
-			if src, ok := bySeq[recs[i].Seq]; !ok || recs[i] != src {
+			if src, ok := lookupSource(bySeq, recs[i].Seq); !ok || recs[i] != src {
 				res.badRecs = append(res.badRecs,
 					fmt.Sprintf("record seq %d not in the source relation", recs[i].Seq))
 				continue
 			}
-			if tg.route(recs[i]) == dead {
+			// Base-build records on the dead shard live only on its dead
+			// storage and must never appear. Write-path records are exempt:
+			// an appended-but-unflushed record sits in the dead shard's
+			// in-memory buffer, which a storage kill does not touch, so
+			// serving it is the degrade-not-fail contract working (flushed
+			// deltas sit on dead pages and are salvaged away).
+			if recs[i].Seq < writeSeqBase && tg.route(recs[i]) == dead {
 				res.badRecs = append(res.badRecs,
 					fmt.Sprintf("record seq %d served from the dead shard %d", recs[i].Seq, dead))
 			}
@@ -540,6 +720,20 @@ func buildReport(count int64, clients, ops, samples, batch int, seed uint64, res
 			r.transient, r.degFrames, r.faults.CorruptPages, r.faults.DeadPages,
 			r.faults.Rereads, r.faults.LatencySpikes,
 			len(r.hardErrs), len(r.badRecs), r.pFailures, pCell)
+	}
+	anyIngest := false
+	for _, r := range results {
+		if r.appended > 0 || len(r.writeErrs) > 0 {
+			anyIngest = true
+		}
+	}
+	if anyIngest {
+		fmt.Fprintf(&b, "\nIngest racing each profile (writers append, tombstone and flush while the readers sample):\n\n")
+		fmt.Fprintf(&b, "| profile | appended | deleted | flushes | writer errors |\n|---|---|---|---|---|\n")
+		for _, r := range results {
+			fmt.Fprintf(&b, "| %s | %d | %d | %d | %d |\n",
+				r.profile, r.appended, r.wdeleted, r.flushes, len(r.writeErrs))
+		}
 	}
 	fmt.Fprintf(&b, "\nContract: transient-only profiles deliver with zero client-visible errors; "+
 		"lossy profiles (sticky/corrupt pages) fail only through typed degraded errors — "+

@@ -137,6 +137,10 @@ func inspectCatalog(dir string, verify bool) {
 		fmt.Printf("  shards:        %d (%s partitioning)\n", info.K, info.Partition)
 		fmt.Printf("  records:       %d (%d appends pending)\n", info.Count, info.PendingAppends)
 		fmt.Printf("  health:        %s\n", info.Health)
+		w := info.Write
+		fmt.Printf("  write path:    %d buffered + %d tombstones in memview, %d delta records across %d level(s), %d tombstones pending\n",
+			w.MemViewRecords, w.MemViewTombstones, w.DeltaRecords, info.DeltaLevels, w.TombstonesPending)
+		fmt.Printf("  maintenance:   %d flushes, %d compactions\n", w.Flushes, w.Compactions)
 		v, ok := cat.Get(info.Name)
 		if !ok {
 			continue

@@ -8,10 +8,20 @@
 // which must agree exactly since core streams are deterministic given the
 // stored view.
 //
+// With -writers the workload turns mixed: that many writer connections
+// append fresh records, tombstone a slice of what they appended, and flush,
+// racing the readers for the run's whole duration. The readers' on-the-fly
+// verification keeps holding — every delivered prefix must stay duplicate-
+// free and inside the predicate while memview flushes and delta compactions
+// run underneath. Backlog rejections are absorbed by flushing and retrying.
+// -writers is incompatible with -check (the served view diverges from the
+// static check file as soon as the first append lands).
+//
 // Usage:
 //
 //	svload -connect 127.0.0.1:7070 -view sale -clients 64 -ops 10 \
 //	       -samples 2000 -check sale.view -out results/serve-bench.md
+//	svload -connect 127.0.0.1:7070 -view sale -clients 16 -writers 4
 //
 // Throughput and open/batch latency percentiles are printed and, with
 // -out, appended as a markdown report.
@@ -65,8 +75,14 @@ func main() {
 		check   = flag.String("check", "", "view file for exact record-for-record cross-checking")
 		out     = flag.String("out", "", "append a markdown report to this file")
 		wall    = flag.Bool("wall", false, "report wall-clock time-to-first-1000 per query")
+		writers = flag.Int("writers", 0, "concurrent writer connections appending/deleting/flushing for the run's duration")
+		wbatch  = flag.Int("write-batch", 128, "records per append batch")
 	)
 	flag.Parse()
+	if *writers > 0 && *check != "" {
+		fmt.Fprintln(os.Stderr, "svload: -writers is incompatible with -check (the served view mutates under the workload)")
+		os.Exit(2)
+	}
 
 	// Probe the server once for view metadata before unleashing the fleet.
 	probe, err := server.Dial(*connect)
@@ -95,8 +111,33 @@ func main() {
 				*seed+uint64(c)*1000003, *ops, *samples, *batch, &live, &peak)
 		}(c)
 	}
+
+	// Writers race the readers for the whole run, stopping when the last
+	// reader finishes.
+	stop := make(chan struct{})
+	wresults := make([]writerResult, *writers)
+	var wwg sync.WaitGroup
+	for w := 0; w < *writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			wresults[w] = runWriter(*connect, *view, w,
+				*seed+uint64(w)*6700417, *wbatch, stop)
+		}(w)
+	}
 	wg.Wait()
+	close(stop)
+	wwg.Wait()
 	elapsed := time.Since(start)
+
+	var wtotal writerResult
+	for _, r := range wresults {
+		wtotal.appended += r.appended
+		wtotal.deleted += r.deleted
+		wtotal.flushes += r.flushes
+		wtotal.rejections += r.rejections
+		wtotal.failures = append(wtotal.failures, r.failures...)
+	}
 
 	// Aggregate.
 	var total clientResult
@@ -116,8 +157,9 @@ func main() {
 	}
 	probe.Close()
 
+	total.failures = append(total.failures, wtotal.failures...)
 	report := buildReport(*connect, *view, *clients, *ops, *samples, *batch, *seed,
-		*check != "", *wall, int(peak.Load()), elapsed, &total, snap)
+		*check != "", *wall, int(peak.Load()), elapsed, &total, *writers, &wtotal, snap)
 	fmt.Print(report)
 	if *out != "" {
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -131,6 +173,86 @@ func main() {
 	}
 	if len(total.failures) > 0 {
 		os.Exit(1)
+	}
+}
+
+// writerResult aggregates one writer connection's activity.
+type writerResult struct {
+	appended   int64
+	deleted    int64
+	flushes    int64
+	rejections int64 // backlog rejections absorbed by flushing and retrying
+	failures   []string
+}
+
+// runWriter drives one writer connection until stop closes: append a fresh
+// batch, tombstone the first half of every third batch, flush every fifth
+// iteration, and absorb backlog rejections by flushing and retrying. Each
+// writer owns a disjoint Seq range, so appended records never collide and a
+// deleted Seq is never reinserted.
+func runWriter(addr, view string, id int, seed uint64, batchSize int, stop <-chan struct{}) writerResult {
+	var res writerResult
+	fail := func(format string, args ...any) {
+		res.failures = append(res.failures, fmt.Sprintf("writer %d: %s", id, fmt.Sprintf(format, args...)))
+	}
+	cl, err := server.Dial(addr)
+	if err != nil {
+		fail("dial: %v", err)
+		return res
+	}
+	defer cl.Close()
+	rv, err := cl.OpenView(view)
+	if err != nil {
+		fail("open view: %v", err)
+		return res
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	const domain = 1 << 20
+	seq := uint64(id+1) << 40
+	for iter := 0; ; iter++ {
+		select {
+		case <-stop:
+			return res
+		default:
+		}
+		batch := make([]record.Record, batchSize)
+		for i := range batch {
+			batch[i] = record.Record{Key: rng.Int64N(domain), Amount: rng.Int64N(domain), Seq: seq}
+			seq++
+		}
+		for {
+			n, err := rv.Append(batch)
+			if err == nil {
+				res.appended += int64(n)
+				break
+			}
+			if server.IsWriteReject(err) {
+				res.rejections++
+				if _, ferr := rv.Flush(); ferr != nil {
+					fail("flush under backlog: %v", ferr)
+					return res
+				}
+				res.flushes++
+				continue
+			}
+			fail("append: %v", err)
+			return res
+		}
+		if iter%3 == 2 {
+			if n, err := rv.Delete(batch[:len(batch)/2]); err != nil {
+				fail("delete: %v", err)
+				return res
+			} else {
+				res.deleted += int64(n)
+			}
+		}
+		if iter%5 == 4 {
+			if _, err := rv.Flush(); err != nil {
+				fail("flush: %v", err)
+				return res
+			}
+			res.flushes++
+		}
 	}
 }
 
@@ -277,7 +399,8 @@ func latRow(name string, lat []time.Duration) string {
 }
 
 func buildReport(addr, view string, clients, ops, samples, batch int, seed uint64,
-	checked, wall bool, peak int, elapsed time.Duration, total *clientResult, snap *server.StatsSnapshot) string {
+	checked, wall bool, peak int, elapsed time.Duration, total *clientResult,
+	writers int, wtotal *writerResult, snap *server.StatsSnapshot) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "\n## svload run: %d clients against %s\n\n", clients, addr)
 	fmt.Fprintf(&b, "- view `%s`, %d ops/client, %d samples/op, batches of %d, seed %d\n",
@@ -295,6 +418,14 @@ func buildReport(addr, view string, clients, ops, samples, batch int, seed uint6
 	fmt.Fprintf(&b, "| records/sec | %.0f |\n", float64(total.records)/elapsed.Seconds())
 	fmt.Fprintf(&b, "| queries/sec | %.1f |\n", float64(total.ops)/elapsed.Seconds())
 	fmt.Fprintf(&b, "| admission rejections (retried) | %d |\n", total.rejections)
+	if writers > 0 {
+		fmt.Fprintf(&b, "| writers | %d |\n", writers)
+		fmt.Fprintf(&b, "| records appended | %d |\n", wtotal.appended)
+		fmt.Fprintf(&b, "| records deleted | %d |\n", wtotal.deleted)
+		fmt.Fprintf(&b, "| flushes | %d |\n", wtotal.flushes)
+		fmt.Fprintf(&b, "| backlog rejections (retried) | %d |\n", wtotal.rejections)
+		fmt.Fprintf(&b, "| ingest records/sec | %.0f |\n", float64(wtotal.appended)/elapsed.Seconds())
+	}
 	fmt.Fprintf(&b, "| correctness failures | %d |\n", len(total.failures))
 	fmt.Fprintf(&b, "\n| latency | n | p50 | p90 | p99 | max |\n|---|---|---|---|---|---|\n")
 	b.WriteString(latRow("open-stream", total.openLat))

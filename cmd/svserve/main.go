@@ -43,8 +43,11 @@ func main() {
 		reqTimeout  = flag.Duration("req-timeout", 0, "wall-clock deadline per in-flight request (0 = none)")
 		profile     = flag.String("fault-profile", "", "inject storage faults on every served view: "+strings.Join(sampleview.FaultProfiles(), ", "))
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for the injected fault schedule")
+		backlog     = flag.Int("write-backlog", 0, "reject appends once a view's memview holds this many entries (0 = default 65536)")
 		catalogDir  = flag.String("catalog", "", "host the sharded view catalog rooted at this directory")
-		compactAt   = flag.Int("compact-threshold", 256, "catalog: compact a view once this many appends are pending (0 = never)")
+		compactAt   = flag.Int("compact-threshold", 256, "catalog: full-fold a view once this many appends are pending (0 = never)")
+		flushAt     = flag.Int("flush-threshold", 1024, "catalog: flush a view's memview once it holds this many entries (0 = never)")
+		maxLevels   = flag.Int("max-delta-levels", 4, "catalog: merge delta levels, forcing past this depth (0 = never)")
 		scrubEvery  = flag.Duration("scrub-every", 0, "catalog: checksum-scrub each view at this simulated-time interval (0 = never)")
 		backendName = flag.String("backend", "default", "raw-I/O backend for stored view files: pread or mmap")
 		prefetch    = flag.Int("prefetch", 0, "async leaf-prefetch workers per opened view file (0 = off)")
@@ -85,6 +88,7 @@ func main() {
 		MaxBatch:          *maxBatch,
 		IdleTimeout:       *idle,
 		RequestTimeout:    *reqTimeout,
+		MaxWriteBacklog:   *backlog,
 	})
 	for name, path := range views {
 		v, err := sampleview.Open(path, sampleview.Options{
@@ -103,7 +107,12 @@ func main() {
 	if *catalogDir != "" {
 		cat, err := sampleview.NewCatalog(*catalogDir,
 			sampleview.ShardedOptions{Faults: plan, Backend: backend, PrefetchWorkers: *prefetch},
-			sampleview.CatalogPolicy{CompactThreshold: *compactAt, ScrubEvery: *scrubEvery})
+			sampleview.CatalogPolicy{
+				CompactThreshold: *compactAt,
+				FlushThreshold:   *flushAt,
+				MaxDeltaLevels:   *maxLevels,
+				ScrubEvery:       *scrubEvery,
+			})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "svserve: %v\n", err)
 			os.Exit(1)
@@ -114,8 +123,8 @@ func main() {
 			fmt.Printf("catalog %-16s %d shards (%s), %d records, health %s\n",
 				info.Name, info.K, info.Partition, info.Count, info.Health)
 		}
-		fmt.Printf("catalog maintenance: compact at %d pending appends, scrub every %v of simulated time\n",
-			*compactAt, *scrubEvery)
+		fmt.Printf("catalog maintenance: flush at %d buffered, merge past %d delta levels, full-fold at %d pending, scrub every %v of simulated time\n",
+			*flushAt, *maxLevels, *compactAt, *scrubEvery)
 	}
 	if *profile != "" {
 		fmt.Printf("fault injection: profile %q, seed %d\n", *profile, *faultSeed)

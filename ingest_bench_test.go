@@ -1,0 +1,173 @@
+package sampleview
+
+// Benchmarks for the live write path: raw ingest throughput through the
+// in-memory buffer, flush-inclusive sustained ingest, and the query-side
+// cost of delta depth — time to the first 1000 online samples as the
+// on-disk ladder deepens. results/ingest-bench.md holds a checked-in run
+// with the analysis.
+
+import (
+	"io"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"sampleview/internal/record"
+	"sampleview/internal/workload"
+)
+
+const ingestBenchSeqBase = 1 << 40
+
+func ingestBenchView(b *testing.B, n int) *View {
+	b.Helper()
+	recs := genUniform(n, 2006)
+	v, err := CreateFromSlice("", recs, Options{Seed: 2006})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { v.Close() })
+	return v
+}
+
+func genUniform(n int, seed uint64) []record.Record {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i] = record.Record{
+			Key:    rng.Int64N(workload.KeyDomain),
+			Amount: rng.Int64N(1000),
+			Seq:    uint64(i),
+		}
+	}
+	return recs
+}
+
+// BenchmarkIngestAppend measures pure memview ingest: every op is one
+// Insert into the in-memory buffer, never flushed.
+func BenchmarkIngestAppend(b *testing.B) {
+	v := ingestBenchView(b, 10_000)
+	rng := rand.New(rand.NewPCG(7, 11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := record.Record{
+			Key:    rng.Int64N(workload.KeyDomain),
+			Amount: rng.Int64N(1000),
+			Seq:    ingestBenchSeqBase + uint64(i),
+		}
+		if err := v.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestSustained measures the sustained write path: inserts with
+// a flush every 4096 records and size-tiered compaction whenever the
+// ladder makes a merge due, i.e. the full cost a long-lived writer pays.
+func BenchmarkIngestSustained(b *testing.B) {
+	v := ingestBenchView(b, 10_000)
+	rng := rand.New(rand.NewPCG(7, 11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := record.Record{
+			Key:    rng.Int64N(workload.KeyDomain),
+			Amount: rng.Int64N(1000),
+			Seq:    ingestBenchSeqBase + uint64(i),
+		}
+		if err := v.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%4096 == 0 {
+			if err := v.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := v.CompactDeltas(false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(v.DeltaLevels()), "levels")
+}
+
+// BenchmarkQueryAtDeltaDepth measures time to the first 1000 online
+// samples of a 2.5%-selectivity range query as the delta ladder deepens:
+// the same 100k-record base with 0, 1, 2, 4 and 8 on-disk levels of 4096
+// ingested records each (plus tombstones for 5% of them). Reported
+// metrics: wall ns/op for the 1000 draws including stream open, the
+// stream's simulated I/O time, and the realized ladder depth.
+func BenchmarkQueryAtDeltaDepth(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		depth   int
+		compact bool
+	}{
+		{"depth0", 0, false},
+		{"depth1", 1, false},
+		{"depth2", 2, false},
+		{"depth4", 4, false},
+		{"depth8", 8, false},
+		{"depth8-compacted", 8, true},
+	} {
+		depth := cfg.depth
+		b.Run(cfg.name, func(b *testing.B) {
+			v := ingestBenchView(b, 100_000)
+			rng := rand.New(rand.NewPCG(uint64(depth)*97+1, 5))
+			seq := uint64(ingestBenchSeqBase)
+			for lvl := 0; lvl < depth; lvl++ {
+				batch := make([]record.Record, 4096)
+				for i := range batch {
+					batch[i] = record.Record{
+						Key:    rng.Int64N(workload.KeyDomain),
+						Amount: rng.Int64N(1000),
+						Seq:    seq,
+					}
+					seq++
+					if err := v.Insert(batch[i]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Tombstone 5% of the level before flushing the next one, so
+				// the probe side of the ladder is exercised too.
+				for i := 0; i < len(batch)/20; i++ {
+					if err := v.Delete(batch[i]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := v.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if cfg.compact {
+				// Size-tiered merging folds the ladder back down; the
+				// compacted view answers the same queries as depth8.
+				for v.DeltaLevels() > 1 {
+					if ran, err := v.CompactDeltas(true); err != nil {
+						b.Fatal(err)
+					} else if !ran {
+						break
+					}
+				}
+			}
+			q := workload.NewQueryGen(99).Range1D(0.025)
+			var simTotal time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := v.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for drawn := 0; drawn < 1000; drawn++ {
+					if _, err := s.Next(); err == io.EOF {
+						break
+					} else if err != nil {
+						b.Fatal(err)
+					}
+				}
+				simTotal += s.SimNow()
+				s.Close()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(simTotal.Microseconds())/float64(b.N), "sim_us/op")
+			b.ReportMetric(float64(v.DeltaLevels()), "levels")
+		})
+	}
+}

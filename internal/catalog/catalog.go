@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"sampleview/internal/lsm"
 	"sampleview/internal/record"
 	"sampleview/internal/shard"
 )
@@ -33,8 +34,17 @@ var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_.-]{0,63}$`)
 
 // Policy tunes the background-maintenance scheduler.
 type Policy struct {
-	// CompactThreshold is the pending-append count at which a view is due
-	// for compaction. 0 disables compaction jobs.
+	// FlushThreshold is the in-memory ingest size (buffered records plus
+	// tombstones, summed over a view's shards) at which a memview flush to
+	// a level-0 delta file is due. 0 disables flush jobs.
+	FlushThreshold int
+	// MaxDeltaLevels is the delta-ladder depth above which a level merge is
+	// forced; while merge jobs are enabled (> 0), naturally due size-tiered
+	// merges also run. 0 disables merge jobs.
+	MaxDeltaLevels int
+	// CompactThreshold is the pending-ingest count (memview plus delta
+	// levels) at which a view is due for a full fold rebuilding its shard
+	// trees. 0 disables compaction jobs.
 	CompactThreshold int
 	// ScrubEvery is the simulated-time interval between checksum scrubs of
 	// each view. 0 disables scrub jobs.
@@ -56,6 +66,10 @@ type Info struct {
 	Count          int64
 	PendingAppends int
 	Health         string
+	// Write sums the write-path gauges and counters over the view's shards.
+	Write lsm.WriteStats
+	// DeltaLevels is the deepest delta ladder across the view's shards.
+	DeltaLevels int
 	// DegradedShards lists shards the last scrub found damage on.
 	DegradedShards []int
 	// LastScrub is the view's simulated time at the end of its last scrub
@@ -66,10 +80,12 @@ type Info struct {
 // JobReport describes one background job run by RunDueJobs.
 type JobReport struct {
 	View string
-	// Kind is "compact" or "scrub".
+	// Kind is "flush", "merge", "compact" or "scrub".
 	Kind string
 	// ShardsRebuilt counts shards compaction folded (compact jobs).
 	ShardsRebuilt int
+	// ShardsMerged counts shards that merged a delta-level pair (merge jobs).
+	ShardsMerged int
 	// FaultsFound counts corrupt pages the scrub surfaced (scrub jobs).
 	FaultsFound int
 	// Cost is the simulated time the job charged to the view's disks.
@@ -265,6 +281,8 @@ func (c *Catalog) infoLocked(e *entry) Info {
 		Partition:      e.view.Partitioning(),
 		Count:          e.view.Count(),
 		PendingAppends: e.view.PendingAppends(),
+		Write:          e.view.WriteStats(),
+		DeltaLevels:    e.view.DeltaLevels(),
 		LastScrub:      e.lastScrub,
 		Health:         HealthOK,
 	}
@@ -306,8 +324,10 @@ func (c *Catalog) closeLocked() error {
 	return first
 }
 
-// RunDueJobs runs every background job the policy says is due — diffview
-// compaction for views whose pending appends reached the threshold, and a
+// RunDueJobs runs every background job the policy says is due — memview
+// flushes for views whose ingest buffers reached FlushThreshold, delta
+// merges for views whose ladders are due (forced past MaxDeltaLevels), a
+// full fold for views whose pending ingest reached CompactThreshold, and a
 // checksum scrub for views whose simulated clock advanced ScrubEvery past
 // their last scrub — and reports what ran. Due-ness is evaluated on the
 // views' simulated clocks only. The catalog lock is held throughout, so
@@ -338,6 +358,17 @@ func (c *Catalog) runDueJobsLocked() []JobReport {
 	sort.Strings(names)
 	for _, name := range names {
 		e := c.entries[name]
+		// Write-path order mirrors the data's: memview → level 0 (flush),
+		// level merges (ladder shape), then the full fold (compact).
+		if c.policy.FlushThreshold > 0 {
+			w := e.view.WriteStats()
+			if int(w.MemViewRecords+w.MemViewTombstones) >= c.policy.FlushThreshold {
+				reports = append(reports, c.flushLocked(e))
+			}
+		}
+		if c.policy.MaxDeltaLevels > 0 && e.view.DeltaLevels() >= 2 {
+			reports = append(reports, c.mergeLocked(e, e.view.DeltaLevels() > c.policy.MaxDeltaLevels))
+		}
 		if c.policy.CompactThreshold > 0 && e.view.PendingAppends() >= c.policy.CompactThreshold {
 			reports = append(reports, c.compactLocked(e))
 		}
@@ -346,6 +377,27 @@ func (c *Catalog) runDueJobsLocked() []JobReport {
 		}
 	}
 	return reports
+}
+
+// flushLocked seals e's shard ingest buffers into level-0 delta files.
+func (c *Catalog) flushLocked(e *entry) JobReport {
+	r := JobReport{View: e.name, Kind: "flush"}
+	t0 := e.view.SimNow()
+	r.Err = e.view.Flush()
+	r.Cost = e.view.SimNow() - t0
+	return r
+}
+
+// mergeLocked runs one size-tiered delta-compaction round per shard of e.
+// Faults follow the view contracts: a failed merge surfaces in Err while
+// the ladder keeps its old levels, and open streams are never blocked.
+func (c *Catalog) mergeLocked(e *entry, force bool) JobReport {
+	r := JobReport{View: e.name, Kind: "merge"}
+	t0 := e.view.SimNow()
+	n, err := e.view.CompactDeltas(force)
+	r.ShardsMerged, r.Err = n, err
+	r.Cost = e.view.SimNow() - t0
+	return r
 }
 
 // compactLocked folds e's differential buffers into its shard trees.

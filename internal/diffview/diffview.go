@@ -1,243 +1,101 @@
-// Package diffview implements the update strategy the paper sketches in
-// its conclusion (Section IX): the ACE Tree is bulk-built and not
-// incrementally updatable, so newly appended records are kept in a
-// differential buffer beside the main tree, and a query draws its next
-// sample from either the main view or the differential buffer with
-// probability proportional to how many matching records remain in each —
-// the hypergeometric interleaving of Brown and Haas that keeps the merged
-// stream a uniform without-replacement sample over the union. When the
-// differential buffer grows too large, Compact rebuilds the tree over the
+// Package diffview is the compatibility surface of the paper's Section IX
+// update sketch: an ACE Tree plus a differential buffer of appended
+// records, merged at query time by hypergeometric interleaving so the
+// combined stream stays a uniform without-replacement sample over the
 // union.
+//
+// It is now a thin shim over the live write path (internal/memview +
+// internal/lsm), which generalizes the single in-memory buffer to an
+// ingest buffer plus leveled on-disk delta files with tombstone deletes.
+// A diffview View is an lsm View whose buffer is never flushed: Append is
+// Insert, and Compact is the lsm fold that rebuilds the base over the
+// union — with every read and write charged to the simulated disk.
 package diffview
 
 import (
 	"fmt"
-	"io"
 	"math/rand/v2"
 
 	"sampleview/internal/core"
-	"sampleview/internal/interleave"
 	"sampleview/internal/iosim"
+	"sampleview/internal/lsm"
 	"sampleview/internal/pagefile"
 	"sampleview/internal/record"
 )
 
 // View is an ACE Tree plus a differential buffer of appended records.
 type View struct {
-	main  *core.Tree
-	delta []record.Record
+	inner *lsm.View
 }
 
-// New wraps an ACE Tree in an updatable view.
+// Stream is the merged online sample over the tree and the buffer; every
+// prefix is a uniform without-replacement sample of the union.
+type Stream = lsm.Stream
+
+// New wraps an ACE Tree in an updatable view. The differential buffer
+// lives in memory; it never spills to delta levels (use internal/lsm
+// directly for the full write path). New panics if the in-memory delta
+// store cannot be created, which no input can cause.
 func New(main *core.Tree) *View {
-	return &View{main: main}
+	store, err := lsm.CreateStore(nil, "")
+	if err != nil {
+		// CreateStore cannot fail for an in-memory store; a change to that
+		// invariant is a programming error.
+		panic(fmt.Sprintf("diffview: creating in-memory store: %v", err))
+	}
+	return &View{inner: lsm.NewView(main, store)}
 }
 
 // Main returns the underlying ACE Tree.
-func (v *View) Main() *core.Tree { return v.main }
+func (v *View) Main() *core.Tree { return v.inner.Main() }
 
-// Append adds a record to the differential buffer.
+// Append adds a record to the differential buffer. It panics if the
+// buffer rejects the record, which only a sealed buffer can do — and a
+// diffview never seals its buffer.
 func (v *View) Append(rec record.Record) {
-	v.delta = append(v.delta, rec)
+	// Insert only fails on a sealed buffer, and a diffview never seals.
+	if err := v.inner.Insert(rec); err != nil {
+		panic(fmt.Sprintf("diffview: append: %v", err))
+	}
 }
 
 // DeltaSize returns the number of buffered appended records.
-func (v *View) DeltaSize() int { return len(v.delta) }
+func (v *View) DeltaSize() int { return v.inner.DeltaSize() }
 
 // Count returns the total number of records in the view.
-func (v *View) Count() int64 { return v.main.Count() + int64(len(v.delta)) }
+func (v *View) Count() int64 { return v.inner.Count() }
 
 // EstimateCount estimates the number of records matching q across the main
 // tree and the differential buffer (the delta part is exact).
 func (v *View) EstimateCount(q record.Box) (float64, error) {
-	est, err := v.main.EstimateCount(q)
-	if err != nil {
-		return 0, err
-	}
-	for i := range v.delta {
-		if q.ContainsRecord(&v.delta[i]) {
-			est++
-		}
-	}
-	return est, nil
-}
-
-// Indices of the merge sources: the in-memory delta buffer draws first in
-// the merger's source order, pinning the rng consumption of the original
-// two-way implementation (one Float64 per draw, delta side tested first).
-const (
-	srcDelta = 0
-	srcMain  = 1
-)
-
-// Stream merges the main tree's online sample with the differential
-// buffer's matching records. The source of each draw is chosen by the
-// shared hypergeometric interleaver (internal/interleave): delta-versus-main
-// with probability proportional to the matching records remaining on each
-// side, which keeps the merged stream a uniform without-replacement sample
-// over the union.
-type Stream struct {
-	merge     *interleave.Merger // delta = source 0, main = source 1
-	main      *core.Stream
-	mainQueue []record.Record
-	mainDone  bool
-	delta     []record.Record // matching delta records, shuffled
+	return v.inner.EstimateCount(q)
 }
 
 // Query returns a merged online sample stream for q.
 func (v *View) Query(q record.Box, rng *rand.Rand) (*Stream, error) {
-	return v.queryOn(v.main, q, rng)
-}
-
-// QueryClocked is Query with the main tree's page reads charged to the
-// given per-stream clock instead of directly to the shared simulated disk,
-// so that several merged streams can run concurrently (the delta side is
-// in-memory and costs no I/O).
-func (v *View) QueryClocked(c *iosim.Clock, q record.Box, rng *rand.Rand) (*Stream, error) {
-	return v.queryOn(v.main.WithClock(c), q, rng)
-}
-
-func (v *View) queryOn(main *core.Tree, q record.Box, rng *rand.Rand) (*Stream, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("diffview: query needs a random source")
 	}
-	ms, err := main.Query(q)
-	if err != nil {
-		return nil, err
-	}
-	est, err := main.EstimateCount(q)
-	if err != nil {
-		return nil, err
-	}
-	s := &Stream{main: ms}
-	for i := range v.delta {
-		if q.ContainsRecord(&v.delta[i]) {
-			s.delta = append(s.delta, v.delta[i])
-		}
-	}
-	rng.Shuffle(len(s.delta), func(i, j int) { s.delta[i], s.delta[j] = s.delta[j], s.delta[i] })
-	s.merge = interleave.New(rng, []float64{float64(len(s.delta)), est})
-	return s, nil
+	return v.inner.Query(q, rng)
 }
 
-// Next returns the next sample of the merged stream, or io.EOF when both
-// parts are exhausted. The source of each draw is chosen with probability
-// proportional to the matching records remaining on each side (exact for
-// the delta, estimated from the internal-node counts for the main view).
-func (s *Stream) Next() (record.Record, error) {
-	for {
-		if s.mainDone && len(s.mainQueue) == 0 {
-			s.merge.Exhaust(srcMain)
-		}
-		if len(s.delta) == 0 {
-			s.merge.Exhaust(srcDelta)
-		}
-		src, ok := s.merge.Pick()
-		if !ok {
-			// The estimate may hit zero while the main stream still holds
-			// records; drain it before giving up.
-			if rec, ok, err := s.popMain(); err != nil {
-				return record.Record{}, err
-			} else if ok {
-				return rec, nil
-			}
-			if len(s.delta) > 0 {
-				return s.popDelta(), nil
-			}
-			return record.Record{}, io.EOF
-		}
-		if src == srcDelta {
-			s.merge.Deduct(srcDelta)
-			return s.popDelta(), nil
-		}
-		rec, ok, err := s.popMain()
-		if err != nil {
-			return record.Record{}, err
-		}
-		if ok {
-			s.merge.Deduct(srcMain)
-			return rec, nil
-		}
-		// Main exhausted earlier than estimated: zero it and retry.
-		s.merge.Exhaust(srcMain)
-		if len(s.delta) == 0 {
-			return record.Record{}, io.EOF
-		}
+// QueryClocked is Query with the I/O charged to the given per-stream clock
+// instead of directly to the shared simulated disk, so that several merged
+// streams can run concurrently.
+func (v *View) QueryClocked(c *iosim.Clock, q record.Box, rng *rand.Rand) (*Stream, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("diffview: query needs a random source")
 	}
-}
-
-// QueryLeaves returns the number of main-tree leaf regions overlapping the
-// query (see core.Stream.QueryLeaves); the delta side holds no leaves.
-func (s *Stream) QueryLeaves() int { return s.main.QueryLeaves() }
-
-func (s *Stream) popDelta() record.Record {
-	rec := s.delta[len(s.delta)-1]
-	s.delta = s.delta[:len(s.delta)-1]
-	return rec
-}
-
-func (s *Stream) popMain() (record.Record, bool, error) {
-	if len(s.mainQueue) > 0 {
-		rec := s.mainQueue[0]
-		s.mainQueue = s.mainQueue[1:]
-		return rec, true, nil
-	}
-	if s.mainDone {
-		return record.Record{}, false, nil
-	}
-	rec, err := s.main.Next()
-	if err == io.EOF {
-		s.mainDone = true
-		return record.Record{}, false, nil
-	}
-	if err != nil {
-		return record.Record{}, false, err
-	}
-	return rec, true, nil
+	return v.inner.QueryClocked(c, q, rng)
 }
 
 // Compact rebuilds the ACE Tree over the union of the main view and the
 // differential buffer, writing it to dst, and returns the fresh view. The
-// parameters play the same role as in core.Create.
+// parameters play the same role as in core.Create. The rebuild reads the
+// tree through a full-domain query and stages the union on dst's simulated
+// disk, so its I/O cost is charged like every other path.
 func (v *View) Compact(dst *pagefile.File, p core.Params) (*View, error) {
-	sim := dst.Sim()
-	merged := pagefile.NewItemFile(pagefile.NewMem(sim), record.Size)
-	w := merged.NewWriter()
-	buf := make([]byte, record.Size)
-
-	// Drain the main tree through a full-domain query (every record comes
-	// back exactly once).
-	full := record.FullBox(v.main.Dims())
-	stream, err := v.main.Query(full)
-	if err != nil {
-		return nil, err
-	}
-	for {
-		rec, err := stream.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		rec.Marshal(buf)
-		if err := w.Write(buf); err != nil {
-			return nil, err
-		}
-	}
-	for i := range v.delta {
-		v.delta[i].Marshal(buf)
-		if err := w.Write(buf); err != nil {
-			return nil, err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		return nil, err
-	}
-	if p.Dims == 0 {
-		p.Dims = v.main.Dims()
-	}
-	tree, err := core.Create(dst, merged, p)
+	tree, err := v.inner.Fold(dst, p)
 	if err != nil {
 		return nil, err
 	}

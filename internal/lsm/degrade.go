@@ -1,0 +1,40 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+
+	"sampleview/internal/pagefile"
+)
+
+// WritePathLostError reports that part of a view's write path — a delta
+// level's insert or tombstone region — became permanently unreadable (a
+// dead or corrupt page). The stream that surfaces it stays serviceable:
+// base draws keep flowing and the readable write-path components keep
+// contributing, but inserts held by a lost region are gone from the sample
+// and tombstone vetting is incomplete, so deleted base records may appear
+// and the uniformity guarantee no longer covers the lost contributions.
+// Surfaced at most once per stream; a retried Next continues.
+type WritePathLostError struct {
+	// Err is the underlying storage error (*pagefile.DeadPageError or
+	// *pagefile.CorruptPageError).
+	Err error
+}
+
+func (e *WritePathLostError) Error() string {
+	return fmt.Sprintf("lsm: write path lost: %v", e.Err)
+}
+
+func (e *WritePathLostError) Unwrap() error { return e.Err }
+
+// IsWritePathLost reports whether err is (or wraps) a WritePathLostError.
+func IsWritePathLost(err error) bool {
+	var we *WritePathLostError
+	return errors.As(err, &we)
+}
+
+// hardLoss reports whether err is a permanent storage loss — a dead or
+// corrupt page — as opposed to a transient failure a retry may clear.
+func hardLoss(err error) bool {
+	return pagefile.IsDead(err) || pagefile.IsCorrupt(err)
+}

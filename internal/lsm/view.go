@@ -1,0 +1,536 @@
+package lsm
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sync"
+
+	"sampleview/internal/core"
+	"sampleview/internal/iosim"
+	"sampleview/internal/memview"
+	"sampleview/internal/pagefile"
+	"sampleview/internal/record"
+)
+
+// View is a base ACE tree plus the live write path: an in-memory memview
+// buffer absorbing inserts and deletes, and a Store of flushed delta
+// levels. Queries merge all components into one uniform
+// without-replacement stream; Flush seals the memview into level 0;
+// CompactOnce merges levels; Fold rebuilds the base over everything. A
+// View is safe for concurrent use: ingest, queries and maintenance may
+// race freely (Flush itself is one-at-a-time).
+type View struct {
+	main *core.Tree
+	mu   sync.Mutex
+	mem  *memview.Buffer // guarded by mu; the live ingest buffer, swapped whole by Flush
+	// flushing holds the sealed snapshot while its level-0 write is in
+	// flight, so queries opened mid-flush still see those records exactly
+	// once (the snapshot is cleared in the same critical section that
+	// installs the level).
+	flushing *memview.Snapshot // guarded by mu
+	store    *Store
+}
+
+// NewView wraps a base tree and its delta store in a writable view.
+func NewView(main *core.Tree, store *Store) *View {
+	return &View{main: main, mem: memview.New(), store: store}
+}
+
+// Main returns the base ACE tree.
+func (v *View) Main() *core.Tree { return v.main }
+
+// Store returns the delta store (for maintenance policy decisions).
+func (v *View) Store() *Store { return v.store }
+
+// buffer returns the live ingest buffer.
+func (v *View) buffer() *memview.Buffer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.mem
+}
+
+// Insert adds a record to the view through the memview buffer. A
+// concurrent Flush may seal the buffer between the lookup and the write;
+// the retry lands in the fresh buffer the flush installed.
+func (v *View) Insert(rec record.Record) error {
+	for {
+		if err := v.buffer().Insert(rec); err != memview.ErrSealed {
+			return err
+		}
+	}
+}
+
+// Delete removes the record with rec's Seq from the view: an in-buffer
+// target annihilates immediately, anything older becomes a tombstone that
+// is honored by queries at once and physically applied by merges and folds.
+func (v *View) Delete(rec record.Record) error {
+	for {
+		if err := v.buffer().Delete(rec); err != memview.ErrSealed {
+			return err
+		}
+	}
+}
+
+// MemLen returns the number of live inserts buffered in memory (the live
+// buffer plus any sealed snapshot still being flushed).
+func (v *View) MemLen() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := v.mem.Len()
+	if v.flushing != nil {
+		n += len(v.flushing.Inserts)
+	}
+	return n
+}
+
+// Flush seals the current memview and writes it out as a new level-0 delta
+// file. Ingest is blocked only for the buffer swap; the sealed snapshot
+// stays visible to queries throughout the write and is retired atomically
+// with the level's installation. Concurrent flushes coalesce: the loser
+// returns without writing.
+func (v *View) Flush() error {
+	v.mu.Lock()
+	if v.flushing != nil {
+		v.mu.Unlock()
+		return nil // a flush is already carrying the sealed records out
+	}
+	snap := v.mem.Seal()
+	v.mem = memview.New()
+	if snap.Empty() {
+		v.mu.Unlock()
+		return nil
+	}
+	v.flushing = &snap
+	v.mu.Unlock()
+
+	lvl, err := v.store.writeLevel(snap)
+
+	v.mu.Lock()
+	if err == nil {
+		err = v.store.install(lvl)
+	}
+	if err != nil {
+		// The level never became visible; replay the sealed snapshot into
+		// the live buffer so nothing is lost. (Tombstones replay as deletes:
+		// their targets are older than this buffer, so they stay tombstones.)
+		for i := range snap.Inserts {
+			v.mem.Insert(snap.Inserts[i])
+		}
+		for i := range snap.Tombs {
+			v.mem.Delete(snap.Tombs[i])
+		}
+	}
+	v.flushing = nil
+	v.mu.Unlock()
+	return err
+}
+
+// CompactOnce runs one size-tiered compaction round (see Store.CompactOnce).
+func (v *View) CompactOnce(force bool) (bool, error) { return v.store.CompactOnce(force) }
+
+// DeltaSize returns the records awaiting a fold into the base: live
+// in-memory inserts plus the inserts of every delta level.
+func (v *View) DeltaSize() int {
+	return v.MemLen() + int(v.store.DeltaRecords())
+}
+
+// Count returns the view's record count: base plus pending inserts minus
+// pending tombstones (tombstones are assumed to name live records; deleting
+// a record twice skews the count until the fold recomputes it exactly).
+func (v *View) Count() int64 {
+	v.mu.Lock()
+	n := int64(v.mem.Len()) - int64(v.mem.Tombstones())
+	if v.flushing != nil {
+		n += int64(len(v.flushing.Inserts)) - int64(len(v.flushing.Tombs))
+	}
+	v.mu.Unlock()
+	return v.main.Count() + n + v.store.DeltaRecords() - v.store.Tombstones()
+}
+
+// Empty reports whether the write path holds nothing, so queries can take
+// the base-only fast path.
+func (v *View) Empty() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.mem.Len() == 0 && v.mem.Tombstones() == 0 && v.flushing == nil &&
+		v.store.Levels() == 0
+}
+
+// WriteStats is a snapshot of the write path's gauges and counters.
+type WriteStats struct {
+	// MemViewRecords and MemViewTombstones are the in-memory ingest
+	// contents (live buffer plus any snapshot mid-flush).
+	MemViewRecords    int64
+	MemViewTombstones int64
+	// DeltaLevels and DeltaRecords describe the on-disk ladder.
+	DeltaLevels  int64
+	DeltaRecords int64
+	// TombstonesPending counts deletes not yet folded away, in memory and
+	// on disk.
+	TombstonesPending int64
+	// Flushes and Compactions count maintenance rounds run.
+	Flushes     int64
+	Compactions int64
+}
+
+// Add accumulates o into w (for summing across shards).
+func (w *WriteStats) Add(o WriteStats) {
+	w.MemViewRecords += o.MemViewRecords
+	w.MemViewTombstones += o.MemViewTombstones
+	w.DeltaLevels += o.DeltaLevels
+	w.DeltaRecords += o.DeltaRecords
+	w.TombstonesPending += o.TombstonesPending
+	w.Flushes += o.Flushes
+	w.Compactions += o.Compactions
+}
+
+// WriteStats returns the view's current write-path gauges and counters.
+func (v *View) WriteStats() WriteStats {
+	v.mu.Lock()
+	memRecs := int64(v.mem.Len())
+	memTombs := int64(v.mem.Tombstones())
+	if v.flushing != nil {
+		memRecs += int64(len(v.flushing.Inserts))
+		memTombs += int64(len(v.flushing.Tombs))
+	}
+	v.mu.Unlock()
+	return WriteStats{
+		MemViewRecords:    memRecs,
+		MemViewTombstones: memTombs,
+		DeltaLevels:       int64(v.store.Levels()),
+		DeltaRecords:      v.store.DeltaRecords(),
+		TombstonesPending: memTombs + v.store.Tombstones(),
+		Flushes:           v.store.Flushes(),
+		Compactions:       v.store.Merges(),
+	}
+}
+
+// tombChecker vets Seqs against every tombstone component visible to one
+// stream: the in-memory snapshots (free), then each level newest first
+// (bloom filter in memory; only positives touch the disk's tombstone
+// region through the checker's clocked item-file views).
+type tombChecker struct {
+	mems   []memview.Snapshot
+	levels []*level
+	tombs  []*pagefile.ItemFile // clock-charged views, parallel to levels
+	// lost records the first permanent storage loss hit anywhere in the
+	// write path. Once set, disk probes stop (every unvetted Seq reads as
+	// live) and the owning stream surfaces the loss once as a
+	// WritePathLostError. In-memory checks keep working.
+	lost     error
+	reported bool
+}
+
+func newTombChecker(mems []memview.Snapshot, levels []*level, ck *iosim.Clock) *tombChecker {
+	t := &tombChecker{mems: mems, levels: levels, tombs: make([]*pagefile.ItemFile, len(levels))}
+	for i, l := range levels {
+		if ck != nil {
+			t.tombs[i] = l.tombs.OnClock(ck)
+		} else {
+			t.tombs[i] = l.tombs
+		}
+	}
+	return t
+}
+
+// deleted reports whether any visible component tombstones seq.
+func (t *tombChecker) deleted(seq uint64) (bool, error) {
+	return t.deletedBefore(seq, len(t.levels))
+}
+
+// deletedBefore checks the in-memory snapshots and only levels strictly
+// newer than level n: the filter applied to level n's own inserts (a
+// level's deletes never target its own or newer inserts — in-buffer pairs
+// annihilate and a deleted Seq is never reinserted).
+func (t *tombChecker) deletedBefore(seq uint64, n int) (bool, error) {
+	for i := range t.mems {
+		if t.mems[i].Deleted(seq) {
+			return true, nil
+		}
+	}
+	if t.lost != nil {
+		return false, nil
+	}
+	for i := 0; i < n && i < len(t.levels); i++ {
+		dead, err := t.levels[i].lookupTomb(t.tombs[i], seq)
+		if err != nil {
+			if hardLoss(err) {
+				t.noteLost(err)
+				return false, nil
+			}
+			return false, err
+		}
+		if dead {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// noteLost records a permanent write-path loss (keeping the first one).
+func (t *tombChecker) noteLost(err error) {
+	if t.lost == nil {
+		t.lost = err
+	}
+}
+
+// takeLost returns the recorded loss the first time it is called after
+// the loss struck, so the owning stream surfaces exactly one
+// WritePathLostError. The lost state itself is permanent: probes stay
+// disabled rather than re-reading pages known to be gone.
+func (t *tombChecker) takeLost() error {
+	if t.lost == nil || t.reported {
+		return nil
+	}
+	t.reported = true
+	return t.lost
+}
+
+// streamParts is everything gather assembles for one query: the exact
+// in-memory draw populations (memview + per-level live matching inserts),
+// the estimated live base population, and the tombstone checker for base
+// draws.
+type streamParts struct {
+	lists   [][]record.Record // index 0 = in-memory, 1..L = levels newest first
+	baseEst float64
+	checker *tombChecker
+}
+
+// gatherRetryBudget bounds the whole-scan retries gatherRetry makes. Each
+// pass pushes the currently failing page at least one attempt further, so
+// per-charger transient bursts (bounded by the fault plan) always clear
+// well within it.
+const gatherRetryBudget = 64
+
+// gatherRetry drives gather through transient storage faults by retrying
+// the whole scan on the same clock. A stream's caller can retry Next
+// against live stream state, but there is nothing to retry against before
+// the stream exists — and a fresh open forks a fresh clock, whose
+// per-charger fault schedule would start over — so the open itself absorbs
+// transients here, charging every retried read to the stream's clock.
+func (v *View) gatherRetry(main *core.Tree, ck *iosim.Clock, q record.Box) (*streamParts, error) {
+	for attempt := 0; ; attempt++ {
+		parts, err := v.gather(main, ck, q)
+		if err == nil || !pagefile.IsTransient(err) || attempt >= gatherRetryBudget {
+			return parts, err
+		}
+	}
+}
+
+// gather assembles the stream components for q: it snapshots the in-memory
+// state and level ladder, scans each overlapping level's insert region
+// (filtered against all newer tombstones, so every list is fully live),
+// and reduces the base population estimate by the tombstones expected to
+// land in the base. All level I/O charges the given clock (or the shared
+// disk when ck is nil).
+func (v *View) gather(main *core.Tree, ck *iosim.Clock, q record.Box) (*streamParts, error) {
+	v.mu.Lock()
+	mems := []memview.Snapshot{v.mem.Snapshot()}
+	if v.flushing != nil {
+		mems = append(mems, *v.flushing)
+	}
+	levels := v.store.snapshotLevels()
+	v.mu.Unlock()
+
+	est, err := main.EstimateCount(q) // also validates the predicate's dims
+	if err != nil {
+		return nil, err
+	}
+
+	checker := newTombChecker(mems, levels, ck)
+	lists := make([][]record.Record, 1, 1+len(levels))
+	for i := range mems {
+		lists[0] = mems[i].MatchingInserts(lists[0], q)
+	}
+	consumed := 0
+	for i, l := range levels {
+		itf := l.inserts
+		if ck != nil {
+			itf = itf.OnClock(ck)
+		}
+		recs, err := l.matchingInserts(itf, q, nil)
+		if err != nil {
+			// A permanently unreadable insert region degrades the stream
+			// (that level's contributions are gone) instead of failing the
+			// whole query; transient failures still surface for retry.
+			if hardLoss(err) {
+				checker.noteLost(err)
+				lists = append(lists, nil)
+				continue
+			}
+			return nil, err
+		}
+		live := recs[:0]
+		for j := range recs {
+			dead, err := checker.deletedBefore(recs[j].Seq, i)
+			if err != nil {
+				return nil, err
+			}
+			if dead {
+				consumed++
+				continue
+			}
+			live = append(live, recs[j])
+		}
+		lists = append(lists, live)
+	}
+
+	// Estimate how many tombstones target the base: matching in-memory
+	// tombstones (exact) plus each level's bounds-interpolated share, minus
+	// the ones observed cancelling level inserts above. The residual error
+	// is estimate drift, which the merge loop already tolerates.
+	tombEst := 0.0
+	for i := range mems {
+		for j := range mems[i].Tombs {
+			if q.ContainsRecord(&mems[i].Tombs[j]) {
+				tombEst++
+			}
+		}
+	}
+	for _, l := range levels {
+		if l.nTombs > 0 {
+			tombEst += float64(l.nTombs) * l.tombBounds.overlapFraction(q)
+		}
+	}
+	baseEst := est - (tombEst - float64(consumed))
+	if baseEst < 0 {
+		baseEst = 0
+	}
+	return &streamParts{lists: lists, baseEst: baseEst, checker: checker}, nil
+}
+
+// EstimateCount estimates the number of live records matching q across the
+// write path and the base (the in-memory and level parts are exact; the
+// base part interpolates internal-node counts minus expected tombstones).
+// The level scans it performs charge the shared simulated disk.
+func (v *View) EstimateCount(q record.Box) (float64, error) {
+	parts, err := v.gatherRetry(v.main, nil, q)
+	if err != nil {
+		return 0, err
+	}
+	est := parts.baseEst
+	for _, l := range parts.lists {
+		est += float64(len(l))
+	}
+	return est, nil
+}
+
+// Query returns a merged online sample stream for q, charging base and
+// delta I/O directly to the shared disk.
+func (v *View) Query(q record.Box, rng *rand.Rand) (*Stream, error) {
+	return v.queryOn(v.main, nil, q, rng)
+}
+
+// QueryClocked is Query with all I/O — base tree page reads, level insert
+// scans and tombstone probes — charged to the given per-stream clock, so
+// concurrent merged streams proceed independently.
+func (v *View) QueryClocked(c *iosim.Clock, q record.Box, rng *rand.Rand) (*Stream, error) {
+	return v.queryOn(v.main.WithClock(c), c, q, rng)
+}
+
+func (v *View) queryOn(main *core.Tree, ck *iosim.Clock, q record.Box, rng *rand.Rand) (*Stream, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("lsm: query needs a random source")
+	}
+	parts, err := v.gatherRetry(main, ck, q)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := main.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	return newStream(parts, ms, rng), nil
+}
+
+// Fold rebuilds the base ACE tree over everything the view holds — base
+// records minus tombstoned ones, plus every live delta-level insert, plus
+// the in-memory buffers — writing the new tree to dst. Every input is read
+// through its charged path: the base through a full-domain query on its
+// own disk, the levels through their item files, the staging and build
+// through dst's disk. The receiver is not modified; callers serialize Fold
+// against ingest, then swap in a new View around the returned tree and
+// Destroy the old store.
+func (v *View) Fold(dst *pagefile.File, p core.Params) (*core.Tree, error) {
+	v.mu.Lock()
+	mems := []memview.Snapshot{v.mem.Snapshot()}
+	if v.flushing != nil {
+		mems = append(mems, *v.flushing)
+	}
+	levels := v.store.snapshotLevels()
+	v.mu.Unlock()
+	checker := newTombChecker(mems, levels, nil)
+
+	staging := pagefile.NewItemFile(pagefile.NewMem(dst.Sim()), record.Size)
+	w := staging.NewWriter()
+	buf := make([]byte, record.Size)
+	write := func(rec *record.Record) error {
+		rec.Marshal(buf)
+		return w.Write(buf)
+	}
+
+	// Base records, skipping every tombstoned Seq. The full-domain query
+	// returns each base record exactly once.
+	full := record.FullBox(v.main.Dims())
+	stream, err := v.main.Query(full)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		dead, err := checker.deleted(rec.Seq)
+		if err != nil {
+			return nil, err
+		}
+		if dead {
+			continue
+		}
+		if err := write(&rec); err != nil {
+			return nil, err
+		}
+	}
+
+	// Level inserts, oldest level first, each filtered by newer tombstones.
+	for i := len(levels) - 1; i >= 0; i-- {
+		recs, err := readAll(levels[i].inserts, nil)
+		if err != nil {
+			return nil, err
+		}
+		for j := range recs {
+			dead, err := checker.deletedBefore(recs[j].Seq, i)
+			if err != nil {
+				return nil, err
+			}
+			if dead {
+				continue
+			}
+			if err := write(&recs[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// The in-memory buffers last; their own tombstones can only target
+	// older components, already filtered above.
+	for i := len(mems) - 1; i >= 0; i-- {
+		for j := range mems[i].Inserts {
+			if err := write(&mems[i].Inserts[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	if p.Dims == 0 {
+		p.Dims = v.main.Dims()
+	}
+	return core.Create(dst, staging, p)
+}

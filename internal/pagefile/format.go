@@ -94,6 +94,13 @@ func IsCorrupt(err error) bool {
 	return errors.As(err, &ce)
 }
 
+// IsDead reports whether err is (or wraps) a dead-page failure: a bad
+// sector that no retry will recover.
+func IsDead(err error) bool {
+	var de *DeadPageError
+	return errors.As(err, &de)
+}
+
 // encodeFrame writes the v2 header for physical page phys into frame
 // (header + payload already in place past the header).
 func encodeFrame(frame []byte, phys int64) {
@@ -126,7 +133,6 @@ func flipBit(frame []byte, bit int64) {
 // whether it is a valid v2 superblock for the given physical page size.
 func readSuper(b Backend, physSize int) (bool, error) {
 	frame := make([]byte, physSize)
-	//lint:ignore clockcharge format probe at open time runs before the File and its charger exist
 	if err := b.ReadPage(0, frame); err != nil {
 		return false, err
 	}

@@ -99,7 +99,6 @@ func (p *prefetcher) run() {
 			if buf == nil {
 				buf = make([]byte, p.physSize)
 			}
-			//lint:ignore clockcharge the prefetcher warms the OS page cache on wall time only; the simulated clock charges the later demand read
 			if p.backend.ReadPage(r.first+i, buf) == nil {
 				p.touched.Add(1)
 			}

@@ -262,9 +262,11 @@ func (v *RemoteView) Height() int { return v.height }
 func (v *RemoteView) Count() int64 { return v.count }
 
 // EstimateCount estimates the number of records matching q, served from
-// the view's internal counts.
+// the view's internal counts plus a scan of any delta levels. The scan can
+// hit transient storage faults, which the retry policy absorbs (the
+// estimate is idempotent).
 func (v *RemoteView) EstimateCount(q record.Box) (float64, error) {
-	rbody, err := v.c.expect(FEstimate, estimateReq{ViewID: v.id, Query: q}.encode(), FEstimateResult)
+	rbody, err := v.c.expectRetry(FEstimate, estimateReq{ViewID: v.id, Query: q}.encode(), FEstimateResult)
 	if err != nil {
 		return 0, err
 	}
@@ -275,11 +277,64 @@ func (v *RemoteView) EstimateCount(q record.Box) (float64, error) {
 	return resp.Count, nil
 }
 
+// Append inserts a batch of records into the view's live write path. It
+// returns how many records the server accepted: len(recs) on success,
+// fewer if the batch failed partway (the accepted prefix is durable in the
+// server's memview). Write rejections — a read-only view, or the ingest
+// backlog over the server's cap — surface as *Error (check with
+// IsWriteReject); the client stays usable and may retry after a flush.
+// Appends are never auto-retried: a transient failure may leave the prefix
+// applied, and replaying it would double-insert.
+func (v *RemoteView) Append(recs []record.Record) (int, error) {
+	rbody, err := v.c.expect(FAppend, appendReq{ViewID: v.id, Records: recs}.encode(), FAppendOK)
+	if err != nil {
+		return 0, err
+	}
+	ack, err := decodeWriteAck(rbody)
+	if err != nil {
+		return 0, err
+	}
+	return int(ack.N), nil
+}
+
+// Delete tombstones a batch of records in the view's live write path. The
+// full records travel with the request, so deletes merge into delta levels
+// without consulting the base view. Rejection semantics match Append.
+func (v *RemoteView) Delete(recs []record.Record) (int, error) {
+	rbody, err := v.c.expect(FDeleteRecs, deleteRecsReq{ViewID: v.id, Records: recs}.encode(), FDeleteOK)
+	if err != nil {
+		return 0, err
+	}
+	ack, err := decodeWriteAck(rbody)
+	if err != nil {
+		return 0, err
+	}
+	return int(ack.N), nil
+}
+
+// Flush seals the view's in-memory write buffer and persists it as an
+// on-disk delta level, returning how many buffered entries it covered.
+// Flushing is idempotent (an empty buffer flushes to nothing), so transient
+// failures are absorbed under the client's RetryPolicy.
+func (v *RemoteView) Flush() (int, error) {
+	rbody, err := v.c.expectRetry(FFlushView, flushViewReq{ViewID: v.id}.encode(), FFlushOK)
+	if err != nil {
+		return 0, err
+	}
+	ack, err := decodeWriteAck(rbody)
+	if err != nil {
+		return 0, err
+	}
+	return int(ack.N), nil
+}
+
 // Query opens an online sample stream for predicate q. Admission-control
 // rejections surface as *Error (check with IsAdmissionReject); the client
-// remains usable and may retry.
+// remains usable and may retry. A failed open allocates nothing, so
+// transient storage faults hit while scanning the view's delta levels are
+// absorbed by the retry policy.
 func (v *RemoteView) Query(q record.Box) (*RemoteStream, error) {
-	rbody, err := v.c.expect(FOpenStream, openStreamReq{ViewID: v.id, Query: q}.encode(), FStreamOpened)
+	rbody, err := v.c.expectRetry(FOpenStream, openStreamReq{ViewID: v.id, Query: q}.encode(), FStreamOpened)
 	if err != nil {
 		return nil, err
 	}

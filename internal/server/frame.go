@@ -63,6 +63,9 @@ const (
 	FCancel     FrameType = 0x05 // body: streamID — close a stream early
 	FStats      FrameType = 0x06 // body: empty — snapshot server/session counters
 	FListViews  FrameType = 0x07 // body: empty — enumerate servable views
+	FAppend     FrameType = 0x08 // body: viewID, records — ingest into the live write path
+	FDeleteRecs FrameType = 0x09 // body: viewID, records — tombstone records in the write path
+	FFlushView  FrameType = 0x0a // body: viewID — persist the memview as a delta level
 
 	// Server → client.
 	FViewInfo       FrameType = 0x81 // body: viewID, dims, height, count
@@ -72,6 +75,9 @@ const (
 	FCancelOK       FrameType = 0x85 // body: streamID
 	FStatsResult    FrameType = 0x86 // body: encoded StatsSnapshot
 	FViewList       FrameType = 0x87 // body: view-list entries (name, shape, health)
+	FAppendOK       FrameType = 0x88 // body: viewID, records accepted
+	FDeleteOK       FrameType = 0x89 // body: viewID, tombstones recorded
+	FFlushOK        FrameType = 0x8a // body: viewID, buffered entries persisted
 	FError          FrameType = 0xff // body: code, message
 )
 
@@ -91,6 +97,12 @@ func (t FrameType) String() string {
 		return "Stats"
 	case FListViews:
 		return "ListViews"
+	case FAppend:
+		return "Append"
+	case FDeleteRecs:
+		return "DeleteRecs"
+	case FFlushView:
+		return "FlushView"
 	case FViewInfo:
 		return "ViewInfo"
 	case FStreamOpened:
@@ -105,6 +117,12 @@ func (t FrameType) String() string {
 		return "StatsResult"
 	case FViewList:
 		return "ViewList"
+	case FAppendOK:
+		return "AppendOK"
+	case FDeleteOK:
+		return "DeleteOK"
+	case FFlushOK:
+		return "FlushOK"
 	case FError:
 		return "Error"
 	default:

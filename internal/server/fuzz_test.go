@@ -24,6 +24,12 @@ func fuzzSeedFrames() [][]byte {
 		{FEstimate, estimateReq{ViewID: 1, Query: record.Box1D(5, 9)}.encode()},
 		{FCancel, cancelReq{StreamID: 2}.encode()},
 		{FStats, nil},
+		{FAppend, appendReq{ViewID: 1, Records: recs}.encode()},
+		{FDeleteRecs, deleteRecsReq{ViewID: 1, Records: recs[:1]}.encode()},
+		{FFlushView, flushViewReq{ViewID: 1}.encode()},
+		{FAppendOK, writeAck{ViewID: 1, N: 2}.encode()},
+		{FDeleteOK, writeAck{ViewID: 1, N: 1}.encode()},
+		{FFlushOK, writeAck{ViewID: 1, N: 3}.encode()},
 		{FViewInfo, viewInfo{ViewID: 1, Dims: 2, Height: 6, Count: 1000}.encode()},
 		{FStreamOpened, streamOpened{StreamID: 2}.encode()},
 		{FBatch, batchResp{StreamID: 2, EOF: true, Records: recs}.encode()},
@@ -61,6 +67,18 @@ func decodeBody(t FrameType, body []byte) error {
 		return err
 	case FCancel, FCancelOK:
 		_, err := decodeCancelReq(body)
+		return err
+	case FAppend:
+		_, err := decodeAppendReq(body)
+		return err
+	case FDeleteRecs:
+		_, err := decodeDeleteRecsReq(body)
+		return err
+	case FFlushView:
+		_, err := decodeFlushViewReq(body)
+		return err
+	case FAppendOK, FDeleteOK, FFlushOK:
+		_, err := decodeWriteAck(body)
 		return err
 	case FViewInfo:
 		_, err := decodeViewInfo(body)
@@ -128,7 +146,8 @@ func FuzzFrameDecode(f *testing.F) {
 		// Decoding arbitrary bodies directly must never panic either,
 		// whatever type they claim to be.
 		for _, ft := range []FrameType{FOpenView, FOpenStream, FNextBatch, FEstimate,
-			FCancel, FViewInfo, FStreamOpened, FBatch, FEstimateResult, FStatsResult, FError} {
+			FCancel, FAppend, FDeleteRecs, FFlushView, FAppendOK, FFlushOK,
+			FViewInfo, FStreamOpened, FBatch, FEstimateResult, FStatsResult, FError} {
 			_ = decodeBody(ft, data)
 		}
 	})
@@ -154,6 +173,18 @@ func reencodeCheck(t *testing.T, ft FrameType, body []byte) {
 		out = m.encode()
 	case FCancel, FCancelOK:
 		m, _ := decodeCancelReq(body)
+		out = m.encode()
+	case FAppend:
+		m, _ := decodeAppendReq(body)
+		out = m.encode()
+	case FDeleteRecs:
+		m, _ := decodeDeleteRecsReq(body)
+		out = m.encode()
+	case FFlushView:
+		m, _ := decodeFlushViewReq(body)
+		out = m.encode()
+	case FAppendOK, FDeleteOK, FFlushOK:
+		m, _ := decodeWriteAck(body)
 		out = m.encode()
 	case FViewInfo:
 		m, _ := decodeViewInfo(body)

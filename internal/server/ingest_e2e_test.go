@@ -1,0 +1,196 @@
+package server
+
+import (
+	"io"
+	"testing"
+
+	"sampleview/internal/record"
+)
+
+// drainAll pulls a remote stream to EOF and returns everything it served.
+func drainAll(t *testing.T, rs *RemoteStream) []record.Record {
+	t.Helper()
+	var out []record.Record
+	for {
+		rec, err := rs.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("draining stream: %v", err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// TestIngestOverWire drives the full write path through the wire protocol:
+// append a batch, tombstone part of the base view, flush, and verify a
+// stream drained to EOF serves exactly the live set — base minus deletes
+// plus appends, each exactly once — and that the stats frame reports the
+// write-path counters.
+func TestIngestOverWire(t *testing.T) {
+	base := genRecords(3000, 11)
+	_, _, addr, _ := startServer(t, Config{MaxStreams: 16}, "sale", base)
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rv, err := cl.OpenView("sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh records use a Seq range disjoint from the base view's 0..2999.
+	added := make([]record.Record, 500)
+	for i := range added {
+		added[i] = record.Record{Key: int64(i) * 7, Amount: int64(i), Seq: uint64(i) + 1<<32}
+	}
+	if n, err := rv.Append(added); err != nil || n != len(added) {
+		t.Fatalf("Append = (%d, %v), want (%d, nil)", n, err, len(added))
+	}
+	deleted := base[:200]
+	if n, err := rv.Delete(deleted); err != nil || n != len(deleted) {
+		t.Fatalf("Delete = (%d, %v), want (%d, nil)", n, err, len(deleted))
+	}
+
+	want := make(map[uint64]record.Record, len(base)+len(added)-len(deleted))
+	for _, r := range base[200:] {
+		want[r.Seq] = r
+	}
+	for _, r := range added {
+		want[r.Seq] = r
+	}
+
+	check := func(stage string) {
+		rs, err := rv.Query(record.FullBox(1))
+		if err != nil {
+			t.Fatalf("%s: Query: %v", stage, err)
+		}
+		defer rs.Close()
+		got := drainAll(t, rs)
+		if len(got) != len(want) {
+			t.Fatalf("%s: stream served %d records, want %d", stage, len(got), len(want))
+		}
+		seen := make(map[uint64]bool, len(got))
+		for _, r := range got {
+			w, ok := want[r.Seq]
+			if !ok || w != r {
+				t.Fatalf("%s: stream served unexpected record %+v", stage, r)
+			}
+			if seen[r.Seq] {
+				t.Fatalf("%s: stream served Seq %d twice", stage, r.Seq)
+			}
+			seen[r.Seq] = true
+		}
+	}
+	// The writes must be readable straight from the memview, before any
+	// flush has persisted them.
+	check("pre-flush")
+
+	if n, err := rv.Flush(); err != nil || n != len(added)+len(deleted) {
+		t.Fatalf("Flush = (%d, %v), want (%d, nil)", n, err, len(added)+len(deleted))
+	}
+	check("post-flush")
+
+	snap, err := cl.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.RecordsIngested != int64(len(added)) {
+		t.Errorf("RecordsIngested = %d, want %d", snap.RecordsIngested, len(added))
+	}
+	if snap.RecordsDeleted != int64(len(deleted)) {
+		t.Errorf("RecordsDeleted = %d, want %d", snap.RecordsDeleted, len(deleted))
+	}
+	if snap.FlushesServed != 1 {
+		t.Errorf("FlushesServed = %d, want 1", snap.FlushesServed)
+	}
+	if snap.MemViewRecords != 0 {
+		t.Errorf("MemViewRecords = %d after flush, want 0", snap.MemViewRecords)
+	}
+	if snap.DeltaLevels == 0 {
+		t.Error("DeltaLevels = 0 after flush, want at least 1")
+	}
+	if snap.TombstonesPending != int64(len(deleted)) {
+		t.Errorf("TombstonesPending = %d, want %d", snap.TombstonesPending, len(deleted))
+	}
+}
+
+// readOnlySource strips the write surface off a ViewSource, modeling a
+// served view with no live write path behind it.
+type readOnlySource struct{ ViewSource }
+
+// TestWriteAdmission exercises the typed write rejections: a read-only
+// source refuses every write with CodeReadOnly, and a view whose memview
+// backlog is over the server cap refuses appends with CodeWriteBacklog
+// until a flush drains it.
+func TestWriteAdmission(t *testing.T) {
+	base := genRecords(500, 3)
+	srv, view, addr, _ := startServer(t, Config{MaxWriteBacklog: 100}, "sale", base)
+	srv.AddSource("frozen", readOnlySource{LocalSource(view)})
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	frozen, err := cl.OpenView("frozen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := []record.Record{{Key: 1, Seq: 1 << 40}}
+	if _, err := frozen.Append(rec); !isCode(err, CodeReadOnly) {
+		t.Fatalf("Append on read-only view: %v, want CodeReadOnly", err)
+	}
+	if _, err := frozen.Delete(rec); !isCode(err, CodeReadOnly) {
+		t.Fatalf("Delete on read-only view: %v, want CodeReadOnly", err)
+	}
+	if _, err := frozen.Flush(); !isCode(err, CodeReadOnly) {
+		t.Fatalf("Flush on read-only view: %v, want CodeReadOnly", err)
+	}
+
+	rv, err := cl.OpenView("sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]record.Record, 80)
+	for i := range batch {
+		batch[i] = record.Record{Key: int64(i), Seq: uint64(i) + 1<<33}
+	}
+	if n, err := rv.Append(batch); err != nil || n != len(batch) {
+		t.Fatalf("Append under cap = (%d, %v), want (%d, nil)", n, err, len(batch))
+	}
+	over := make([]record.Record, 40)
+	for i := range over {
+		over[i] = record.Record{Key: int64(i), Seq: uint64(i) + 1<<34}
+	}
+	_, err = rv.Append(over)
+	if !isCode(err, CodeWriteBacklog) {
+		t.Fatalf("Append over cap: %v, want CodeWriteBacklog", err)
+	}
+	if !IsWriteReject(err) {
+		t.Fatalf("IsWriteReject(%v) = false, want true", err)
+	}
+	if _, err := rv.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if n, err := rv.Append(over); err != nil || n != len(over) {
+		t.Fatalf("Append after flush = (%d, %v), want (%d, nil)", n, err, len(over))
+	}
+
+	snap, err := cl.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.RejectedWrites != 4 {
+		t.Errorf("RejectedWrites = %d, want 4 (3 read-only + 1 backlog)", snap.RejectedWrites)
+	}
+}
+
+func isCode(err error, code uint16) bool {
+	se, ok := err.(*Error)
+	return ok && se.Code == code
+}

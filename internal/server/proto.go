@@ -41,6 +41,13 @@ const (
 	// and keeps serving the surviving leaves, but the records the lost
 	// leaf held are gone; the message names the leaf and sections.
 	CodeDegraded uint16 = 10
+	// CodeReadOnly: the view does not accept writes (it has no live write
+	// path behind it). Appends, deletes and flushes against it are refused.
+	CodeReadOnly uint16 = 11
+	// CodeWriteBacklog: admission control — the view's in-memory write
+	// buffer is over the server's backlog cap and the ingest must back off
+	// until a flush drains it. The request made no change; retry later.
+	CodeWriteBacklog uint16 = 12
 )
 
 // Error is a typed failure returned by the server as an FError frame and
@@ -76,6 +83,15 @@ func IsTransient(err error) bool {
 func IsDegraded(err error) bool {
 	se, ok := err.(*Error)
 	return ok && se.Code == CodeDegraded
+}
+
+// IsWriteReject reports whether err is a typed write-path rejection: the
+// view is read-only, or its ingest backlog is over the server's cap. In
+// either case the request changed nothing; a backlog rejection clears once
+// maintenance flushes the buffer.
+func IsWriteReject(err error) bool {
+	se, ok := err.(*Error)
+	return ok && (se.Code == CodeReadOnly || se.Code == CodeWriteBacklog)
 }
 
 // --- primitive append/consume helpers -----------------------------------
@@ -304,6 +320,76 @@ func decodeCancelReq(b []byte) (cancelReq, error) {
 
 var errTrailing = fmt.Errorf("server: trailing bytes after message body")
 
+// appendReq carries a batch of records to insert into a view's live write
+// path; deleteRecsReq carries a batch of tombstones (full records, so the
+// delete can be verified and merged without consulting the base view). Both
+// share the wire shape.
+type appendReq struct {
+	ViewID  uint32
+	Records []record.Record
+}
+
+func (m appendReq) encode() []byte {
+	return appendRecords(appendU32(nil, m.ViewID), m.Records)
+}
+
+func decodeAppendReq(b []byte) (appendReq, error) {
+	var m appendReq
+	var err error
+	if m.ViewID, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if m.Records, b, err = consumeRecords(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, errTrailing
+	}
+	return m, nil
+}
+
+type deleteRecsReq struct {
+	ViewID  uint32
+	Records []record.Record
+}
+
+func (m deleteRecsReq) encode() []byte {
+	return appendRecords(appendU32(nil, m.ViewID), m.Records)
+}
+
+func decodeDeleteRecsReq(b []byte) (deleteRecsReq, error) {
+	var m deleteRecsReq
+	var err error
+	if m.ViewID, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if m.Records, b, err = consumeRecords(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, errTrailing
+	}
+	return m, nil
+}
+
+// flushViewReq asks the server to seal the view's in-memory write buffer
+// and persist it as an on-disk delta level.
+type flushViewReq struct{ ViewID uint32 }
+
+func (m flushViewReq) encode() []byte { return appendU32(nil, m.ViewID) }
+
+func decodeFlushViewReq(b []byte) (flushViewReq, error) {
+	var m flushViewReq
+	var err error
+	if m.ViewID, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, errTrailing
+	}
+	return m, nil
+}
+
 // ViewListEntry is one view in an FViewList response: its name, whether it
 // is sharded (and across how many disks, under which partitioning), its
 // record count, and the catalog's health verdict ("ok", "stale",
@@ -478,6 +564,33 @@ func decodeEstimateResp(b []byte) (estimateResp, error) {
 		return estimateResp{}, errShort
 	}
 	return estimateResp{Count: math.Float64frombits(binary.LittleEndian.Uint64(b))}, nil
+}
+
+// writeAck acknowledges an append, delete or flush: N is how many records
+// were accepted (appends), how many tombstones were recorded (deletes), or
+// how many buffered entries the flush persisted.
+type writeAck struct {
+	ViewID uint32
+	N      uint32
+}
+
+func (m writeAck) encode() []byte {
+	return appendU32(appendU32(nil, m.ViewID), m.N)
+}
+
+func decodeWriteAck(b []byte) (writeAck, error) {
+	var m writeAck
+	var err error
+	if m.ViewID, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if m.N, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, errTrailing
+	}
+	return m, nil
 }
 
 type errorResp struct {

@@ -10,6 +10,7 @@ import (
 
 	"sampleview"
 	"sampleview/internal/catalog"
+	"sampleview/internal/lsm"
 	"sampleview/internal/record"
 	"sampleview/internal/shard"
 )
@@ -46,6 +47,13 @@ type Config struct {
 	// frames, dead TCP peers mid-response), which the simulated clock
 	// cannot see. Zero disables per-request deadlines.
 	RequestTimeout time.Duration
+	// MaxWriteBacklog is write-path admission control: an append or delete
+	// against a view whose in-memory buffer already holds this many entries
+	// (records plus pending tombstones) receives a typed CodeWriteBacklog
+	// rejection instead of growing the buffer without bound. Backlog drains
+	// when the view flushes — explicitly, or via catalog maintenance in the
+	// gaps between request bursts (default 65536).
+	MaxWriteBacklog int
 }
 
 // maxBatchLimit is the largest batch that fits one frame with headroom for
@@ -64,6 +72,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch > maxBatchLimit {
 		c.MaxBatch = maxBatchLimit
+	}
+	if c.MaxWriteBacklog <= 0 {
+		c.MaxWriteBacklog = 65536
 	}
 	return c
 }
@@ -86,6 +97,20 @@ type ViewSource interface {
 	EstimateCount(record.Box) (float64, error)
 	SimNow() time.Duration
 	OpenStream(record.Box) (ViewStream, error)
+}
+
+// WritableSource is the optional write surface of a ViewSource. Sources
+// backed by a live write path (the unsharded and sharded views both are)
+// implement it; append, delete and flush requests against a source that
+// does not receive a typed CodeReadOnly rejection.
+type WritableSource interface {
+	Insert(rec record.Record) error
+	Delete(rec record.Record) error
+	Flush() error
+	// WriteStats snapshots the write-path counters; the handlers use the
+	// in-memory buffer size for backlog admission and the stats frame
+	// aggregates the rest.
+	WriteStats() lsm.WriteStats
 }
 
 // localSource adapts an in-process unsharded view to ViewSource.
@@ -115,6 +140,12 @@ func LocalSource(v *sampleview.View) ViewSource { return localSource{v} }
 
 // ShardedSource adapts a sharded view for AddSource.
 func ShardedSource(v *shard.View) ViewSource { return shardedSource{v} }
+
+// Both built-in sources carry the live write path.
+var (
+	_ WritableSource = localSource{}
+	_ WritableSource = shardedSource{}
+)
 
 // servedView is one view registered with the server.
 type servedView struct {
@@ -431,9 +462,27 @@ func (s *Server) Snapshot() *StatsSnapshot {
 	for sess := range s.sessions {
 		sessions = append(sessions, sess)
 	}
+	views := make([]*servedView, 0, len(s.views))
+	for _, sv := range s.views {
+		views = append(views, sv)
+	}
 	openConns := int64(len(s.sessions))
 	openStreams := int64(s.openStreams)
 	s.mu.Unlock()
+
+	var write lsm.WriteStats
+	for _, sv := range views {
+		if w, ok := sv.v.(WritableSource); ok {
+			ws := w.WriteStats()
+			if ws.DeltaLevels > write.DeltaLevels {
+				write.DeltaLevels = ws.DeltaLevels
+			}
+			write.MemViewRecords += ws.MemViewRecords
+			write.MemViewTombstones += ws.MemViewTombstones
+			write.TombstonesPending += ws.TombstonesPending
+			write.Compactions += ws.Compactions
+		}
+	}
 
 	c := &s.stats
 	snap := &StatsSnapshot{
@@ -458,6 +507,15 @@ func (s *Server) Snapshot() *StatsSnapshot {
 		DegradedErrors:  c.DegradedErrors.Load(),
 		MaintJobs:       c.MaintJobs.Load(),
 		MaintJobErrors:  c.MaintJobErrors.Load(),
+
+		RecordsIngested:   c.RecordsIngested.Load(),
+		RecordsDeleted:    c.RecordsDeleted.Load(),
+		FlushesServed:     c.FlushesServed.Load(),
+		RejectedWrites:    c.RejectedWrites.Load(),
+		MemViewRecords:    write.MemViewRecords,
+		TombstonesPending: write.TombstonesPending,
+		DeltaLevels:       write.DeltaLevels,
+		CompactionsRun:    write.Compactions,
 	}
 	for _, sess := range sessions {
 		snap.Sessions = append(snap.Sessions, sess.snapshot())

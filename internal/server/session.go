@@ -240,6 +240,12 @@ func (sess *session) handle(t FrameType, body []byte) (FrameType, []byte) {
 		return sess.handleEstimate(body)
 	case FCancel:
 		return sess.handleCancel(body)
+	case FAppend:
+		return sess.handleAppend(body)
+	case FDeleteRecs:
+		return sess.handleDeleteRecs(body)
+	case FFlushView:
+		return sess.handleFlushView(body)
 	case FListViews:
 		if len(body) != 0 {
 			sess.srv.stats.BadFrames.Add(1)
@@ -342,7 +348,11 @@ func (sess *session) handleOpenStream(body []byte) (FrameType, []byte) {
 	if err != nil {
 		sess.dropConnSlot()
 		sess.srv.releaseStreams(1)
-		return reject(sess, CodeInternal, err.Error())
+		// Opening a stream on a view with a live write path scans delta
+		// pages, so storage faults can strike here too: type them the same
+		// way batch failures are, so clients retry transients and tolerate
+		// degradation instead of treating the open as a server bug.
+		return reject(sess, sess.classifyStreamErr(err), err.Error())
 	}
 	st := &servedStream{view: sv, s: stream}
 	st.touch()
@@ -471,10 +481,119 @@ func (sess *session) handleEstimate(body []byte) (FrameType, []byte) {
 	}
 	est, err := sv.v.EstimateCount(req.Query)
 	if err != nil {
-		return reject(sess, CodeInternal, err.Error())
+		return reject(sess, sess.classifyStreamErr(err), err.Error())
 	}
 	sess.srv.stats.EstimatesServed.Add(1)
 	return FEstimateResult, estimateResp{Count: est}.encode()
+}
+
+// admitWrite runs write-path admission for n incoming entries against sv:
+// the source must be writable, and its in-memory buffer (records plus
+// pending tombstones) must have room under the server's backlog cap. It
+// returns the writable surface, or a rejection code and message.
+func (sess *session) admitWrite(sv *servedView, n int) (WritableSource, uint16, string) {
+	w, ok := sv.v.(WritableSource)
+	if !ok {
+		return nil, CodeReadOnly, "view " + sv.name + " is read-only"
+	}
+	if n > 0 {
+		ws := w.WriteStats()
+		backlog := ws.MemViewRecords + ws.MemViewTombstones
+		if backlog+int64(n) > int64(sess.srv.cfg.MaxWriteBacklog) {
+			return nil, CodeWriteBacklog, fmt.Sprintf(
+				"write backlog %d + batch %d over cap %d; flush pending", backlog, n, sess.srv.cfg.MaxWriteBacklog)
+		}
+	}
+	return w, 0, ""
+}
+
+// rejectWrite is reject plus the write-rejection counter.
+func (sess *session) rejectWrite(code uint16, msg string) (FrameType, []byte) {
+	sess.srv.stats.RejectedWrites.Add(1)
+	return reject(sess, code, msg)
+}
+
+func (sess *session) handleAppend(body []byte) (FrameType, []byte) {
+	req, err := decodeAppendReq(body)
+	if err != nil {
+		sess.srv.stats.BadFrames.Add(1)
+		return reject(sess, CodeBadRequest, err.Error())
+	}
+	sv, ok := sess.srv.lookupViewID(req.ViewID)
+	if !ok {
+		return reject(sess, CodeUnknownView, "unknown view id")
+	}
+	w, code, msg := sess.admitWrite(sv, len(req.Records))
+	if w == nil {
+		return sess.rejectWrite(code, msg)
+	}
+	// Inserts are applied in order; the first failure stops the batch and
+	// reports it, with the acknowledged count telling the client how far
+	// the batch got (earlier inserts are already durable in the memview).
+	for i := range req.Records {
+		if err := w.Insert(req.Records[i]); err != nil {
+			sess.srv.stats.RecordsIngested.Add(int64(i))
+			return reject(sess, CodeInternal, fmt.Sprintf("append record %d of %d: %v", i, len(req.Records), err))
+		}
+	}
+	sess.srv.stats.RecordsIngested.Add(int64(len(req.Records)))
+	return FAppendOK, writeAck{ViewID: req.ViewID, N: uint32(len(req.Records))}.encode()
+}
+
+func (sess *session) handleDeleteRecs(body []byte) (FrameType, []byte) {
+	req, err := decodeDeleteRecsReq(body)
+	if err != nil {
+		sess.srv.stats.BadFrames.Add(1)
+		return reject(sess, CodeBadRequest, err.Error())
+	}
+	sv, ok := sess.srv.lookupViewID(req.ViewID)
+	if !ok {
+		return reject(sess, CodeUnknownView, "unknown view id")
+	}
+	w, code, msg := sess.admitWrite(sv, len(req.Records))
+	if w == nil {
+		return sess.rejectWrite(code, msg)
+	}
+	for i := range req.Records {
+		if err := w.Delete(req.Records[i]); err != nil {
+			sess.srv.stats.RecordsDeleted.Add(int64(i))
+			return reject(sess, CodeInternal, fmt.Sprintf("delete record %d of %d: %v", i, len(req.Records), err))
+		}
+	}
+	sess.srv.stats.RecordsDeleted.Add(int64(len(req.Records)))
+	return FDeleteOK, writeAck{ViewID: req.ViewID, N: uint32(len(req.Records))}.encode()
+}
+
+func (sess *session) handleFlushView(body []byte) (FrameType, []byte) {
+	req, err := decodeFlushViewReq(body)
+	if err != nil {
+		sess.srv.stats.BadFrames.Add(1)
+		return reject(sess, CodeBadRequest, err.Error())
+	}
+	sv, ok := sess.srv.lookupViewID(req.ViewID)
+	if !ok {
+		return reject(sess, CodeUnknownView, "unknown view id")
+	}
+	w, code, msg := sess.admitWrite(sv, 0)
+	if w == nil {
+		return sess.rejectWrite(code, msg)
+	}
+	ws := w.WriteStats()
+	buffered := ws.MemViewRecords + ws.MemViewTombstones
+	if err := w.Flush(); err != nil {
+		code := CodeInternal
+		if sampleview.IsTransient(err) {
+			sess.srv.stats.TransientErrors.Add(1)
+			code = CodeTransient
+		}
+		return reject(sess, code, err.Error())
+	}
+	sess.srv.stats.FlushesServed.Add(1)
+	n := uint32(buffered)
+	if buffered < 0 || buffered > int64(^uint32(0)) {
+		n = 0
+	}
+	return FFlushOK, writeAck{ViewID: req.ViewID, N: n}.encode()
 }
 
 func (sess *session) handleCancel(body []byte) (FrameType, []byte) {

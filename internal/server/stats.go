@@ -32,6 +32,10 @@ type serverCounters struct {
 	DegradedErrors  atomic.Int64 // CodeDegraded frames sent (leaves permanently lost)
 	MaintJobs       atomic.Int64 // catalog background jobs run between request bursts
 	MaintJobErrors  atomic.Int64 // catalog background jobs that failed
+	RecordsIngested atomic.Int64 // records accepted by append frames
+	RecordsDeleted  atomic.Int64 // tombstones recorded by delete frames
+	FlushesServed   atomic.Int64 // explicit flush frames honored
+	RejectedWrites  atomic.Int64 // CodeReadOnly + CodeWriteBacklog rejections
 }
 
 // sessionCounters is the per-session slice of the same surface.
@@ -73,6 +77,20 @@ type StatsSnapshot struct {
 	MaintJobs       int64
 	MaintJobErrors  int64
 
+	// Write-path counters (wire version 2 fields; older servers omit them
+	// and the decoder leaves them zero). The first four count requests; the
+	// last four are gauges aggregated over the servable views at snapshot
+	// time: buffered memview entries, pending tombstones, the deepest delta
+	// ladder, and total compactions run since the views opened.
+	RecordsIngested   int64
+	RecordsDeleted    int64
+	FlushesServed     int64
+	RejectedWrites    int64
+	MemViewRecords    int64
+	TombstonesPending int64
+	DeltaLevels       int64
+	CompactionsRun    int64
+
 	Sessions []SessionSnapshot
 }
 
@@ -93,9 +111,10 @@ type SessionSnapshot struct {
 // serverFieldCount and sessionFieldCount version the wire encoding: a
 // snapshot is encoded as a field count followed by that many int64s, per
 // scope, so decoders can stay compatible with older servers that send
-// fewer fields.
+// fewer fields. Fields 21..28 are the write-path counters added with the
+// ingest frames (wire version 2 of the stats snapshot).
 const (
-	serverFieldCount  = 21
+	serverFieldCount  = 29
 	sessionFieldCount = 10
 )
 
@@ -108,6 +127,8 @@ func (s *StatsSnapshot) serverFields() []int64 {
 		s.BytesRead, s.BytesWritten, int64(s.SimIO),
 		s.TransientErrors, s.DegradedErrors,
 		s.MaintJobs, s.MaintJobErrors,
+		s.RecordsIngested, s.RecordsDeleted, s.FlushesServed, s.RejectedWrites,
+		s.MemViewRecords, s.TombstonesPending, s.DeltaLevels, s.CompactionsRun,
 	}
 }
 
@@ -119,6 +140,8 @@ func (s *StatsSnapshot) setServerFields(f []int64) {
 	s.BytesRead, s.BytesWritten, s.SimIO = f[14], f[15], time.Duration(f[16])
 	s.TransientErrors, s.DegradedErrors = f[17], f[18]
 	s.MaintJobs, s.MaintJobErrors = f[19], f[20]
+	s.RecordsIngested, s.RecordsDeleted, s.FlushesServed, s.RejectedWrites = f[21], f[22], f[23], f[24]
+	s.MemViewRecords, s.TombstonesPending, s.DeltaLevels, s.CompactionsRun = f[25], f[26], f[27], f[28]
 }
 
 func (s *SessionSnapshot) fields() []int64 {
@@ -220,6 +243,10 @@ func (s *StatsSnapshot) Dump(w io.Writer) {
 		s.TransientErrors, s.DegradedErrors)
 	fmt.Fprintf(w, "maintenance:     %d jobs run, %d failed\n",
 		s.MaintJobs, s.MaintJobErrors)
+	fmt.Fprintf(w, "ingest:          %d records appended, %d deleted, %d flushes, %d write rejections\n",
+		s.RecordsIngested, s.RecordsDeleted, s.FlushesServed, s.RejectedWrites)
+	fmt.Fprintf(w, "write path:      %d buffered, %d tombstones pending, %d delta levels, %d compactions\n",
+		s.MemViewRecords, s.TombstonesPending, s.DeltaLevels, s.CompactionsRun)
 	for i := range s.Sessions {
 		ss := &s.Sessions[i]
 		fmt.Fprintf(w, "session %-6d   %d open, %d opened (%d reaped), %d records / %d batches, %d rej, %dB in / %dB out, sim %v\n",

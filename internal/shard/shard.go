@@ -26,8 +26,8 @@ import (
 	"time"
 
 	"sampleview/internal/core"
-	"sampleview/internal/diffview"
 	"sampleview/internal/iosim"
+	"sampleview/internal/lsm"
 	"sampleview/internal/pagefile"
 	"sampleview/internal/par"
 	"sampleview/internal/record"
@@ -155,10 +155,11 @@ type View struct {
 	rng *rand.Rand // guarded by mu
 }
 
-// shardPart is one partition: its backing file and diffview (tree + delta).
+// shardPart is one partition: its backing file and live write-path view
+// (tree + memview + delta levels beside the shard file).
 type shardPart struct {
 	file *pagefile.File
-	diff *diffview.View
+	live *lsm.View
 }
 
 // mix64 is the splitmix64 finalizer: a cheap, well-distributed hash used
@@ -300,7 +301,14 @@ func buildShard(disk *iosim.Sim, path string, recs []record.Record, p core.Param
 		}
 		return nil, err
 	}
-	return &shardPart{file: f, diff: diffview.New(tree)}, nil
+	store, err := lsm.CreateStore(disk, path)
+	if err != nil {
+		if path != "" {
+			f.Close()
+		}
+		return nil, err
+	}
+	return &shardPart{file: f, live: lsm.NewView(tree, store)}, nil
 }
 
 func (v *View) shardPath(i int) string {
@@ -399,7 +407,13 @@ func Open(dir string, opts Options) (*View, error) {
 			v.closeShards()
 			return nil, fmt.Errorf("shard: opening shard %d tree: %w", i, err)
 		}
-		v.shards[i] = &shardPart{file: f, diff: diffview.New(tree)}
+		store, err := lsm.OpenStore(v.farm.Disk(i), v.shardPath(i))
+		if err != nil {
+			f.Close()
+			v.closeShards()
+			return nil, fmt.Errorf("shard: opening shard %d deltas: %w", i, err)
+		}
+		v.shards[i] = &shardPart{file: f, live: lsm.NewView(tree, store)}
 	}
 	v.farm.SetFaultPlan(opts.Faults)
 	return v, nil
@@ -409,17 +423,22 @@ func Open(dir string, opts Options) (*View, error) {
 func (v *View) closeShards() {
 	for _, sp := range v.shards {
 		if sp != nil {
+			sp.live.Store().Close()
 			sp.file.Close()
 		}
 	}
 }
 
-// Close releases every shard's backing file, returning the first error.
+// Close releases every shard's backing file and delta store, returning the
+// first error.
 func (v *View) Close() error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	var first error
 	for i, sp := range v.shards {
+		if err := sp.live.Store().Close(); err != nil && first == nil {
+			first = fmt.Errorf("shard: closing shard %d deltas: %w", i, err)
+		}
 		if err := sp.file.Close(); err != nil && first == nil {
 			first = fmt.Errorf("shard: closing shard %d: %w", i, err)
 		}
@@ -434,12 +453,12 @@ func (v *View) K() int { return len(v.shards) }
 func (v *View) Partitioning() Partition { return v.opts.Partition }
 
 // Dims returns the number of indexed dimensions.
-func (v *View) Dims() int { return v.shards[0].diff.Main().Dims() }
+func (v *View) Dims() int { return v.shards[0].live.Main().Dims() }
 
 // Height returns the shard trees' height (they share the sizing rule but
 // may differ when Height is auto-sized over skewed partitions; this
 // reports shard 0's).
-func (v *View) Height() int { return v.shards[0].diff.Main().Height() }
+func (v *View) Height() int { return v.shards[0].live.Main().Height() }
 
 // Farm returns the bank of simulated disks backing the view.
 func (v *View) Farm() *iosim.Farm { return v.farm }
@@ -451,7 +470,7 @@ func (v *View) Count() int64 {
 	defer v.mu.Unlock()
 	var n int64
 	for _, sp := range v.shards {
-		n += sp.diff.Count()
+		n += sp.live.Count()
 	}
 	return n
 }
@@ -462,7 +481,7 @@ func (v *View) ShardCounts() []int64 {
 	defer v.mu.Unlock()
 	out := make([]int64, len(v.shards))
 	for i, sp := range v.shards {
-		out[i] = sp.diff.Count()
+		out[i] = sp.live.Count()
 	}
 	return out
 }
@@ -474,7 +493,7 @@ func (v *View) EstimateCount(q record.Box) (float64, error) {
 	defer v.mu.Unlock()
 	var total float64
 	for i, sp := range v.shards {
-		est, err := sp.diff.EstimateCount(q)
+		est, err := sp.live.EstimateCount(q)
 		if err != nil {
 			return 0, fmt.Errorf("shard: estimating on shard %d: %w", i, err)
 		}
@@ -483,13 +502,73 @@ func (v *View) EstimateCount(q record.Box) (float64, error) {
 	return total, nil
 }
 
-// Append routes a record to its owning shard's differential buffer. It
-// participates in all subsequent queries; Compact folds buffers into the
-// shard trees.
+// Append routes a record to its owning shard's ingest buffer. It
+// participates in all subsequent queries; Flush and Compact move it down
+// the write path. Append is Insert without the error (an insert can only
+// fail on a sealed buffer, which the lsm view retries past).
 func (v *View) Append(rec record.Record) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.shards[v.route(&rec)].diff.Append(rec)
+	v.shards[v.route(&rec)].live.Insert(rec)
+}
+
+// Insert routes a record to its owning shard's ingest buffer. Seqs must be
+// unique over the view's lifetime, and a deleted Seq never reinserted.
+func (v *View) Insert(rec record.Record) error {
+	return v.shards[v.route(&rec)].live.Insert(rec)
+}
+
+// Delete routes a delete to the shard owning rec: an in-buffer target
+// annihilates immediately, anything older becomes a tombstone honored by
+// queries at once. Routing is on the full record (hash mode routes by Seq,
+// range mode by Key), so deletes land on the shard the insert did.
+func (v *View) Delete(rec record.Record) error {
+	return v.shards[v.route(&rec)].live.Delete(rec)
+}
+
+// Flush seals each shard's ingest buffer into a level-0 delta file beside
+// its shard file, skipping empty buffers, and returns the first error.
+func (v *View) Flush() error {
+	for i, sp := range v.shards {
+		if err := sp.live.Flush(); err != nil {
+			return fmt.Errorf("shard: flushing shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CompactDeltas runs one size-tiered compaction round on every shard's
+// delta ladder, reporting how many shards merged a level pair.
+func (v *View) CompactDeltas(force bool) (int, error) {
+	merged := 0
+	for i, sp := range v.shards {
+		ran, err := sp.live.CompactOnce(force)
+		if err != nil {
+			return merged, fmt.Errorf("shard: compacting shard %d deltas: %w", i, err)
+		}
+		if ran {
+			merged++
+		}
+	}
+	return merged, nil
+}
+
+// DeltaLevels returns the deepest delta ladder across shards.
+func (v *View) DeltaLevels() int {
+	max := 0
+	for _, sp := range v.shards {
+		if n := sp.live.Store().Levels(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// WriteStats sums the write-path gauges and counters across shards.
+func (v *View) WriteStats() lsm.WriteStats {
+	var w lsm.WriteStats
+	for _, sp := range v.shards {
+		w.Add(sp.live.WriteStats())
+	}
+	return w
 }
 
 // PendingAppends returns the total number of appended records awaiting
@@ -499,7 +578,7 @@ func (v *View) PendingAppends() int {
 	defer v.mu.Unlock()
 	n := 0
 	for _, sp := range v.shards {
-		n += sp.diff.DeltaSize()
+		n += sp.live.DeltaSize()
 	}
 	return n
 }
@@ -514,7 +593,7 @@ func (v *View) Compact() (int, error) {
 	defer v.mu.Unlock()
 	rebuilt := 0
 	for i, sp := range v.shards {
-		if sp.diff.DeltaSize() == 0 {
+		if sp.live.DeltaSize() == 0 {
 			continue
 		}
 		if err := v.compactShardLocked(i, sp); err != nil {
@@ -525,17 +604,34 @@ func (v *View) Compact() (int, error) {
 	return rebuilt, nil
 }
 
-// compactShardLocked rebuilds shard i over tree ∪ delta. Callers hold mu.
+// compactShardLocked rebuilds shard i over tree ∪ write path (the lsm
+// fold: base minus tombstones, plus delta levels and the ingest buffer),
+// then replaces the shard's delta store with a fresh empty one. Callers
+// hold mu.
 func (v *View) compactShardLocked(i int, sp *shardPart) error {
 	disk := v.farm.Disk(i)
 	path := v.shardPath(i)
+	swap := func(f *pagefile.File, tree *core.Tree) error {
+		store, err := lsm.CreateStore(disk, path)
+		if err != nil {
+			return err
+		}
+		old := sp.file
+		sp.file, sp.live = f, lsm.NewView(tree, store)
+		old.Close()
+		return nil
+	}
 	if path == "" {
 		f := pagefile.NewMem(disk)
-		nd, err := sp.diff.Compact(f, v.opts.params(i))
+		tree, err := sp.live.Fold(f, v.opts.params(i))
 		if err != nil {
 			return fmt.Errorf("shard: compacting shard %d: %w", i, err)
 		}
-		sp.file, sp.diff = f, nd
+		oldStore := sp.live.Store()
+		if err := swap(f, tree); err != nil {
+			return fmt.Errorf("shard: compacting shard %d: %w", i, err)
+		}
+		oldStore.Destroy()
 		return nil
 	}
 	tmp := path + ".compact"
@@ -543,20 +639,24 @@ func (v *View) compactShardLocked(i int, sp *shardPart) error {
 	if err != nil {
 		return fmt.Errorf("shard: compacting shard %d: %w", i, err)
 	}
-	nd, err := sp.diff.Compact(f, v.opts.params(i))
+	tree, err := sp.live.Fold(f, v.opts.params(i))
 	if err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("shard: compacting shard %d: %w", i, err)
 	}
-	old := sp.file
 	if err := os.Rename(tmp, path); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("shard: swapping compacted shard %d: %w", i, err)
 	}
-	sp.file, sp.diff = f, nd
-	old.Close()
+	// The fold consumed the old store's contents; drop its files before the
+	// fresh store claims the prefix.
+	oldStore := sp.live.Store()
+	if err := swap(f, tree); err != nil {
+		return fmt.Errorf("shard: compacting shard %d: %w", i, err)
+	}
+	oldStore.Destroy()
 	return nil
 }
 
@@ -598,7 +698,7 @@ func (v *View) Fsck() ([]ShardFsck, error) {
 	for i, sp := range v.shards {
 		disk := v.farm.Disk(i)
 		before, t0 := disk.Counters(), disk.Now()
-		faults, err := sp.diff.Main().FsckPages()
+		faults, err := sp.live.Main().FsckPages()
 		if err != nil {
 			return out, fmt.Errorf("shard: fsck shard %d: %w", i, err)
 		}

@@ -10,9 +10,9 @@ import (
 	"time"
 
 	"sampleview/internal/core"
-	"sampleview/internal/diffview"
 	"sampleview/internal/interleave"
 	"sampleview/internal/iosim"
+	"sampleview/internal/lsm"
 	"sampleview/internal/record"
 )
 
@@ -35,12 +35,12 @@ func (e *ShardError) Error() string {
 func (e *ShardError) Unwrap() error { return e.Err }
 
 // sub is one shard's contribution to a merged stream: its per-shard sample
-// stream (core when the shard has no pending appends, diffview otherwise)
-// and the private clock its page reads charge.
+// stream (core when the shard's write path is empty, the lsm merged stream
+// otherwise) and the private clock its page reads charge.
 type sub struct {
 	clock *iosim.Clock
 	core  *core.Stream
-	diff  *diffview.Stream
+	live  *lsm.Stream
 	// rng shuffles each batch before it is served record-by-record. The
 	// tree's uniformity guarantee is per batch (section contents are random
 	// subsets, but within a section records sit in the key-correlated order
@@ -57,8 +57,8 @@ type sub struct {
 }
 
 func (u *sub) next() (record.Record, error) {
-	if u.diff != nil {
-		return u.diff.Next()
+	if u.live != nil {
+		return u.live.Next()
 	}
 	for len(u.queue) == 0 {
 		batch, err := u.core.NextBatch()
@@ -103,7 +103,7 @@ func (v *View) Query(q record.Box) (*Stream, error) {
 	rem := make([]float64, len(v.shards))
 	for i, sp := range v.shards {
 		ck := v.farm.Disk(i).Fork()
-		est, err := sp.diff.EstimateCount(q)
+		est, err := sp.live.EstimateCount(q)
 		if err != nil {
 			return nil, fmt.Errorf("shard: estimating on shard %d: %w", i, err)
 		}
@@ -112,18 +112,18 @@ func (v *View) Query(q record.Box) (*Stream, error) {
 			est0:  est,
 			rng:   rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64())),
 		}
-		if sp.diff.DeltaSize() == 0 {
-			cs, err := sp.diff.Main().WithClock(ck).Query(q)
+		if sp.live.Empty() {
+			cs, err := sp.live.Main().WithClock(ck).Query(q)
 			if err != nil {
 				return nil, fmt.Errorf("shard: opening shard %d stream: %w", i, err)
 			}
 			u.core, u.queryLeaves = cs, cs.QueryLeaves()
 		} else {
-			ds, err := sp.diff.QueryClocked(ck, q, rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64())))
+			ls, err := sp.live.QueryClocked(ck, q, rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64())))
 			if err != nil {
 				return nil, fmt.Errorf("shard: opening shard %d stream: %w", i, err)
 			}
-			u.diff, u.queryLeaves = ds, ds.QueryLeaves()
+			u.live, u.queryLeaves = ls, ls.QueryLeaves()
 		}
 		subs[i], clocks[i], rem[i] = u, ck, est
 	}
@@ -199,14 +199,21 @@ func (s *Stream) popLocked(i int) (record.Record, bool, error) {
 	}
 	if err != nil {
 		var de *core.DegradedError
-		if errors.As(err, &de) {
+		var wl *lsm.WritePathLostError
+		switch {
+		case errors.As(err, &de):
 			s.degLeaf++
 			s.degSec += int64(len(de.Sections))
 			s.degShard[i] = true
 			if u.queryLeaves > 0 {
 				s.merge.Reduce(i, u.est0/float64(u.queryLeaves))
 			}
-		} else {
+		case errors.As(err, &wl):
+			// The shard's write path lost a delta region for good: the
+			// shard keeps serving what survived, degraded (surfaced once
+			// per stream by the lsm layer).
+			s.degShard[i] = true
+		default:
 			s.retries++
 		}
 		return record.Record{}, false, &ShardError{Shard: i, Err: err}

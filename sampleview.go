@@ -9,8 +9,8 @@ import (
 	"time"
 
 	"sampleview/internal/core"
-	"sampleview/internal/diffview"
 	"sampleview/internal/iosim"
+	"sampleview/internal/lsm"
 	"sampleview/internal/pagefile"
 	"sampleview/internal/record"
 	"sampleview/internal/stats"
@@ -33,6 +33,10 @@ type (
 	// Estimator consumes an online sample and maintains running aggregate
 	// estimates with confidence intervals.
 	Estimator = stats.Estimator
+	// WriteStats is a snapshot of a view's write-path gauges and counters:
+	// memview contents, delta-ladder shape, tombstones pending and
+	// maintenance rounds run.
+	WriteStats = lsm.WriteStats
 )
 
 // Fault-model types, re-exported so callers can configure fault injection
@@ -90,10 +94,13 @@ func FaultProfiles() []string { return iosim.Profiles() }
 // are skipped or repeated).
 func IsTransient(err error) bool { return pagefile.IsTransient(err) }
 
-// IsDegraded reports whether err is (or wraps) a DegradedError.
+// IsDegraded reports whether err is (or wraps) a permanent-but-survivable
+// storage loss: a DegradedError (a base leaf lost to a dead or corrupt
+// page) or an lsm.WritePathLostError (a delta region lost the same way).
+// Either way the stream that returned it keeps serving what survived.
 func IsDegraded(err error) bool {
 	var de *DegradedError
-	return errors.As(err, &de)
+	return errors.As(err, &de) || lsm.IsWritePathLost(err)
 }
 
 // Box1D returns a one-dimensional predicate over [lo, hi] on Key.
@@ -194,8 +201,11 @@ type View struct {
 	sim  *iosim.Sim
 	file *pagefile.File
 	tree *core.Tree
-	diff *diffview.View // guarded by mu
-	rng  *rand.Rand     // guarded by mu
+	// live is the write path: memview ingest buffer plus leveled delta
+	// files beside the view file. It has its own locking; the view mutex
+	// only serializes the draw rng and rebuilds.
+	live *lsm.View
+	rng  *rand.Rand // guarded by mu
 	path string
 }
 
@@ -234,8 +244,15 @@ func Create(path string, src Source, opts Options) (*View, error) {
 		}
 		return nil, err
 	}
+	store, err := lsm.CreateStore(sim, path)
+	if err != nil {
+		if path != "" {
+			f.Close()
+		}
+		return nil, err
+	}
 	sim.SetFaultPlan(opts.Faults)
-	return newView(sim, f, tree, path, opts.Seed), nil
+	return newView(sim, f, tree, store, path, opts.Seed), nil
 }
 
 // CreateFromSlice builds a sample view over the given records.
@@ -258,34 +275,42 @@ func Open(path string, opts Options) (*View, error) {
 		f.Close()
 		return nil, err
 	}
+	// Reopen the delta ladder persisted beside the view file, so ingest
+	// flushed by a previous process stays visible.
+	store, err := lsm.OpenStore(sim, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
 	sim.SetFaultPlan(opts.Faults)
-	return newView(sim, f, tree, path, opts.Seed), nil
+	return newView(sim, f, tree, store, path, opts.Seed), nil
 }
 
-func newView(sim *iosim.Sim, f *pagefile.File, tree *core.Tree, path string, seed uint64) *View {
+func newView(sim *iosim.Sim, f *pagefile.File, tree *core.Tree, store *lsm.Store, path string, seed uint64) *View {
 	return &View{
 		sim:  sim,
 		file: f,
 		tree: tree,
-		diff: diffview.New(tree),
+		live: lsm.NewView(tree, store),
 		rng:  rand.New(rand.NewPCG(seed^0x5eedf00d, seed+1)),
 		path: path,
 	}
 }
 
-// Close releases the view's backing file.
+// Close releases the view's backing file and its delta-level files.
 func (v *View) Close() error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return v.file.Close()
+	serr := v.live.Store().Close()
+	if err := v.file.Close(); err != nil {
+		return err
+	}
+	return serr
 }
 
-// Count returns the number of records in the view, including appended ones.
-func (v *View) Count() int64 {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.diff.Count()
-}
+// Count returns the number of records in the view, including ingested ones
+// not yet folded into the tree.
+func (v *View) Count() int64 { return v.live.Count() }
 
 // Dims returns the number of indexed dimensions.
 func (v *View) Dims() int { return v.tree.Dims() }
@@ -293,26 +318,48 @@ func (v *View) Dims() int { return v.tree.Dims() }
 // Height returns the ACE Tree height (sections per leaf).
 func (v *View) Height() int { return v.tree.Height() }
 
-// PendingAppends returns how many appended records await compaction.
-func (v *View) PendingAppends() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.diff.DeltaSize()
-}
+// PendingAppends returns how many ingested records await a fold into the
+// tree: the in-memory buffer plus every delta level.
+func (v *View) PendingAppends() int { return v.live.DeltaSize() }
 
-// Append adds a record to the view's differential buffer. The record
+// Append adds a record to the view's ingest buffer. The record
 // participates in all subsequent queries; call Compact periodically to
-// fold the buffer into the tree.
-func (v *View) Append(rec Record) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.diff.Append(rec)
-}
+// fold the write path into the tree. It is Insert without the error (an
+// insert can only fail on a sealed buffer, which Insert retries past).
+func (v *View) Append(rec Record) { v.live.Insert(rec) }
 
-// Compact rebuilds the view over the union of the tree and the
-// differential buffer, writing the result to path (empty = in memory),
-// and returns the new view. The receiver remains open; it is locked for
-// the duration of the rebuild, so concurrent Appends wait.
+// Insert adds a record to the view through the in-memory ingest buffer.
+// Seqs must be unique over the view's lifetime, and a deleted Seq must
+// never be reinserted.
+func (v *View) Insert(rec Record) error { return v.live.Insert(rec) }
+
+// Delete removes the record with rec's Seq from the view. A record still
+// in the ingest buffer annihilates immediately; anything older becomes a
+// tombstone that queries honor at once and maintenance folds away.
+func (v *View) Delete(rec Record) error { return v.live.Delete(rec) }
+
+// Flush seals the ingest buffer and writes it out as a new level-0 delta
+// file beside the view file (in memory for in-memory views). Ingest is
+// blocked only for the buffer swap; queries see every record throughout.
+func (v *View) Flush() error { return v.live.Flush() }
+
+// CompactDeltas runs one round of size-tiered delta compaction, merging an
+// adjacent level pair when one is due (always, with force, while two
+// levels exist). Open streams are not blocked: they keep reading the
+// superseded files. It reports whether a merge ran.
+func (v *View) CompactDeltas(force bool) (bool, error) { return v.live.CompactOnce(force) }
+
+// DeltaLevels returns the current depth of the on-disk delta ladder.
+func (v *View) DeltaLevels() int { return v.live.Store().Levels() }
+
+// WriteStats returns the view's write-path gauges and counters.
+func (v *View) WriteStats() WriteStats { return v.live.WriteStats() }
+
+// Compact rebuilds the view over everything it holds — tree records minus
+// tombstoned ones, plus every delta level and the ingest buffer — writing
+// the result to path (empty = in memory), and returns the new view. The
+// receiver remains open and readable; the fold works from a snapshot, so
+// records ingested while it runs stay in the receiver only.
 func (v *View) Compact(path string, opts Options) (*View, error) {
 	if opts.Dims == 0 {
 		opts.Dims = v.Dims()
@@ -327,7 +374,14 @@ func (v *View) Compact(path string, opts Options) (*View, error) {
 	} else if f, err = pagefile.Create(sim, path); err != nil {
 		return nil, err
 	}
-	nd, err := v.diff.Compact(f, opts.params())
+	tree, err := v.live.Fold(f, opts.params())
+	if err != nil {
+		if path != "" {
+			f.Close()
+		}
+		return nil, err
+	}
+	store, err := lsm.CreateStore(sim, path)
 	if err != nil {
 		if path != "" {
 			f.Close()
@@ -335,7 +389,7 @@ func (v *View) Compact(path string, opts Options) (*View, error) {
 		return nil, err
 	}
 	sim.SetFaultPlan(opts.Faults)
-	return newView(sim, f, nd.Main(), path, opts.Seed), nil
+	return newView(sim, f, tree, store, path, opts.Seed), nil
 }
 
 // InjectFaults installs (or, with a zero plan, clears) a deterministic
@@ -356,9 +410,7 @@ func (v *View) Fsck() ([]PageFault, error) { return v.tree.FsckPages() }
 // EstimateCount estimates the number of records matching q from the
 // view's internal counts (exact for boundary-aligned predicates).
 func (v *View) EstimateCount(q Box) (float64, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.diff.EstimateCount(q)
+	return v.live.EstimateCount(q)
 }
 
 // NewEstimator returns an online-aggregation estimator whose population
@@ -386,11 +438,15 @@ func (v *View) NewEstimator(q Box) (*Estimator, error) {
 type Stream struct {
 	mu    sync.Mutex   // serializes draws on this stream
 	clock *iosim.Clock // the stream's private I/O clock
-	// core serves streams over views with no pending appends; diff serves
-	// the rest. Exactly one is set until Close clears both.
-	core   *core.Stream     // guarded by mu
-	diff   *diffview.Stream // guarded by mu
-	closed bool             // guarded by mu
+	// core serves streams over views with an empty write path; live serves
+	// the rest, merging the base with the memview and delta levels. Exactly
+	// one is set until Close clears both.
+	core   *core.Stream // guarded by mu
+	live   *lsm.Stream  // guarded by mu
+	closed bool         // guarded by mu
+	// write snapshots the view's write-path stats at open, so Stats can
+	// report the delta depth this stream reads through.
+	write WriteStats
 	// final* freeze the sampler-level fault accounting when Close drops the
 	// core stream, so Stats stays fully valid after Close.
 	finalRetries int64 // guarded by mu
@@ -398,25 +454,26 @@ type Stream struct {
 	finalDegSec  int64 // guarded by mu
 }
 
-// Query starts an online sample stream for predicate q. Records appended
+// Query starts an online sample stream for predicate q. Records ingested
 // after the stream was created do not join it; start a new stream to see
 // them.
 func (v *View) Query(q Box) (*Stream, error) {
 	ck := v.sim.Fork()
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.diff.DeltaSize() == 0 {
+	if v.live.Empty() {
 		cs, err := v.tree.WithClock(ck).Query(q)
 		if err != nil {
 			return nil, err
 		}
 		return &Stream{clock: ck, core: cs}, nil
 	}
-	ds, err := v.diff.QueryClocked(ck, q, rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64())))
+	v.mu.Lock()
+	rng := rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64()))
+	v.mu.Unlock()
+	ls, err := v.live.QueryClocked(ck, q, rng)
 	if err != nil {
 		return nil, err
 	}
-	return &Stream{clock: ck, diff: ds}, nil
+	return &Stream{clock: ck, live: ls, write: v.live.WriteStats()}, nil
 }
 
 // Next returns the next sample record, io.EOF when the predicate is
@@ -430,7 +487,7 @@ func (s *Stream) Next() (Record, error) {
 	if s.core != nil {
 		return s.core.Next()
 	}
-	return s.diff.Next()
+	return s.live.Next()
 }
 
 // Close releases the stream's buffered state. It is idempotent and safe to
@@ -448,7 +505,12 @@ func (s *Stream) Close() error {
 		s.finalDegLeaf = s.core.DegradedLeaves()
 		s.finalDegSec = s.core.DegradedSections()
 	}
-	s.core, s.diff = nil, nil
+	if s.live != nil {
+		s.finalRetries = s.live.TransientRetries()
+		s.finalDegLeaf = s.live.DegradedLeaves()
+		s.finalDegSec = s.live.DegradedSections()
+	}
+	s.core, s.live = nil, nil
 	return nil
 }
 
@@ -473,14 +535,16 @@ func (s *Stream) Sample(n int) ([]Record, error) {
 	return out, nil
 }
 
-// Buffered returns the number of records parked in the combine buckets
-// (zero for streams over views with pending appends, whose buffering is
-// internal to the merge).
+// Buffered returns the number of records parked in the base stream's
+// combine buckets.
 func (s *Stream) Buffered() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.core != nil {
 		return s.core.Buffered()
+	}
+	if s.live != nil {
+		return s.live.Buffered()
 	}
 	return 0
 }
@@ -502,7 +566,10 @@ type IOStats struct {
 	// storage failures. Zero in View.Stats.
 	DegradedLeaves   int64
 	DegradedSections int64
-	SimTime          string
+	// Write holds the write-path gauges and counters: the view's current
+	// state in View.Stats, the state at stream open in Stream.Stats.
+	Write   WriteStats
+	SimTime string
 }
 
 // Stats returns a snapshot of the view's simulated I/O counters,
@@ -511,6 +578,7 @@ func (v *View) Stats() IOStats {
 	return IOStats{
 		Counters: v.sim.Counters(),
 		Faults:   v.sim.FaultCounters(),
+		Write:    v.live.WriteStats(),
 		SimTime:  v.sim.Now().String(),
 	}
 }
@@ -542,12 +610,18 @@ func (s *Stream) Stats() IOStats {
 		Retries:          s.finalRetries,
 		DegradedLeaves:   s.finalDegLeaf,
 		DegradedSections: s.finalDegSec,
+		Write:            s.write,
 		SimTime:          s.clock.Now().String(),
 	}
 	if s.core != nil {
 		st.Retries = s.core.TransientRetries()
 		st.DegradedLeaves = s.core.DegradedLeaves()
 		st.DegradedSections = s.core.DegradedSections()
+	}
+	if s.live != nil {
+		st.Retries = s.live.TransientRetries()
+		st.DegradedLeaves = s.live.DegradedLeaves()
+		st.DegradedSections = s.live.DegradedSections()
 	}
 	return st
 }
