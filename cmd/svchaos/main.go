@@ -17,6 +17,15 @@
 //	svchaos -profiles flaky-disk,hell -seed 7
 //	svchaos -shards 4
 //	svchaos -ingest 2 -profiles flaky-disk
+//	svchaos -crash -records 20000 -out results/crash-bench.md
+//
+// With -crash the fault-profile ladder is replaced by the deterministic
+// power-cut ladder: every instrumented crash point is armed at escalating
+// hit counts against a WAL-backed view under a seeded write workload, the
+// view is reopened after each cut, and recovery is verified — no
+// acknowledged write lost, no double-apply, samples still uniform — followed
+// by a group-commit vs sync-every-write durability-cost comparison (see
+// crash.go).
 //
 // With -shards K the view is partitioned across K simulated disks and the
 // ladder runs against the merged K-way stream; a final shard-kill phase
@@ -130,10 +139,15 @@ func main() {
 		profs    = flag.String("profiles", "all", "comma-separated fault profiles, or \"all\" for the escalating ladder")
 		shards   = flag.Int("shards", 1, "partition the view across this many simulated disks (>1 adds a shard-kill phase)")
 		ingest   = flag.Int("ingest", 0, "writer connections appending/deleting/flushing under each profile")
+		crash    = flag.Bool("crash", false, "run the deterministic power-cut ladder instead of the fault-profile ladder")
 		out      = flag.String("out", "", "write the markdown report to this file")
 	)
 	flag.Parse()
 	nextWriteSeq.Store(writeSeqBase)
+
+	if *crash {
+		os.Exit(runCrashMode(*nrecords, *seed, *out))
+	}
 
 	profiles := sampleview.FaultProfiles()
 	if *profs != "all" {

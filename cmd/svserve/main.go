@@ -51,6 +51,11 @@ func main() {
 		scrubEvery  = flag.Duration("scrub-every", 0, "catalog: checksum-scrub each view at this simulated-time interval (0 = never)")
 		backendName = flag.String("backend", "default", "raw-I/O backend for stored view files: pread or mmap")
 		prefetch    = flag.Int("prefetch", 0, "async leaf-prefetch workers per opened view file (0 = off)")
+		walOn       = flag.Bool("wal", false, "write-ahead-log every served view: appends and deletes are group-committed before the ack and replayed on restart")
+		syncEvery   = flag.Int("sync-every", 0, "wal: fsync once at most this many writes accumulate in a commit cohort (1 = every write, 0 = window batching only)")
+		groupWindow = flag.Duration("group-commit-window", 0, "wal: how long a group-commit leader waits for more writers before the fsync (0 = none)")
+		writeRate   = flag.Float64("write-rate", 0, "per-connection write admission: sustained appended/deleted entries per second (0 = unlimited)")
+		writeBurst  = flag.Int("write-burst", 0, "per-connection write admission: token-bucket burst capacity (0 = auto from -write-rate and -max-batch)")
 	)
 	views := map[string]string{}
 	flag.Func("view", "serve a view as name=file.view (repeatable, required)", func(s string) error {
@@ -89,12 +94,17 @@ func main() {
 		IdleTimeout:       *idle,
 		RequestTimeout:    *reqTimeout,
 		MaxWriteBacklog:   *backlog,
+		WriteRate:         *writeRate,
+		WriteBurst:        *writeBurst,
 	})
 	for name, path := range views {
 		v, err := sampleview.Open(path, sampleview.Options{
 			Faults:          plan,
 			Backend:         backend,
 			PrefetchWorkers: *prefetch,
+			WAL:             *walOn,
+			WALSyncEvery:    *syncEvery,
+			WALGroupWindow:  *groupWindow,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "svserve: %v\n", err)
@@ -103,10 +113,20 @@ func main() {
 		defer v.Close()
 		srv.AddView(name, v)
 		fmt.Printf("serving %-16s %s (%d records, %d dims)\n", name, path, v.Count(), v.Dims())
+		if replayed := v.WriteStats().WALReplayed; replayed > 0 {
+			fmt.Printf("recovered %-16s %d logged operations replayed\n", name, replayed)
+		}
 	}
 	if *catalogDir != "" {
 		cat, err := sampleview.NewCatalog(*catalogDir,
-			sampleview.ShardedOptions{Faults: plan, Backend: backend, PrefetchWorkers: *prefetch},
+			sampleview.ShardedOptions{
+				Faults:          plan,
+				Backend:         backend,
+				PrefetchWorkers: *prefetch,
+				WAL:             *walOn,
+				WALSyncEvery:    *syncEvery,
+				WALGroupWindow:  *groupWindow,
+			},
 			sampleview.CatalogPolicy{
 				CompactThreshold: *compactAt,
 				FlushThreshold:   *flushAt,
@@ -128,6 +148,12 @@ func main() {
 	}
 	if *profile != "" {
 		fmt.Printf("fault injection: profile %q, seed %d\n", *profile, *faultSeed)
+	}
+	if *walOn {
+		fmt.Printf("durability: wal on (sync-every %d, group-commit window %v)\n", *syncEvery, *groupWindow)
+	}
+	if *writeRate > 0 {
+		fmt.Printf("write admission: %.0f entries/s per connection\n", *writeRate)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -97,6 +97,7 @@ func All() []*Analyzer {
 		ErrPrefix,
 		NoPanic,
 		NoFatal,
+		SyncBeforeAck,
 	}
 }
 

@@ -78,6 +78,7 @@ func TestAnalyzers(t *testing.T) {
 		{ErrPrefix, "errprefix", "internal/fixture"},
 		{NoPanic, "nopanic", "internal/fixture"},
 		{NoFatal, "nofatal", "internal/fixture"},
+		{SyncBeforeAck, "syncbeforeack", "internal/wal"},
 	}
 	for _, c := range cases {
 		t.Run(c.analyzer.Name, func(t *testing.T) {
@@ -117,6 +118,8 @@ func TestScopeExemptions(t *testing.T) {
 		{NoPanic, "nopanic", "examples/demo"},
 		{NoFatal, "nofatal", "cmd/tool"},
 		{NoFatal, "nofatal", "examples/demo"},
+		{SyncBeforeAck, "syncbeforeack", "internal/lsm"},
+		{SyncBeforeAck, "syncbeforeack", "cmd/tool"},
 	}
 	for _, c := range cases {
 		name := fmt.Sprintf("%s@%s", c.analyzer.Name, c.rel)

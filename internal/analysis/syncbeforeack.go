@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SyncBeforeAck guards the durability contract of the write-ahead log: an
+// acknowledgement means "on disk", so a segment handle that is written must
+// reach its durability barrier before the handle goes away. Concretely, any
+// function in the wal package that both writes to a handle (a Write* method
+// call) and closes that same handle must also Sync it; close-after-write
+// with no barrier is exactly the bug that turns an acked write into a
+// loss the next power cut exposes.
+//
+// The check is syntactic and per-function: method-call receivers reduce to
+// exprKey strings, and a receiver with Write* and Close() calls but no
+// Sync() call in the same function body is reported at each Close. Helpers
+// that only write (the barrier lives in a callee) or only close (the write
+// happened elsewhere and was already synced, as in segment rotation) are
+// deliberately out of reach — the rule targets the single-function shape
+// where the author plainly forgot the barrier. An intentional unsynced
+// close (e.g. discarding a scratch file) documents itself with a
+// lint:ignore directive.
+//
+// Scope: non-test files of internal/wal (and any future subpackages).
+var SyncBeforeAck = &Analyzer{
+	Name: "syncbeforeack",
+	Doc:  "wal segment handles must Sync before Close (durability precedes the ack)",
+	Run:  runSyncBeforeAck,
+}
+
+func runSyncBeforeAck(pass *Pass) {
+	p := pass.Pkg
+	if p.Rel != "internal/wal" && !strings.HasPrefix(p.Rel, "internal/wal/") {
+		return
+	}
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			type handle struct {
+				write  bool
+				sync   bool
+				closes []*ast.CallExpr
+			}
+			byRecv := make(map[string]*handle)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				key := exprKey(sel.X)
+				if key == "" || key == "?" {
+					return true
+				}
+				h := byRecv[key]
+				if h == nil {
+					h = &handle{}
+					byRecv[key] = h
+				}
+				switch name := sel.Sel.Name; {
+				case strings.HasPrefix(name, "Write"):
+					h.write = true
+				case name == "Sync":
+					h.sync = true
+				case name == "Close" && len(call.Args) == 0:
+					h.closes = append(h.closes, call)
+				}
+				return true
+			})
+			for key, h := range byRecv {
+				if !h.write || h.sync {
+					continue
+				}
+				for _, c := range h.closes {
+					pass.Reportf(c.Pos(),
+						"%s is written and closed in this function without a Sync; the ack path must make frames durable before the handle goes away", key)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package fixture exercises the syncbeforeack analyzer: a segment handle
+// written and closed in one function must be synced there too.
+package fixture
+
+import "os"
+
+// flushAndDrop forgets the durability barrier: bytes are buffered in the
+// OS cache when the handle closes, so a power cut after the "ack" loses
+// frames the caller was told are durable.
+func flushAndDrop(f *os.File, frames []byte) error {
+	if _, err := f.Write(frames); err != nil {
+		return err
+	}
+	return f.Close() // want `f is written and closed in this function without a Sync`
+}
+
+// tornAbort closes on the error path and the success path, neither synced.
+func tornAbort(f *os.File, a, b []byte) error {
+	if _, err := f.Write(a); err != nil {
+		f.Close() // want `f is written and closed in this function without a Sync`
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Close() // want `f is written and closed in this function without a Sync`
+}
+
+type seg struct{ f *os.File }
+
+// fieldHandle tracks selector receivers too: l.f reduces to one key.
+func (l *seg) fieldHandle(buf []byte) error {
+	if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	return l.f.Close() // want `l\.f is written and closed in this function without a Sync`
+}

@@ -1,0 +1,27 @@
+package fixture
+
+import "os"
+
+// sealSegment is the sanctioned shape: write, barrier, close.
+func sealSegment(f *os.File, frames []byte) error {
+	if _, err := f.Write(frames); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// rotateOnly closes a handle it never wrote: the previous writer already
+// synced it, so rotation owes no barrier of its own.
+func rotateOnly(f *os.File) error {
+	return f.Close()
+}
+
+// writeOnly hands the barrier to a callee; the per-function rule leaves it
+// alone rather than guess at interprocedural flow.
+func writeOnly(f *os.File, frames []byte) error {
+	_, err := f.Write(frames)
+	return err
+}

@@ -145,6 +145,12 @@ func New(root string, runtime shard.Options, policy Policy) (*Catalog, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("catalog: creating root: %w", err)
 	}
+	// A crash between writing the temp manifest and renaming it leaves a
+	// (possibly partial) .tmp behind; the committed manifest is still the
+	// authority, so just discard the orphan.
+	if err := os.Remove(filepath.Join(root, ManifestName+".tmp")); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("catalog: clearing stale manifest temp: %w", err)
+	}
 	data, err := os.ReadFile(filepath.Join(root, ManifestName))
 	if os.IsNotExist(err) {
 		return c, c.saveLocked()
@@ -191,13 +197,49 @@ func (c *Catalog) saveLocked() error {
 		return fmt.Errorf("catalog: encoding manifest: %w", err)
 	}
 	tmp := filepath.Join(c.root, ManifestName+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileSync(tmp, append(data, '\n')); err != nil {
 		return fmt.Errorf("catalog: writing manifest: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(c.root, ManifestName)); err != nil {
 		return fmt.Errorf("catalog: swapping manifest: %w", err)
 	}
+	if err := syncDir(c.root); err != nil {
+		return fmt.Errorf("catalog: syncing root: %w", err)
+	}
 	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing, so the
+// bytes are durable before the caller renames the file into place.
+func writeFileSync(path string, data []byte) error {
+	//lint:ignore nodirectio manifest durability needs an explicit fsync before the rename; ReadFile/WriteFile cannot express the barrier
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	//lint:ignore nodirectio fsyncing a directory requires its handle; there is no one-shot helper for a dirent barrier
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Register builds a new sharded view over recs and adds it under name. The

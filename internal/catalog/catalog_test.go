@@ -253,3 +253,50 @@ func TestTryRunDueJobsSkipsWhenBusy(t *testing.T) {
 		t.Fatalf("TryRunDueJobs idle = (%+v, %v)", reports, ok)
 	}
 }
+
+// TestReopenAfterPartialManifestTempWrite simulates a crash mid-save: a
+// torn catalog.json.tmp is left beside an intact manifest. Reopen must
+// ignore and remove the temp file, serve the registered views, and the
+// next save must not be confused by the stale temp.
+func TestReopenAfterPartialManifestTempWrite(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "cat")
+	c, err := New(root, shard.Options{}, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := genRecords(1200, 3)
+	if _, err := c.Register("orders", recs, shard.Options{K: 2, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// A power cut mid-write leaves an arbitrary prefix (here: garbage) in
+	// the temp file; the rename never happened, so the manifest is intact.
+	tmp := filepath.Join(root, ManifestName+".tmp")
+	if err := os.WriteFile(tmp, []byte(`{"Views":[{"Name":"or`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(root, shard.Options{}, Policy{})
+	if err != nil {
+		t.Fatalf("reopen with torn temp manifest: %v", err)
+	}
+	defer c2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale temp manifest survived reopen (err=%v)", err)
+	}
+	v, ok := c2.Get("orders")
+	if !ok {
+		t.Fatal("orders missing after reopen with torn temp manifest")
+	}
+	if got := v.Count(); got != 1200 {
+		t.Fatalf("orders count = %d, want 1200", got)
+	}
+	// The next manifest save must go through cleanly (temp + rename).
+	if _, err := c2.Register("lineitem", recs[:100], shard.Options{K: 2, Seed: 9}); err != nil {
+		t.Fatalf("register after torn-temp recovery: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("save left its temp manifest behind")
+	}
+}

@@ -133,6 +133,14 @@ type Sim struct {
 	faultMu  sync.Mutex
 	attempts map[attemptKey]int // guarded by faultMu
 	faults   [numFaultKinds]atomic.Int64
+
+	// crashMu guards the crash schedule and the crashed state; syncs counts
+	// durability barriers (see crash.go).
+	crashMu   sync.Mutex
+	crashPlan CrashPlan             // guarded by crashMu
+	crashErr  *CrashError           // guarded by crashMu; non-nil once power is cut
+	crashHits [numCrashPoints]int64 // guarded by crashMu; per-point encounter counts
+	syncs     atomic.Int64
 }
 
 // indices into the counter array.

@@ -3,7 +3,10 @@ package lsm
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 
 	"sampleview/internal/iosim"
@@ -24,14 +27,36 @@ type Store struct {
 	levels  []*level // guarded by mu; newest first
 	retired []*level // guarded by mu; superseded levels kept open for live streams
 	nextGen uint64   // guarded by mu
+	applied uint64   // guarded by mu; highest WAL LSN folded into a durable level
 	flushes int64    // guarded by mu
 	merges  int64    // guarded by mu
+	orphans int64    // guarded by mu; stale delta files removed on open
 }
 
-// storeManifest is the persisted level directory for OS-backed stores.
+// storeManifest is the persisted level directory for OS-backed stores. CRC
+// is the Castagnoli checksum of the manifest encoded with CRC zeroed, so a
+// half-written or bit-rotted manifest is detected instead of silently
+// truncating the ladder. AppliedLSN is the durability watermark: every WAL
+// frame with LSN at or below it is folded into the levels listed here, so
+// replay skips them (idempotent recovery).
 type storeManifest struct {
-	Gens    []uint64 `json:"gens"` // newest first
-	NextGen uint64   `json:"next_gen"`
+	Gens       []uint64 `json:"gens"` // newest first
+	NextGen    uint64   `json:"next_gen"`
+	AppliedLSN uint64   `json:"applied_lsn"`
+	CRC        uint32   `json:"crc"`
+}
+
+var manifestCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum returns the manifest's CRC-32C over its canonical encoding with
+// the CRC field zeroed.
+func (m storeManifest) checksum() uint32 {
+	m.CRC = 0
+	data, err := json.Marshal(m)
+	if err != nil {
+		return 0
+	}
+	return crc32.Checksum(data, manifestCRC)
 }
 
 // CreateStore returns an empty delta store. For OS-backed stores (non-empty
@@ -45,8 +70,11 @@ func CreateStore(sim *iosim.Sim, prefix string) (*Store, error) {
 			for _, gen := range m.Gens {
 				os.Remove(deltaPath(prefix, gen))
 			}
-			os.Remove(manifestPath(prefix))
 		}
+		os.Remove(manifestPath(prefix))
+		// Deltas orphaned by a crash mid-flush or mid-compaction of the
+		// previous view at this path go too.
+		s.removeOrphanDeltas(nil)
 	}
 	return s, nil
 }
@@ -61,6 +89,9 @@ func OpenStore(sim *iosim.Sim, prefix string) (*Store, error) {
 	}
 	m, err := readStoreManifest(prefix)
 	if os.IsNotExist(err) {
+		// No manifest was ever installed; any delta files are orphans from
+		// a crash before the first flush completed.
+		s.removeOrphanDeltas(nil)
 		return s, nil
 	}
 	if err != nil {
@@ -68,6 +99,7 @@ func OpenStore(sim *iosim.Sim, prefix string) (*Store, error) {
 	}
 	levels := make([]*level, 0, len(m.Gens))
 	nextGen := m.NextGen
+	live := make(map[uint64]bool, len(m.Gens))
 	for _, gen := range m.Gens {
 		lvl, err := openDelta(sim, deltaPath(prefix, gen))
 		if err != nil {
@@ -77,6 +109,7 @@ func OpenStore(sim *iosim.Sim, prefix string) (*Store, error) {
 			return nil, err
 		}
 		levels = append(levels, lvl)
+		live[gen] = true
 		if gen >= nextGen {
 			nextGen = gen + 1
 		}
@@ -84,8 +117,49 @@ func OpenStore(sim *iosim.Sim, prefix string) (*Store, error) {
 	s.mu.Lock()
 	s.levels = levels
 	s.nextGen = nextGen
+	s.applied = m.AppliedLSN
 	s.mu.Unlock()
+	// Garbage-collect deltas the manifest does not reference: a crash after
+	// a level was written but before the manifest rename leaves the file
+	// behind with no reader; recovery reclaims the space.
+	s.removeOrphanDeltas(live)
 	return s, nil
+}
+
+// removeOrphanDeltas deletes delta files (and a stale manifest temp file)
+// beside the store that the manifest does not reference. live is the set of
+// referenced generations; nil means nothing is referenced.
+func (s *Store) removeOrphanDeltas(live map[uint64]bool) {
+	if s.prefix == "" {
+		return
+	}
+	os.Remove(manifestPath(s.prefix) + ".tmp")
+	dir := filepath.Dir(s.prefix)
+	base := filepath.Base(s.prefix) + ".d"
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var removed int64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, base) {
+			continue
+		}
+		var gen uint64
+		if _, err := fmt.Sscanf(name[len(base):], "%d", &gen); err != nil {
+			continue
+		}
+		if live[gen] {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, name)) == nil {
+			removed++
+		}
+	}
+	s.mu.Lock()
+	s.orphans += removed
+	s.mu.Unlock()
 }
 
 func deltaPath(prefix string, gen uint64) string {
@@ -103,32 +177,84 @@ func readStoreManifest(prefix string) (*storeManifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("lsm: decoding manifest %s: %w", manifestPath(prefix), err)
 	}
+	if m.CRC != 0 && m.CRC != m.checksum() {
+		return nil, fmt.Errorf("lsm: manifest %s failed its checksum (half-written or corrupt)", manifestPath(prefix))
+	}
 	return &m, nil
 }
 
-// saveManifestLocked persists the level directory with a tmp-file +
-// atomic-rename, the same idiom as the shard and catalog manifests.
+// saveManifestLocked persists the level directory atomically: the CRC'd
+// manifest is written to a temp file, fsynced, renamed over the live name,
+// and the directory entry is fsynced, so a crash at any instant leaves
+// either the old manifest or the new one — never a truncated hybrid. The
+// pre-rename crash point models the worst window: the new level file exists
+// but nothing references it, which open-time orphan GC reclaims.
 func (s *Store) saveManifestLocked() error {
 	if s.prefix == "" {
 		return nil
 	}
-	m := storeManifest{NextGen: s.nextGen}
+	m := storeManifest{NextGen: s.nextGen, AppliedLSN: s.applied}
 	for _, l := range s.levels {
 		m.Gens = append(m.Gens, l.gen)
 	}
+	m.CRC = m.checksum()
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("lsm: encoding manifest: %w", err)
 	}
 	tmp := manifestPath(s.prefix) + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileSync(tmp, append(data, '\n')); err != nil {
 		return fmt.Errorf("lsm: writing manifest: %w", err)
+	}
+	if s.sim != nil {
+		if err := s.sim.AtCrashPoint(iosim.CrashPreManifestRename); err != nil {
+			return err
+		}
+		if err := s.sim.Sync(); err != nil {
+			return err
+		}
 	}
 	if err := os.Rename(tmp, manifestPath(s.prefix)); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("lsm: installing manifest: %w", err)
 	}
+	if err := syncDir(filepath.Dir(s.prefix)); err != nil {
+		return fmt.Errorf("lsm: syncing manifest directory: %w", err)
+	}
 	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing, so the
+// bytes are durable before any rename makes them authoritative.
+func writeFileSync(path string, data []byte) error {
+	//lint:ignore nodirectio manifest durability needs an explicit fsync before the rename; ReadFile/WriteFile cannot express the barrier
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	//lint:ignore nodirectio fsyncing a directory requires its handle; there is no one-shot helper for a dirent barrier
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeLevel writes snap out as a new delta file without making it
@@ -143,16 +269,51 @@ func (s *Store) writeLevel(snap memview.Snapshot) (*level, error) {
 	gen := s.nextGen
 	s.nextGen++
 	s.mu.Unlock()
-	return writeDelta(s.sim, s.pathFor(gen), gen, snap.Inserts, snap.Tombs)
+	lvl, err := writeDelta(s.sim, s.pathFor(gen), gen, snap.Inserts, snap.Tombs)
+	if err != nil {
+		return nil, err
+	}
+	// The manifest will reference this file; make it durable first so the
+	// reference is never harder than the referent. In-memory levels have
+	// nothing to lose in a crash and skip the barrier.
+	if lvl.path != "" {
+		if err := lvl.file.Sync(); err != nil {
+			lvl.file.Close()
+			return nil, err
+		}
+	}
+	return lvl, nil
 }
 
-// install prepends a written level to the ladder as the new level 0.
-func (s *Store) install(lvl *level) error {
+// install prepends a written level to the ladder as the new level 0 and
+// advances the durable WAL watermark to appliedLSN: every log frame at or
+// below it is now folded into a synced level, so recovery must not replay
+// them and the log may truncate them away.
+func (s *Store) install(lvl *level, appliedLSN uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.levels = append([]*level{lvl}, s.levels...)
 	s.flushes++
+	if appliedLSN > s.applied {
+		s.applied = appliedLSN
+	}
 	return s.saveManifestLocked()
+}
+
+// AppliedLSN returns the durable WAL watermark: the highest log sequence
+// number folded into an installed level.
+func (s *Store) AppliedLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// OrphansRemoved returns how many unreferenced delta files open-time GC
+// reclaimed.
+func (s *Store) OrphansRemoved() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.orphans
 }
 
 func (s *Store) pathFor(gen uint64) string {
@@ -209,6 +370,21 @@ func (s *Store) CompactOnce(force bool) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	if merged.path != "" {
+		if err := merged.file.Sync(); err != nil {
+			merged.file.Close()
+			return false, err
+		}
+	}
+	if s.sim != nil {
+		if err := s.sim.AtCrashPoint(iosim.CrashMidCompaction); err != nil {
+			// Power cut between writing the merged level and installing it:
+			// the output file stays on disk as an orphan (open-time GC
+			// reclaims it) and the input levels remain authoritative.
+			merged.file.Close()
+			return false, err
+		}
+	}
 
 	s.mu.Lock()
 	idx := -1
@@ -234,6 +410,13 @@ func (s *Store) CompactOnce(force bool) (bool, error) {
 	s.merges++
 	err = s.saveManifestLocked()
 	s.mu.Unlock()
+	if err != nil {
+		// The durable manifest still references the input levels (a crash
+		// before the rename leaves the old manifest authoritative), so their
+		// files must survive for recovery; the merged output is the orphan
+		// and open-time GC reclaims it after restart.
+		return true, err
+	}
 
 	// Superseded files stay open until Close (streams opened before the
 	// merge keep reading them), but their directory entries go now; on
@@ -243,7 +426,7 @@ func (s *Store) CompactOnce(force bool) (bool, error) {
 			os.Remove(l.path)
 		}
 	}
-	return true, err
+	return true, nil
 }
 
 // mergeLevels builds the union level of an adjacent (newer, older) pair:

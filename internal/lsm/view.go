@@ -11,6 +11,7 @@ import (
 	"sampleview/internal/memview"
 	"sampleview/internal/pagefile"
 	"sampleview/internal/record"
+	"sampleview/internal/wal"
 )
 
 // View is a base ACE tree plus the live write path: an in-memory memview
@@ -30,6 +31,12 @@ type View struct {
 	// installs the level).
 	flushing *memview.Snapshot // guarded by mu
 	store    *Store
+	// log, when attached, is the write-ahead log every mutation reaches
+	// before the memview. Appends and the Flush seal are serialized under mu
+	// so the LSN boundary captured at seal time covers exactly the sealed
+	// snapshot; the View uses the log but does not own its lifecycle.
+	log         *wal.Log // guarded by mu (pointer install); the Log itself is concurrency-safe
+	walReplayed int64    // guarded by mu
 }
 
 // NewView wraps a base tree and its delta store in a writable view.
@@ -52,8 +59,21 @@ func (v *View) buffer() *memview.Buffer {
 
 // Insert adds a record to the view through the memview buffer. A
 // concurrent Flush may seal the buffer between the lookup and the write;
-// the retry lands in the fresh buffer the flush installed.
+// the retry lands in the fresh buffer the flush installed. With a WAL
+// attached the insert is logged first (and the log append + buffer write
+// are atomic with respect to the flush seal); it is volatile until Commit.
 func (v *View) Insert(rec record.Record) error {
+	v.mu.Lock()
+	if v.log != nil {
+		if _, err := v.log.AppendInsert(rec); err != nil {
+			v.mu.Unlock()
+			return err
+		}
+		err := v.mem.Insert(rec)
+		v.mu.Unlock()
+		return err
+	}
+	v.mu.Unlock()
 	for {
 		if err := v.buffer().Insert(rec); err != memview.ErrSealed {
 			return err
@@ -64,12 +84,73 @@ func (v *View) Insert(rec record.Record) error {
 // Delete removes the record with rec's Seq from the view: an in-buffer
 // target annihilates immediately, anything older becomes a tombstone that
 // is honored by queries at once and physically applied by merges and folds.
+// With a WAL attached the delete is logged first and is volatile until
+// Commit.
 func (v *View) Delete(rec record.Record) error {
+	v.mu.Lock()
+	if v.log != nil {
+		if _, err := v.log.AppendDelete(rec); err != nil {
+			v.mu.Unlock()
+			return err
+		}
+		err := v.mem.Delete(rec)
+		v.mu.Unlock()
+		return err
+	}
+	v.mu.Unlock()
 	for {
 		if err := v.buffer().Delete(rec); err != memview.ErrSealed {
 			return err
 		}
 	}
+}
+
+// AttachWAL wires the write-ahead log into the view and replays the given
+// recovered operations into the memview, skipping every operation already
+// folded into a durable level (LSN at or below the store's AppliedLSN
+// watermark) so replay is idempotent. It returns the number of operations
+// applied. Callers attach before serving any traffic; the View uses the log
+// but its lifecycle (Close) stays with the caller.
+func (v *View) AttachWAL(l *wal.Log, ops []wal.Op) (int, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	applied := v.store.AppliedLSN()
+	// Keep fresh LSNs above the durable watermark: a fully-truncated log
+	// restarts at 1, and frames at or below AppliedLSN are skipped by the
+	// replay filter below.
+	l.SetFloor(applied)
+	n := 0
+	for _, op := range ops {
+		if op.LSN <= applied {
+			continue
+		}
+		var err error
+		if op.Delete {
+			err = v.mem.Delete(op.Rec)
+		} else {
+			err = v.mem.Insert(op.Rec)
+		}
+		if err != nil {
+			return n, fmt.Errorf("lsm: wal replay at lsn %d: %w", op.LSN, err)
+		}
+		n++
+	}
+	v.log = l
+	v.walReplayed = int64(n)
+	return n, nil
+}
+
+// Commit blocks until every write logged so far is durable (one group
+// commit covers every writer parked on the same cohort). Without a WAL it
+// is a no-op: the caller's ack carries only flush-boundary durability.
+func (v *View) Commit() error {
+	v.mu.Lock()
+	l := v.log
+	v.mu.Unlock()
+	if l == nil {
+		return nil
+	}
+	return l.Commit(l.LastLSN())
 }
 
 // MemLen returns the number of live inserts buffered in memory (the live
@@ -101,6 +182,13 @@ func (v *View) Flush() error {
 		v.mu.Unlock()
 		return nil
 	}
+	// The LSN boundary of the sealed snapshot: appends hold mu, so every
+	// logged operation at or below it is in the snapshot (or an older
+	// level) and everything after it is in the fresh buffer.
+	var boundary uint64
+	if v.log != nil {
+		boundary = v.log.LastLSN()
+	}
 	v.flushing = &snap
 	v.mu.Unlock()
 
@@ -108,7 +196,7 @@ func (v *View) Flush() error {
 
 	v.mu.Lock()
 	if err == nil {
-		err = v.store.install(lvl)
+		err = v.store.install(lvl, boundary)
 	}
 	if err != nil {
 		// The level never became visible; replay the sealed snapshot into
@@ -121,8 +209,19 @@ func (v *View) Flush() error {
 			v.mem.Delete(snap.Tombs[i])
 		}
 	}
+	log := v.log
 	v.flushing = nil
 	v.mu.Unlock()
+	if err == nil && log != nil {
+		// The level is durable and the manifest references it: log frames
+		// at or below the boundary are redundant. Make the tail of the log
+		// durable first (truncation must never outrun a sync), then drop
+		// the covered segments.
+		if err := log.Commit(boundary); err != nil {
+			return err
+		}
+		return log.TruncateThrough(boundary)
+	}
 	return err
 }
 
@@ -172,6 +271,14 @@ type WriteStats struct {
 	// Flushes and Compactions count maintenance rounds run.
 	Flushes     int64
 	Compactions int64
+	// WALBytes and WALFsyncs are the write-ahead log's flushed volume and
+	// durability barriers; WALReplayed counts operations recovered into the
+	// memview at open; WALSegments is the live segment count. All zero when
+	// no WAL is attached.
+	WALBytes    int64
+	WALFsyncs   int64
+	WALReplayed int64
+	WALSegments int64
 }
 
 // Add accumulates o into w (for summing across shards).
@@ -183,6 +290,10 @@ func (w *WriteStats) Add(o WriteStats) {
 	w.TombstonesPending += o.TombstonesPending
 	w.Flushes += o.Flushes
 	w.Compactions += o.Compactions
+	w.WALBytes += o.WALBytes
+	w.WALFsyncs += o.WALFsyncs
+	w.WALReplayed += o.WALReplayed
+	w.WALSegments += o.WALSegments
 }
 
 // WriteStats returns the view's current write-path gauges and counters.
@@ -194,8 +305,18 @@ func (v *View) WriteStats() WriteStats {
 		memRecs += int64(len(v.flushing.Inserts))
 		memTombs += int64(len(v.flushing.Tombs))
 	}
+	log, replayed := v.log, v.walReplayed
 	v.mu.Unlock()
+	var walBytes, walFsyncs, walSegs int64
+	if log != nil {
+		ls := log.Stats()
+		walBytes, walFsyncs, walSegs = ls.Bytes, ls.Fsyncs, ls.Segments
+	}
 	return WriteStats{
+		WALBytes:          walBytes,
+		WALFsyncs:         walFsyncs,
+		WALReplayed:       replayed,
+		WALSegments:       walSegs,
 		MemViewRecords:    memRecs,
 		MemViewTombstones: memTombs,
 		DeltaLevels:       int64(v.store.Levels()),

@@ -415,6 +415,25 @@ func (f *File) Prefetch(i, n int64) {
 // callers skip computing read-ahead hints when nobody consumes them.
 func (f *File) Prefetchable() bool { return f.pf != nil }
 
+// Sync forces every written page to durable storage: one barrier is charged
+// to the simulated clock (failing after a simulated power cut, before any
+// real I/O), then the backend's fsync runs if it has one. Layers that
+// install metadata pointing at a freshly written file (the LSM manifest)
+// call this first so the referenced bytes are never softer than the
+// reference.
+func (f *File) Sync() error {
+	if err := f.sim.Sync(); err != nil {
+		return err
+	}
+	type syncer interface{ Sync() error }
+	if s, ok := f.backend.(syncer); ok {
+		if err := s.Sync(); err != nil {
+			return fmt.Errorf("pagefile: sync: %w", err)
+		}
+	}
+	return nil
+}
+
 // Close stops the prefetcher (waiting for in-flight warm-ups, so no worker
 // touches backend memory being released) and then releases the backing
 // storage.
@@ -486,4 +505,5 @@ func (o *osBackend) WritePage(i int64, src []byte) error {
 }
 
 func (o *osBackend) NumPages() int64 { return o.npages }
+func (o *osBackend) Sync() error     { return o.f.Sync() }
 func (o *osBackend) Close() error    { return o.f.Close() }

@@ -170,9 +170,17 @@ func (c *Client) roundTrip(t FrameType, body []byte) (FrameType, []byte, error) 
 // treats as resumable; batch pulls qualify because a transient failure
 // makes no stream progress.
 func (c *Client) expectRetry(req FrameType, body []byte, want FrameType) ([]byte, error) {
+	return c.expectRetryIf(req, body, want, IsTransient)
+}
+
+// expectRetryIf is expectRetry with a caller-chosen retry predicate. Every
+// retried failure must be one the server rejected before applying anything
+// (transient pulls, write-rate throttles), so replaying the identical
+// request is safe.
+func (c *Client) expectRetryIf(req FrameType, body []byte, want FrameType, retryable func(error) bool) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
 		rbody, err := c.expect(req, body, want)
-		if err == nil || !IsTransient(err) {
+		if err == nil || !retryable(err) {
 			return rbody, err
 		}
 		c.mu.Lock()
@@ -277,16 +285,22 @@ func (v *RemoteView) EstimateCount(q record.Box) (float64, error) {
 	return resp.Count, nil
 }
 
-// Append inserts a batch of records into the view's live write path. It
-// returns how many records the server accepted: len(recs) on success,
-// fewer if the batch failed partway (the accepted prefix is durable in the
-// server's memview). Write rejections — a read-only view, or the ingest
-// backlog over the server's cap — surface as *Error (check with
-// IsWriteReject); the client stays usable and may retry after a flush.
-// Appends are never auto-retried: a transient failure may leave the prefix
-// applied, and replaying it would double-insert.
+// Append inserts a batch of records into the view's live write path. The
+// server acks only after the batch is durable in the view's write-ahead
+// log (when the view runs with one), and Append returns how many records
+// it accepted: len(recs) on success, fewer if the batch failed partway
+// (the accepted prefix is applied in the server's memview). Write
+// rejections — a read-only view, or the ingest backlog over the server's
+// cap — surface as *Error (check with IsWriteReject); the client stays
+// usable and may retry after a flush. Write-rate throttles
+// (CodeWriteThrottled) are retried automatically under the RetryPolicy:
+// the server rejects a throttled batch before applying anything, so the
+// replay cannot double-insert. No other append failure is auto-retried — a
+// mid-batch failure may leave a prefix applied, and replaying it would
+// double-insert.
 func (v *RemoteView) Append(recs []record.Record) (int, error) {
-	rbody, err := v.c.expect(FAppend, appendReq{ViewID: v.id, Records: recs}.encode(), FAppendOK)
+	rbody, err := v.c.expectRetryIf(
+		FAppend, appendReq{ViewID: v.id, Records: recs}.encode(), FAppendOK, IsWriteThrottled)
 	if err != nil {
 		return 0, err
 	}
@@ -299,9 +313,11 @@ func (v *RemoteView) Append(recs []record.Record) (int, error) {
 
 // Delete tombstones a batch of records in the view's live write path. The
 // full records travel with the request, so deletes merge into delta levels
-// without consulting the base view. Rejection semantics match Append.
+// without consulting the base view. Rejection, durability and
+// throttle-retry semantics match Append.
 func (v *RemoteView) Delete(recs []record.Record) (int, error) {
-	rbody, err := v.c.expect(FDeleteRecs, deleteRecsReq{ViewID: v.id, Records: recs}.encode(), FDeleteOK)
+	rbody, err := v.c.expectRetryIf(
+		FDeleteRecs, deleteRecsReq{ViewID: v.id, Records: recs}.encode(), FDeleteOK, IsWriteThrottled)
 	if err != nil {
 		return 0, err
 	}

@@ -48,6 +48,11 @@ const (
 	// buffer is over the server's backlog cap and the ingest must back off
 	// until a flush drains it. The request made no change; retry later.
 	CodeWriteBacklog uint16 = 12
+	// CodeWriteThrottled: admission control — the connection's write-rate
+	// token bucket is empty. The request was rejected before any record was
+	// applied, so retrying the identical batch after a short backoff is
+	// safe; the client library does so automatically.
+	CodeWriteThrottled uint16 = 13
 )
 
 // Error is a typed failure returned by the server as an FError frame and
@@ -92,6 +97,15 @@ func IsDegraded(err error) bool {
 func IsWriteReject(err error) bool {
 	se, ok := err.(*Error)
 	return ok && (se.Code == CodeReadOnly || se.Code == CodeWriteBacklog)
+}
+
+// IsWriteThrottled reports whether err is a typed write-rate rejection:
+// the connection's token bucket ran dry before the batch was admitted.
+// Nothing was applied, so the identical request may be retried after a
+// backoff.
+func IsWriteThrottled(err error) bool {
+	se, ok := err.(*Error)
+	return ok && se.Code == CodeWriteThrottled
 }
 
 // --- primitive append/consume helpers -----------------------------------

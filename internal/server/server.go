@@ -54,6 +54,16 @@ type Config struct {
 	// when the view flushes — explicitly, or via catalog maintenance in the
 	// gaps between request bursts (default 65536).
 	MaxWriteBacklog int
+	// WriteRate is per-connection write-rate admission: each connection's
+	// appends and deletes draw from a token bucket refilled at this many
+	// entries per second. A batch that finds the bucket dry receives a typed
+	// CodeWriteThrottled rejection before anything is applied, so the client
+	// can safely retry the identical batch. 0 disables rate admission.
+	WriteRate float64
+	// WriteBurst is the token bucket's capacity: the largest write burst one
+	// connection may land instantly. Defaults to max(WriteRate, MaxBatch)
+	// when rate admission is on, so a full-size batch is always admittable.
+	WriteBurst int
 }
 
 // maxBatchLimit is the largest batch that fits one frame with headroom for
@@ -75,6 +85,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWriteBacklog <= 0 {
 		c.MaxWriteBacklog = 65536
+	}
+	if c.WriteRate > 0 && c.WriteBurst <= 0 {
+		c.WriteBurst = c.MaxBatch
+		if r := int(c.WriteRate); r > c.WriteBurst {
+			c.WriteBurst = r
+		}
 	}
 	return c
 }
@@ -107,6 +123,11 @@ type WritableSource interface {
 	Insert(rec record.Record) error
 	Delete(rec record.Record) error
 	Flush() error
+	// Commit blocks until every write accepted so far is durable in the
+	// view's write-ahead log (a no-op for views running without one). The
+	// handlers call it before acking an append or delete batch, so an ack
+	// always means "survives a crash".
+	Commit() error
 	// WriteStats snapshots the write-path counters; the handlers use the
 	// in-memory buffer size for backlog admission and the stats frame
 	// aggregates the rest.
@@ -481,6 +502,10 @@ func (s *Server) Snapshot() *StatsSnapshot {
 			write.MemViewTombstones += ws.MemViewTombstones
 			write.TombstonesPending += ws.TombstonesPending
 			write.Compactions += ws.Compactions
+			write.WALBytes += ws.WALBytes
+			write.WALFsyncs += ws.WALFsyncs
+			write.WALReplayed += ws.WALReplayed
+			write.WALSegments += ws.WALSegments
 		}
 	}
 
@@ -516,6 +541,12 @@ func (s *Server) Snapshot() *StatsSnapshot {
 		TombstonesPending: write.TombstonesPending,
 		DeltaLevels:       write.DeltaLevels,
 		CompactionsRun:    write.Compactions,
+
+		RejectedThrottle: c.RejectedThrottle.Load(),
+		WALBytes:         write.WALBytes,
+		WALFsyncs:        write.WALFsyncs,
+		WALReplayed:      write.WALReplayed,
+		WALSegments:      write.WALSegments,
 	}
 	for _, sess := range sessions {
 		snap.Sessions = append(snap.Sessions, sess.snapshot())

@@ -89,6 +89,14 @@ type session struct {
 	reaped     map[uint32]struct{}      // guarded by mu; tombstones for typed errors
 	nextStream uint32                   // guarded by mu
 
+	// Write-rate token bucket (Config.WriteRate / WriteBurst). The bucket
+	// starts full and refills continuously; tbLast is the wall-clock instant
+	// of the last draw.
+	tbMu     sync.Mutex
+	tbTokens float64   // guarded by tbMu
+	tbLast   time.Time // guarded by tbMu
+	tbInit   bool      // guarded by tbMu
+
 	counters sessionCounters
 }
 
@@ -513,6 +521,43 @@ func (sess *session) rejectWrite(code uint16, msg string) (FrameType, []byte) {
 	return reject(sess, code, msg)
 }
 
+// admitRate draws n entries from the connection's write-rate token bucket,
+// reporting whether the batch is admitted. The bucket refills on the
+// wall clock by design: rate admission paces real client traffic, a
+// pressure the simulated disk clock cannot see. Disabled (always true)
+// when Config.WriteRate is 0.
+func (sess *session) admitRate(n int) bool {
+	rate := sess.srv.cfg.WriteRate
+	if rate <= 0 || n <= 0 {
+		return true
+	}
+	burst := float64(sess.srv.cfg.WriteBurst)
+	sess.tbMu.Lock()
+	defer sess.tbMu.Unlock()
+	now := time.Now()
+	if !sess.tbInit {
+		sess.tbTokens, sess.tbInit = burst, true
+	} else {
+		sess.tbTokens += now.Sub(sess.tbLast).Seconds() * rate
+		if sess.tbTokens > burst {
+			sess.tbTokens = burst
+		}
+	}
+	sess.tbLast = now
+	if sess.tbTokens < float64(n) {
+		return false
+	}
+	sess.tbTokens -= float64(n)
+	return true
+}
+
+// rejectThrottled is the typed write-rate rejection.
+func (sess *session) rejectThrottled(n int) (FrameType, []byte) {
+	sess.srv.stats.RejectedThrottle.Add(1)
+	return reject(sess, CodeWriteThrottled, fmt.Sprintf(
+		"write rate limit: batch of %d exceeds the connection's available tokens; retry after backoff", n))
+}
+
 func (sess *session) handleAppend(body []byte) (FrameType, []byte) {
 	req, err := decodeAppendReq(body)
 	if err != nil {
@@ -527,14 +572,22 @@ func (sess *session) handleAppend(body []byte) (FrameType, []byte) {
 	if w == nil {
 		return sess.rejectWrite(code, msg)
 	}
+	if !sess.admitRate(len(req.Records)) {
+		return sess.rejectThrottled(len(req.Records))
+	}
 	// Inserts are applied in order; the first failure stops the batch and
 	// reports it, with the acknowledged count telling the client how far
-	// the batch got (earlier inserts are already durable in the memview).
+	// the batch got (earlier inserts are already applied in the memview).
 	for i := range req.Records {
 		if err := w.Insert(req.Records[i]); err != nil {
 			sess.srv.stats.RecordsIngested.Add(int64(i))
 			return reject(sess, CodeInternal, fmt.Sprintf("append record %d of %d: %v", i, len(req.Records), err))
 		}
+	}
+	// The ack is a durability promise: group-commit the batch before
+	// sending it, so an acked append survives a crash.
+	if err := w.Commit(); err != nil {
+		return reject(sess, CodeInternal, fmt.Sprintf("append commit: %v", err))
 	}
 	sess.srv.stats.RecordsIngested.Add(int64(len(req.Records)))
 	return FAppendOK, writeAck{ViewID: req.ViewID, N: uint32(len(req.Records))}.encode()
@@ -554,11 +607,18 @@ func (sess *session) handleDeleteRecs(body []byte) (FrameType, []byte) {
 	if w == nil {
 		return sess.rejectWrite(code, msg)
 	}
+	if !sess.admitRate(len(req.Records)) {
+		return sess.rejectThrottled(len(req.Records))
+	}
 	for i := range req.Records {
 		if err := w.Delete(req.Records[i]); err != nil {
 			sess.srv.stats.RecordsDeleted.Add(int64(i))
 			return reject(sess, CodeInternal, fmt.Sprintf("delete record %d of %d: %v", i, len(req.Records), err))
 		}
+	}
+	// Like appends, a delete ack promises the tombstones survive a crash.
+	if err := w.Commit(); err != nil {
+		return reject(sess, CodeInternal, fmt.Sprintf("delete commit: %v", err))
 	}
 	sess.srv.stats.RecordsDeleted.Add(int64(len(req.Records)))
 	return FDeleteOK, writeAck{ViewID: req.ViewID, N: uint32(len(req.Records))}.encode()

@@ -12,30 +12,31 @@ import (
 // sums commute, so snapshots are consistent enough for observability
 // without stalling serving.
 type serverCounters struct {
-	ConnsAccepted   atomic.Int64
-	ConnsClosed     atomic.Int64
-	ConnsRejected   atomic.Int64
-	StreamsOpened   atomic.Int64
-	StreamsClosed   atomic.Int64 // cancel + EOF + session teardown
-	StreamsReaped   atomic.Int64
-	BatchesServed   atomic.Int64
-	RecordsServed   atomic.Int64
-	EstimatesServed atomic.Int64
-	RejectedServer  atomic.Int64 // server-wide stream cap
-	RejectedConn    atomic.Int64 // per-connection stream cap
-	RejectedDrain   atomic.Int64 // refused because shutting down
-	BadFrames       atomic.Int64
-	BytesRead       atomic.Int64
-	BytesWritten    atomic.Int64
-	SimIONanos      atomic.Int64 // simulated I/O time charged by served streams
-	TransientErrors atomic.Int64 // CodeTransient frames sent (storage retry budget exhausted)
-	DegradedErrors  atomic.Int64 // CodeDegraded frames sent (leaves permanently lost)
-	MaintJobs       atomic.Int64 // catalog background jobs run between request bursts
-	MaintJobErrors  atomic.Int64 // catalog background jobs that failed
-	RecordsIngested atomic.Int64 // records accepted by append frames
-	RecordsDeleted  atomic.Int64 // tombstones recorded by delete frames
-	FlushesServed   atomic.Int64 // explicit flush frames honored
-	RejectedWrites  atomic.Int64 // CodeReadOnly + CodeWriteBacklog rejections
+	ConnsAccepted    atomic.Int64
+	ConnsClosed      atomic.Int64
+	ConnsRejected    atomic.Int64
+	StreamsOpened    atomic.Int64
+	StreamsClosed    atomic.Int64 // cancel + EOF + session teardown
+	StreamsReaped    atomic.Int64
+	BatchesServed    atomic.Int64
+	RecordsServed    atomic.Int64
+	EstimatesServed  atomic.Int64
+	RejectedServer   atomic.Int64 // server-wide stream cap
+	RejectedConn     atomic.Int64 // per-connection stream cap
+	RejectedDrain    atomic.Int64 // refused because shutting down
+	BadFrames        atomic.Int64
+	BytesRead        atomic.Int64
+	BytesWritten     atomic.Int64
+	SimIONanos       atomic.Int64 // simulated I/O time charged by served streams
+	TransientErrors  atomic.Int64 // CodeTransient frames sent (storage retry budget exhausted)
+	DegradedErrors   atomic.Int64 // CodeDegraded frames sent (leaves permanently lost)
+	MaintJobs        atomic.Int64 // catalog background jobs run between request bursts
+	MaintJobErrors   atomic.Int64 // catalog background jobs that failed
+	RecordsIngested  atomic.Int64 // records accepted by append frames
+	RecordsDeleted   atomic.Int64 // tombstones recorded by delete frames
+	FlushesServed    atomic.Int64 // explicit flush frames honored
+	RejectedWrites   atomic.Int64 // CodeReadOnly + CodeWriteBacklog rejections
+	RejectedThrottle atomic.Int64 // CodeWriteThrottled rejections (rate admission)
 }
 
 // sessionCounters is the per-session slice of the same surface.
@@ -91,6 +92,16 @@ type StatsSnapshot struct {
 	DeltaLevels       int64
 	CompactionsRun    int64
 
+	// Durability counters (wire version 3 fields). RejectedThrottle counts
+	// write-rate rejections; the WAL gauges aggregate over the servable
+	// views: logged bytes, group-commit fsyncs, operations replayed by crash
+	// recovery at open, and live log segments.
+	RejectedThrottle int64
+	WALBytes         int64
+	WALFsyncs        int64
+	WALReplayed      int64
+	WALSegments      int64
+
 	Sessions []SessionSnapshot
 }
 
@@ -112,9 +123,10 @@ type SessionSnapshot struct {
 // snapshot is encoded as a field count followed by that many int64s, per
 // scope, so decoders can stay compatible with older servers that send
 // fewer fields. Fields 21..28 are the write-path counters added with the
-// ingest frames (wire version 2 of the stats snapshot).
+// ingest frames (wire version 2 of the stats snapshot); fields 29..33 are
+// the durability counters added with the write-ahead log (wire version 3).
 const (
-	serverFieldCount  = 29
+	serverFieldCount  = 34
 	sessionFieldCount = 10
 )
 
@@ -129,6 +141,7 @@ func (s *StatsSnapshot) serverFields() []int64 {
 		s.MaintJobs, s.MaintJobErrors,
 		s.RecordsIngested, s.RecordsDeleted, s.FlushesServed, s.RejectedWrites,
 		s.MemViewRecords, s.TombstonesPending, s.DeltaLevels, s.CompactionsRun,
+		s.RejectedThrottle, s.WALBytes, s.WALFsyncs, s.WALReplayed, s.WALSegments,
 	}
 }
 
@@ -142,6 +155,7 @@ func (s *StatsSnapshot) setServerFields(f []int64) {
 	s.MaintJobs, s.MaintJobErrors = f[19], f[20]
 	s.RecordsIngested, s.RecordsDeleted, s.FlushesServed, s.RejectedWrites = f[21], f[22], f[23], f[24]
 	s.MemViewRecords, s.TombstonesPending, s.DeltaLevels, s.CompactionsRun = f[25], f[26], f[27], f[28]
+	s.RejectedThrottle, s.WALBytes, s.WALFsyncs, s.WALReplayed, s.WALSegments = f[29], f[30], f[31], f[32], f[33]
 }
 
 func (s *SessionSnapshot) fields() []int64 {
@@ -243,10 +257,12 @@ func (s *StatsSnapshot) Dump(w io.Writer) {
 		s.TransientErrors, s.DegradedErrors)
 	fmt.Fprintf(w, "maintenance:     %d jobs run, %d failed\n",
 		s.MaintJobs, s.MaintJobErrors)
-	fmt.Fprintf(w, "ingest:          %d records appended, %d deleted, %d flushes, %d write rejections\n",
-		s.RecordsIngested, s.RecordsDeleted, s.FlushesServed, s.RejectedWrites)
+	fmt.Fprintf(w, "ingest:          %d records appended, %d deleted, %d flushes, %d write rejections, %d throttled\n",
+		s.RecordsIngested, s.RecordsDeleted, s.FlushesServed, s.RejectedWrites, s.RejectedThrottle)
 	fmt.Fprintf(w, "write path:      %d buffered, %d tombstones pending, %d delta levels, %d compactions\n",
 		s.MemViewRecords, s.TombstonesPending, s.DeltaLevels, s.CompactionsRun)
+	fmt.Fprintf(w, "durability:      %d wal bytes, %d fsyncs, %d ops replayed, %d segments\n",
+		s.WALBytes, s.WALFsyncs, s.WALReplayed, s.WALSegments)
 	for i := range s.Sessions {
 		ss := &s.Sessions[i]
 		fmt.Fprintf(w, "session %-6d   %d open, %d opened (%d reaped), %d records / %d batches, %d rej, %dB in / %dB out, sim %v\n",

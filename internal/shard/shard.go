@@ -31,6 +31,7 @@ import (
 	"sampleview/internal/pagefile"
 	"sampleview/internal/par"
 	"sampleview/internal/record"
+	"sampleview/internal/wal"
 )
 
 // Partition selects how records map to shards.
@@ -93,6 +94,18 @@ type Options struct {
 	// PrefetchWorkers > 0 attaches an async leaf prefetcher to each opened
 	// shard file. 0 disables prefetching.
 	PrefetchWorkers int
+	// WAL attaches a write-ahead log to every stored shard: inserts and
+	// deletes are logged before they are applied, Commit makes them durable,
+	// and Open replays whatever a crash left unflushed. Ignored for
+	// in-memory views (nothing survives anyway).
+	WAL bool
+	// WALSyncEvery caps how many logged writes a group commit may cover
+	// before the leader syncs immediately (1 = sync every write; 0 = no cap,
+	// pure window batching). Passed through to wal.Options.SyncEvery.
+	WALSyncEvery int
+	// WALGroupWindow is how long a group-commit leader waits for followers
+	// to pile on before syncing. Passed through to wal.Options.GroupWindow.
+	WALGroupWindow time.Duration
 }
 
 func (o Options) k() int {
@@ -155,11 +168,13 @@ type View struct {
 	rng *rand.Rand // guarded by mu
 }
 
-// shardPart is one partition: its backing file and live write-path view
-// (tree + memview + delta levels beside the shard file).
+// shardPart is one partition: its backing file, live write-path view
+// (tree + memview + delta levels beside the shard file), and — when the
+// view runs with durability on — the shard's write-ahead log.
 type shardPart struct {
 	file *pagefile.File
 	live *lsm.View
+	log  *wal.Log // nil without Options.WAL or for in-memory shards
 }
 
 // mix64 is the splitmix64 finalizer: a cheap, well-distributed hash used
@@ -254,6 +269,9 @@ func Create(dir string, recs []record.Record, opts Options) (*View, error) {
 		sp, err := buildShard(v.farm.Disk(i), v.shardPath(i), parts[i], opts.params(i))
 		if err != nil {
 			return fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+		if err := sp.enableWAL(v.farm.Disk(i), v.shardPath(i), opts, true); err != nil {
+			return fmt.Errorf("shard: opening shard %d wal: %w", i, err)
 		}
 		v.shards[i] = sp
 		return nil
@@ -413,10 +431,46 @@ func Open(dir string, opts Options) (*View, error) {
 			v.closeShards()
 			return nil, fmt.Errorf("shard: opening shard %d deltas: %w", i, err)
 		}
-		v.shards[i] = &shardPart{file: f, live: lsm.NewView(tree, store)}
+		sp := &shardPart{file: f, live: lsm.NewView(tree, store)}
+		if err := sp.enableWAL(v.farm.Disk(i), v.shardPath(i), opts, false); err != nil {
+			f.Close()
+			v.closeShards()
+			return nil, fmt.Errorf("shard: recovering shard %d wal: %w", i, err)
+		}
+		v.shards[i] = sp
 	}
 	v.farm.SetFaultPlan(opts.Faults)
 	return v, nil
+}
+
+// enableWAL opens (create: after clearing stale segments from an earlier
+// incarnation) the shard's write-ahead log, replays any operations a crash
+// left unflushed into the shard's memview, and attaches the log to the
+// shard's write path. A no-op for in-memory shards or when Options.WAL is
+// off.
+func (sp *shardPart) enableWAL(disk *iosim.Sim, path string, opts Options, create bool) error {
+	if !opts.WAL || path == "" {
+		return nil
+	}
+	if create {
+		if err := wal.RemoveAll(path); err != nil {
+			return err
+		}
+	}
+	l, ops, err := wal.Open(path, wal.Options{
+		Sim:         disk,
+		SyncEvery:   opts.WALSyncEvery,
+		GroupWindow: opts.WALGroupWindow,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := sp.live.AttachWAL(l, ops); err != nil {
+		l.Close()
+		return err
+	}
+	sp.log = l
+	return nil
 }
 
 // closeShards closes every already-open shard file (build/open error paths).
@@ -424,13 +478,16 @@ func (v *View) closeShards() {
 	for _, sp := range v.shards {
 		if sp != nil {
 			sp.live.Store().Close()
+			if sp.log != nil {
+				sp.log.Close()
+			}
 			sp.file.Close()
 		}
 	}
 }
 
-// Close releases every shard's backing file and delta store, returning the
-// first error.
+// Close releases every shard's backing file, delta store and write-ahead
+// log, returning the first error.
 func (v *View) Close() error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -438,6 +495,11 @@ func (v *View) Close() error {
 	for i, sp := range v.shards {
 		if err := sp.live.Store().Close(); err != nil && first == nil {
 			first = fmt.Errorf("shard: closing shard %d deltas: %w", i, err)
+		}
+		if sp.log != nil {
+			if err := sp.log.Close(); err != nil && first == nil && !iosim.IsCrash(err) {
+				first = fmt.Errorf("shard: closing shard %d wal: %w", i, err)
+			}
 		}
 		if err := sp.file.Close(); err != nil && first == nil {
 			first = fmt.Errorf("shard: closing shard %d: %w", i, err)
@@ -522,6 +584,20 @@ func (v *View) Insert(rec record.Record) error {
 // range mode by Key), so deletes land on the shard the insert did.
 func (v *View) Delete(rec record.Record) error {
 	return v.shards[v.route(&rec)].live.Delete(rec)
+}
+
+// Commit blocks until every write accepted so far is durable in each
+// shard's write-ahead log (shards with no log, or in-memory shards, are
+// covered trivially). The serving layer calls it before acking a write
+// batch; one group commit per shard covers every writer parked on that
+// shard's cohort.
+func (v *View) Commit() error {
+	for i, sp := range v.shards {
+		if err := sp.live.Commit(); err != nil {
+			return fmt.Errorf("shard: committing shard %d wal: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Flush seals each shard's ingest buffer into a level-0 delta file beside
@@ -657,6 +733,31 @@ func (v *View) compactShardLocked(i int, sp *shardPart) error {
 		return fmt.Errorf("shard: compacting shard %d: %w", i, err)
 	}
 	oldStore.Destroy()
+	if err := v.recycleWAL(i, sp); err != nil {
+		return err
+	}
+	return nil
+}
+
+// recycleWAL truncates shard i's write-ahead log after a full fold — every
+// logged operation is now in the rebuilt base tree, while the fresh delta
+// store restarts its applied-LSN watermark at zero, so stale segments
+// would double-apply on recovery — and re-attaches the (now empty) log to
+// the shard's new live view. Callers hold mu and have swapped sp.live.
+func (v *View) recycleWAL(i int, sp *shardPart) error {
+	if sp.log == nil {
+		return nil
+	}
+	boundary := sp.log.LastLSN()
+	if err := sp.log.Commit(boundary); err != nil {
+		return fmt.Errorf("shard: draining shard %d wal: %w", i, err)
+	}
+	if err := sp.log.TruncateThrough(boundary); err != nil {
+		return fmt.Errorf("shard: truncating shard %d wal: %w", i, err)
+	}
+	if _, err := sp.live.AttachWAL(sp.log, nil); err != nil {
+		return fmt.Errorf("shard: reattaching shard %d wal: %w", i, err)
+	}
 	return nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"sampleview/internal/pagefile"
 	"sampleview/internal/record"
 	"sampleview/internal/stats"
+	"sampleview/internal/wal"
 )
 
 // ErrStreamClosed is returned by Stream.Next (and everything built on it)
@@ -88,6 +89,35 @@ func FaultProfile(name string, seed uint64) (FaultPlan, error) {
 // FaultProfiles lists the named fault profiles, mildest first.
 func FaultProfiles() []string { return iosim.Profiles() }
 
+// Crash-injection types, re-exported for the crash-drill harness: a
+// CrashPlan schedules one deterministic simulated power cut at a named
+// write-path crash point (see Options.Crash and View.InjectCrash).
+type (
+	// CrashPlan schedules one deterministic power cut.
+	CrashPlan = iosim.CrashPlan
+	// CrashPoint names an instrumented write-path site.
+	CrashPoint = iosim.CrashPoint
+)
+
+// The named crash points, in write-path order.
+const (
+	CrashPostWALAppend     = iosim.CrashPostWALAppend
+	CrashMidPageWrite      = iosim.CrashMidPageWrite
+	CrashPreManifestRename = iosim.CrashPreManifestRename
+	CrashMidCompaction     = iosim.CrashMidCompaction
+)
+
+// CrashPoints returns every crash point, in write-path order.
+func CrashPoints() []CrashPoint { return iosim.CrashPoints() }
+
+// ParseCrashPoint resolves a crash-point name from a flag.
+func ParseCrashPoint(s string) (CrashPoint, error) { return iosim.ParseCrashPoint(s) }
+
+// IsCrash reports whether err is (or wraps) a simulated power cut. After a
+// cut, every write-path operation on the view fails with the same error;
+// reopening the view runs recovery over whatever reached the disk.
+func IsCrash(err error) bool { return iosim.IsCrash(err) }
+
 // IsTransient reports whether err is (or wraps) a transient storage
 // failure: retrying the operation that returned it may succeed, and for
 // streams the retry continues exactly where the fault struck (no records
@@ -152,6 +182,25 @@ type Options struct {
 	// deterministic schedule is warmed into memory on wall-clock time, with
 	// no simulated charge. 0 disables prefetching.
 	PrefetchWorkers int
+	// WAL enables the crash-consistent write path for OS-backed views:
+	// every Insert/Delete is appended to a checksummed write-ahead log
+	// beside the view file before it reaches the memview, View.Commit
+	// group-commits the log (the ack barrier), Open replays it, and Flush
+	// truncates the segments a durable level-0 write made redundant.
+	// Ignored for in-memory views.
+	WAL bool
+	// WALSyncEvery caps how many logged operations one group-commit cohort
+	// may cover; 1 syncs every write (the durability baseline), 0 leaves
+	// the cohort unbounded. Only meaningful with WAL.
+	WALSyncEvery int
+	// WALGroupWindow is how long a commit leader waits (wall-clock) for
+	// more writers to join its cohort before issuing the one fsync that
+	// acks the batch. 0 syncs immediately. Only meaningful with WAL.
+	WALGroupWindow time.Duration
+	// Crash installs a deterministic simulated power-cut schedule on the
+	// view's disk (see CrashPlan). The zero value injects nothing;
+	// View.InjectCrash replaces the schedule at runtime.
+	Crash CrashPlan
 }
 
 func (o Options) model() iosim.Model {
@@ -205,8 +254,11 @@ type View struct {
 	// files beside the view file. It has its own locking; the view mutex
 	// only serializes the draw rng and rebuilds.
 	live *lsm.View
-	rng  *rand.Rand // guarded by mu
-	path string
+	// walLog is the write-ahead log (nil unless Options.WAL); the view owns
+	// its lifecycle, lsm.View uses it.
+	walLog *wal.Log
+	rng    *rand.Rand // guarded by mu
+	path   string
 }
 
 // Create builds a sample view over the records produced by src and stores
@@ -251,8 +303,14 @@ func Create(path string, src Source, opts Options) (*View, error) {
 		}
 		return nil, err
 	}
+	v := newView(sim, f, tree, store, path, opts.Seed)
+	if err := v.enableWAL(opts, true); err != nil {
+		v.Close()
+		return nil, err
+	}
 	sim.SetFaultPlan(opts.Faults)
-	return newView(sim, f, tree, store, path, opts.Seed), nil
+	sim.SetCrashPlan(opts.Crash)
+	return v, nil
 }
 
 // CreateFromSlice builds a sample view over the given records.
@@ -282,8 +340,17 @@ func Open(path string, opts Options) (*View, error) {
 		f.Close()
 		return nil, err
 	}
+	v := newView(sim, f, tree, store, path, opts.Seed)
+	// Recovery: replay the write-ahead log into the memview, skipping
+	// operations already folded into durable levels, before any fault or
+	// crash schedule arms.
+	if err := v.enableWAL(opts, false); err != nil {
+		v.Close()
+		return nil, err
+	}
 	sim.SetFaultPlan(opts.Faults)
-	return newView(sim, f, tree, store, path, opts.Seed), nil
+	sim.SetCrashPlan(opts.Crash)
+	return v, nil
 }
 
 func newView(sim *iosim.Sim, f *pagefile.File, tree *core.Tree, store *lsm.Store, path string, seed uint64) *View {
@@ -297,11 +364,54 @@ func newView(sim *iosim.Sim, f *pagefile.File, tree *core.Tree, store *lsm.Store
 	}
 }
 
-// Close releases the view's backing file and its delta-level files.
+// enableWAL opens (create: after clearing stale segments) the write-ahead
+// log beside the view file, replays recovered operations into the memview,
+// and attaches the log to the write path. A no-op for in-memory views or
+// when Options.WAL is off.
+func (v *View) enableWAL(opts Options, create bool) error {
+	if !opts.WAL || v.path == "" {
+		return nil
+	}
+	if create {
+		if err := wal.RemoveAll(v.path); err != nil {
+			return err
+		}
+	}
+	l, ops, err := wal.Open(v.path, wal.Options{
+		Sim:         v.sim,
+		SyncEvery:   opts.WALSyncEvery,
+		GroupWindow: opts.WALGroupWindow,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := v.live.AttachWAL(l, ops); err != nil {
+		l.Close()
+		return err
+	}
+	v.walLog = l
+	return nil
+}
+
+// Commit blocks until every write accepted so far is durable in the
+// write-ahead log, joining the in-progress group-commit cohort when one
+// exists (one fsync acks every writer parked on it). Callers that ack
+// writes to others — the serving layer — call this before acking. Without a
+// WAL it returns immediately: durability is then only flush-deep.
+func (v *View) Commit() error { return v.live.Commit() }
+
+// Close releases the view's backing file, its delta-level files and its
+// write-ahead log (flushing any buffered log frames first, unless a
+// simulated power cut already struck).
 func (v *View) Close() error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	serr := v.live.Store().Close()
+	if v.walLog != nil {
+		if werr := v.walLog.Close(); werr != nil && serr == nil && !iosim.IsCrash(werr) {
+			serr = werr
+		}
+	}
 	if err := v.file.Close(); err != nil {
 		return err
 	}
@@ -388,8 +498,17 @@ func (v *View) Compact(path string, opts Options) (*View, error) {
 		}
 		return nil, err
 	}
+	nv := newView(sim, f, tree, store, path, opts.Seed)
+	// The fold is fully contained in the new base tree, so the compacted
+	// view starts from an empty log (stale segments at path are cleared).
+	if err := nv.enableWAL(opts, true); err != nil {
+		//lint:ignore lockorder nv is the freshly built view, not the receiver; its mutex is distinct from the v.mu held here
+		nv.Close()
+		return nil, err
+	}
 	sim.SetFaultPlan(opts.Faults)
-	return newView(sim, f, tree, store, path, opts.Seed), nil
+	sim.SetCrashPlan(opts.Crash)
+	return nv, nil
 }
 
 // InjectFaults installs (or, with a zero plan, clears) a deterministic
@@ -400,6 +519,16 @@ func (v *View) InjectFaults(p FaultPlan) { v.sim.SetFaultPlan(p) }
 
 // FaultPlan returns the active fault schedule (zero if none).
 func (v *View) FaultPlan() FaultPlan { return v.sim.FaultPlan() }
+
+// InjectCrash installs (or, with a zero plan, clears) a deterministic
+// simulated power-cut schedule on the view's disk. Once the scheduled
+// crash point fires, every write-path operation fails with the crash error
+// until the view is reopened; the crash drill harness uses it to kill the
+// write path at every instrumented site.
+func (v *View) InjectCrash(p CrashPlan) { v.sim.SetCrashPlan(p) }
+
+// Crashed reports whether the simulated power cut has fired.
+func (v *View) Crashed() bool { return v.sim.Crashed() }
 
 // Fsck verifies the stored checksum of every page of the view file and
 // reports each corrupt page with the tree region — and for leaf pages, the
