@@ -1,0 +1,526 @@
+package main
+
+// Fleet mode (-fleet): the replicated-serving drill. For each fleet size
+// K in {1, 2, 4} it builds K byte-identical replicas of one view, fronts
+// them with an in-process router, and runs two phases:
+//
+//  1. bench — a closed-loop multi-connection workload through the router,
+//     reporting fleet-wide batch-latency percentiles and the per-node
+//     distribution of placed streams;
+//  2. kill drill (K >= 2) — a seeded stream is pulled partway, the replica
+//     hosting it is shut down outright, and the drained remainder must be
+//     byte-identical to an uninterrupted local stream over the same view
+//     bytes (no gap, no duplicate, no reorder), with the post-migration
+//     suffix still chi-square-uniform over the query range.
+//
+// The -out report (results/fleet-bench.md in CI) is the fleet counterpart
+// of the chaos report: contract verdicts plus the scaling table.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sampleview"
+	"sampleview/internal/fleet"
+	"sampleview/internal/record"
+	"sampleview/internal/server"
+	"sampleview/internal/stats"
+	"sampleview/internal/workload"
+)
+
+// fleetSizes is the scaling ladder the drill walks.
+var fleetSizes = []int{1, 2, 4}
+
+const (
+	fleetBenchClients = 8
+	fleetBenchOps     = 4
+	fleetBenchSamples = 2000
+	fleetBenchBatch   = 256
+	fleetHoldPerNode  = 8 // streams held open per replica in the placement probe
+	fleetReplicaCap   = 64
+)
+
+// fleetResult aggregates one fleet size's run.
+type fleetResult struct {
+	k          int
+	elapsed    time.Duration
+	records    int64
+	ops        int
+	rejections int
+	batchLat   []time.Duration
+	perNode    []int64 // open streams per replica during the hold probe
+	violations []string
+	// kill-drill fields (K >= 2 only).
+	drillRan   bool
+	killAt     int
+	total      int
+	migrations int64
+	suffixN    int
+	suffixP    float64
+}
+
+// chaosFleet is one running fleet: K replica servers plus the router.
+type chaosFleet struct {
+	router   *fleet.Router
+	addr     string
+	replicas []*server.Server
+	views    []*sampleview.View
+	closers  []func()
+}
+
+func (cf *chaosFleet) close() {
+	cf.router.Shutdown()
+	for _, srv := range cf.replicas {
+		srv.Shutdown()
+	}
+	for _, c := range cf.closers {
+		c()
+	}
+}
+
+// startChaosFleet builds K byte-identical replica views from recs (same
+// records, same build seed — the replica-consistency invariant), serves
+// each, and fronts them with a router. Hedging is off so exactly one
+// replica hosts any stream, making the kill drill's victim unambiguous.
+func startChaosFleet(dir string, k int, recs []record.Record, seed uint64) (*chaosFleet, error) {
+	cf := &chaosFleet{}
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("fleet%d-replica%d.view", k, i))
+		v, err := sampleview.CreateFromSlice(path, recs, sampleview.Options{Seed: seed})
+		if err != nil {
+			cf.close()
+			return nil, err
+		}
+		cf.views = append(cf.views, v)
+		cf.closers = append(cf.closers, func() { v.Close() })
+
+		srv := server.New(server.Config{
+			MaxStreams: fleetReplicaCap,
+			ReplicaID:  fmt.Sprintf("replica-%d", i),
+		})
+		srv.AddView("fleet", v)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cf.close()
+			return nil, err
+		}
+		go srv.Serve(ln)
+		cf.replicas = append(cf.replicas, srv)
+		addrs[i] = ln.Addr().String()
+	}
+	router, err := fleet.New(fleet.Config{Replicas: addrs, Seed: seed})
+	if err != nil {
+		cf.close()
+		return nil, err
+	}
+	if err := router.Connect(); err != nil {
+		cf.close()
+		return nil, err
+	}
+	cf.router = router
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cf.close()
+		return nil, err
+	}
+	go router.Serve(ln)
+	cf.addr = ln.Addr().String()
+	return cf, nil
+}
+
+// runFleetMode is the -fleet entry point. Returns the process exit code.
+func runFleetMode(nrecords int, seed uint64, out string) int {
+	dir, err := os.MkdirTemp("", "svchaos-fleet-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svchaos: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+
+	recs := genRecords(nrecords, seed)
+	fmt.Printf("fleet drill: %d records per replica; K in %v; %d clients x %d ops x %d samples per fleet\n",
+		nrecords, fleetSizes, fleetBenchClients, fleetBenchOps, fleetBenchSamples)
+
+	var results []fleetResult
+	failed := false
+	for _, k := range fleetSizes {
+		res := runFleetSize(dir, k, recs, seed)
+		results = append(results, res)
+		verdict := "ok"
+		if len(res.violations) > 0 {
+			verdict = "CONTRACT VIOLATED"
+			failed = true
+		}
+		sort.Slice(res.batchLat, func(i, j int) bool { return res.batchLat[i] < res.batchLat[j] })
+		drill := "skipped (single replica)"
+		if res.drillRan {
+			drill = fmt.Sprintf("killed at %d/%d, %d migrations, suffix p=%.3f (n=%d)",
+				res.killAt, res.total, res.migrations, res.suffixP, res.suffixN)
+		}
+		fmt.Printf("K=%d  %7d recs %6.1fs  batch p99=%-10v streams/node=%v  drill: %s  %s\n",
+			k, res.records, res.elapsed.Seconds(),
+			fleetPercentile(res.batchLat, 0.99).Round(time.Microsecond),
+			res.perNode, drill, verdict)
+		for i, v := range res.violations {
+			if i == 5 {
+				fmt.Printf("    ... and %d more\n", len(res.violations)-5)
+				break
+			}
+			fmt.Printf("    violation: %s\n", v)
+		}
+	}
+
+	report := buildFleetReport(nrecords, seed, results)
+	if out != "" {
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "svchaos: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(out, []byte(report), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "svchaos: %v\n", err)
+			return 1
+		}
+		fmt.Printf("report written to %s\n", out)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// runFleetSize runs the bench and (for K >= 2) the kill drill against one
+// fleet of k replicas.
+func runFleetSize(dir string, k int, recs []record.Record, seed uint64) fleetResult {
+	res := fleetResult{k: k, suffixP: 1}
+	cf, err := startChaosFleet(dir, k, recs, seed)
+	if err != nil {
+		res.violations = append(res.violations, err.Error())
+		return res
+	}
+	defer cf.close()
+	start := time.Now()
+
+	// Placement probe: hold open streams from many connections (placement
+	// keys differ per connection) and record how they spread across nodes.
+	hold := fleetHoldPerNode * k
+	conns := make([]*server.Client, 0, hold)
+	streams := make([]*server.RemoteStream, 0, hold)
+	for i := 0; i < hold; i++ {
+		cl, err := server.Dial(cf.addr)
+		if err != nil {
+			res.violations = append(res.violations, fmt.Sprintf("hold dial: %v", err))
+			break
+		}
+		conns = append(conns, cl)
+		rv, err := cl.OpenView("fleet")
+		if err != nil {
+			res.violations = append(res.violations, fmt.Sprintf("hold open view: %v", err))
+			break
+		}
+		s, err := rv.Query(record.FullBox(1))
+		if err != nil {
+			res.violations = append(res.violations, fmt.Sprintf("hold open stream: %v", err))
+			break
+		}
+		streams = append(streams, s)
+	}
+	for _, srv := range cf.replicas {
+		res.perNode = append(res.perNode, srv.Snapshot().OpenStreams)
+	}
+	for _, s := range streams {
+		s.Close()
+	}
+	for _, cl := range conns {
+		cl.Close()
+	}
+
+	// Bench: the svload-style closed loop through the router.
+	perClient := make([]fleetResult, fleetBenchClients)
+	var wg sync.WaitGroup
+	for c := 0; c < fleetBenchClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			perClient[c] = runFleetBenchClient(cf.addr, seed+uint64(c)*1000003)
+		}(c)
+	}
+	wg.Wait()
+	for i := range perClient {
+		pc := &perClient[i]
+		res.records += pc.records
+		res.ops += pc.ops
+		res.rejections += pc.rejections
+		res.batchLat = append(res.batchLat, pc.batchLat...)
+		res.violations = append(res.violations, pc.violations...)
+	}
+
+	if k >= 2 {
+		runFleetKillDrill(cf, &res, seed)
+	}
+	res.elapsed = time.Since(start)
+	return res
+}
+
+// runFleetBenchClient drives one connection through the bench loop.
+func runFleetBenchClient(addr string, seed uint64) fleetResult {
+	var res fleetResult
+	fail := func(format string, args ...any) {
+		res.violations = append(res.violations, fmt.Sprintf(format, args...))
+	}
+	cl, err := server.Dial(addr)
+	if err != nil {
+		fail("bench dial: %v", err)
+		return res
+	}
+	defer cl.Close()
+	rv, err := cl.OpenView("fleet")
+	if err != nil {
+		fail("bench open view: %v", err)
+		return res
+	}
+	qg := workload.NewQueryGen(seed)
+	for op := 0; op < fleetBenchOps; op++ {
+		q := qg.Range1D(selectivities[op%len(selectivities)])
+		s, err := rv.Query(q)
+		if err != nil {
+			if server.IsAdmissionReject(err) {
+				res.rejections++
+				continue
+			}
+			fail("op %d: open stream: %v", op, err)
+			return res
+		}
+		s.SetBatchSize(fleetBenchBatch)
+		seen := make(map[uint64]struct{}, fleetBenchSamples)
+		got := 0
+		for got < fleetBenchSamples {
+			t0 := time.Now()
+			batch, err := s.NextBatch()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fail("op %d: next batch: %v", op, err)
+				break
+			}
+			res.batchLat = append(res.batchLat, time.Since(t0))
+			for i := range batch {
+				if !q.ContainsRecord(&batch[i]) {
+					fail("op %d: record seq %d outside the predicate", op, batch[i].Seq)
+				}
+				if _, dup := seen[batch[i].Seq]; dup {
+					fail("op %d: duplicate seq %d", op, batch[i].Seq)
+				}
+				seen[batch[i].Seq] = struct{}{}
+			}
+			got += len(batch)
+		}
+		res.records += int64(got)
+		res.ops++
+		s.Close()
+	}
+	return res
+}
+
+// runFleetKillDrill pulls a seeded stream a third of the way, kills the
+// replica hosting it, and verifies the migrated remainder: byte-identical
+// to the uninterrupted local reference, and the post-migration suffix
+// still chi-square-uniform over the query range.
+func runFleetKillDrill(cf *chaosFleet, res *fleetResult, seed uint64) {
+	fail := func(format string, args ...any) {
+		res.violations = append(res.violations, fmt.Sprintf("drill: %s", fmt.Sprintf(format, args...)))
+	}
+	res.drillRan = true
+	q := record.Box1D(0, workload.KeyDomain/2)
+	drillSeed := seed ^ 0xca11ab1e
+
+	// The determinism reference: the uninterrupted local stream over the
+	// same view bytes every replica serves.
+	ls, err := cf.views[0].QuerySeeded(q, drillSeed)
+	if err != nil {
+		fail("local reference: %v", err)
+		return
+	}
+	var want []record.Record
+	for {
+		rec, err := ls.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail("local reference: %v", err)
+			ls.Close()
+			return
+		}
+		want = append(want, rec)
+	}
+	ls.Close()
+	res.total = len(want)
+	res.killAt = len(want) / 3
+
+	cl, err := server.Dial(cf.addr)
+	if err != nil {
+		fail("dial: %v", err)
+		return
+	}
+	defer cl.Close()
+	rv, err := cl.OpenView("fleet")
+	if err != nil {
+		fail("open view: %v", err)
+		return
+	}
+	rs, err := rv.QueryAt(q, drillSeed, 0)
+	if err != nil {
+		fail("open seeded stream: %v", err)
+		return
+	}
+	rs.SetBatchSize(fleetBenchBatch)
+	got := make([]record.Record, 0, len(want))
+	for len(got) < res.killAt {
+		rec, err := rs.Next()
+		if err != nil {
+			fail("pre-kill pull after %d records: %v", len(got), err)
+			return
+		}
+		got = append(got, rec)
+	}
+
+	victim := -1
+	for i, srv := range cf.replicas {
+		if srv.Snapshot().OpenStreams > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		fail("no replica hosts the drill stream")
+		return
+	}
+	cf.replicas[victim].Shutdown()
+
+	for {
+		rec, err := rs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail("post-kill pull after %d records: %v", len(got), err)
+			return
+		}
+		got = append(got, rec)
+	}
+
+	// Byte-identity: no gap, no duplicate, no reorder anywhere in the
+	// resumed sequence.
+	if len(got) != len(want) {
+		fail("resumed stream delivered %d records, reference has %d", len(got), len(want))
+		return
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			fail("resumed stream diverges from the reference at record %d (remote seq %d, local seq %d)",
+				i, got[i].Seq, want[i].Seq)
+			return
+		}
+	}
+
+	// Post-migration suffix uniformity: the records served after the kill
+	// must still look like a uniform sample of the query range.
+	kr := q.Dim(0)
+	width := kr.Hi - kr.Lo + 1
+	hist := make([]int64, uniformityBuckets)
+	for _, rec := range got[res.killAt:] {
+		b := (rec.Key - kr.Lo) * uniformityBuckets / width
+		if b >= 0 && b < uniformityBuckets {
+			hist[b]++
+		}
+	}
+	res.suffixN = len(got) - res.killAt
+	if res.suffixN >= minUniformitySample {
+		p, err := stats.ChiSquareUniformPValue(hist)
+		if err != nil {
+			fail("suffix uniformity: %v", err)
+			return
+		}
+		res.suffixP = p
+		if p < uniformityAlpha {
+			fail("post-migration suffix fails uniformity: p=%g over %d records", p, res.suffixN)
+		}
+	}
+
+	snap, err := cl.ServerStats()
+	if err != nil {
+		fail("router stats: %v", err)
+		return
+	}
+	res.migrations = snap.Migrations
+	if snap.Migrations == 0 {
+		fail("router reports no migrations after the hosting replica was killed")
+	}
+	if snap.ReplicasLive != int64(res.k-1) {
+		fail("router reports %d live replicas after the kill, want %d", snap.ReplicasLive, res.k-1)
+	}
+}
+
+func fleetPercentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+func buildFleetReport(nrecords int, seed uint64, results []fleetResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Fleet bench: replicated serving with kill-a-replica drills\n\n")
+	fmt.Fprintf(&b, "For each fleet size K a router fronts K byte-identical replicas "+
+		"(%d records each, build seed %d). The bench runs %d closed-loop clients "+
+		"(%d ops each, %d-sample budget, batches of %d) through the router; the "+
+		"placement probe holds %d streams per node open from distinct connections.\n\n",
+		nrecords, seed, fleetBenchClients, fleetBenchOps, fleetBenchSamples,
+		fleetBenchBatch, fleetHoldPerNode)
+	fmt.Fprintf(&b, "| K | records | wall | records/sec | batch p50 | batch p90 | batch p99 | streams per node | violations |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|\n")
+	for _, r := range results {
+		sort.Slice(r.batchLat, func(i, j int) bool { return r.batchLat[i] < r.batchLat[j] })
+		nodes := make([]string, len(r.perNode))
+		for i, n := range r.perNode {
+			nodes[i] = fmt.Sprintf("%d", n)
+		}
+		fmt.Fprintf(&b, "| %d | %d | %v | %.0f | %v | %v | %v | %s | %d |\n",
+			r.k, r.records, r.elapsed.Round(time.Millisecond),
+			float64(r.records)/r.elapsed.Seconds(),
+			fleetPercentile(r.batchLat, 0.50).Round(time.Microsecond),
+			fleetPercentile(r.batchLat, 0.90).Round(time.Microsecond),
+			fleetPercentile(r.batchLat, 0.99).Round(time.Microsecond),
+			strings.Join(nodes, " / "), len(r.violations))
+	}
+	fmt.Fprintf(&b, "\nKill drill (K >= 2): pull a seeded stream a third of the way, shut the "+
+		"hosting replica down, drain the rest through the router's live migration.\n\n")
+	fmt.Fprintf(&b, "| K | killed at | total records | byte-identical | migrations | suffix n | suffix chi-square p |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|\n")
+	for _, r := range results {
+		if !r.drillRan {
+			fmt.Fprintf(&b, "| %d | - | - | n/a (single replica) | - | - | - |\n", r.k)
+			continue
+		}
+		identical := "yes"
+		if len(r.violations) > 0 {
+			identical = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "| %d | %d | %d | %s | %d | %d | %.3f |\n",
+			r.k, r.killAt, r.total, identical, r.migrations, r.suffixN, r.suffixP)
+	}
+	fmt.Fprintf(&b, "\nContract: a migrated stream's full sequence is byte-identical to an "+
+		"uninterrupted local stream over the same view bytes — no gap, no duplicate, "+
+		"no reorder — and the post-migration suffix stays chi-square-uniform "+
+		"(%d buckets, alpha %g).\n", uniformityBuckets, uniformityAlpha)
+	return b.String()
+}

@@ -18,6 +18,16 @@
 //	svchaos -shards 4
 //	svchaos -ingest 2 -profiles flaky-disk
 //	svchaos -crash -records 20000 -out results/crash-bench.md
+//	svchaos -fleet -records 60000 -out results/fleet-bench.md
+//
+// With -fleet the fault ladder is replaced by the replicated-serving
+// drill: for each fleet size K in {1, 2, 4} a router fronts K
+// byte-identical replicas, a closed-loop workload measures fleet-wide
+// batch-latency percentiles and streams-per-node placement, and (for
+// K >= 2) the replica hosting a half-drained seeded stream is killed
+// outright — the router must migrate the stream live, with the resumed
+// sequence byte-identical to an uninterrupted local stream and the
+// post-migration suffix still chi-square-uniform (see fleet.go).
 //
 // With -crash the fault-profile ladder is replaced by the deterministic
 // power-cut ladder: every instrumented crash point is armed at escalating
@@ -140,6 +150,7 @@ func main() {
 		shards   = flag.Int("shards", 1, "partition the view across this many simulated disks (>1 adds a shard-kill phase)")
 		ingest   = flag.Int("ingest", 0, "writer connections appending/deleting/flushing under each profile")
 		crash    = flag.Bool("crash", false, "run the deterministic power-cut ladder instead of the fault-profile ladder")
+		fleetOn  = flag.Bool("fleet", false, "run the replicated-serving fleet drill instead of the fault-profile ladder")
 		out      = flag.String("out", "", "write the markdown report to this file")
 	)
 	flag.Parse()
@@ -147,6 +158,9 @@ func main() {
 
 	if *crash {
 		os.Exit(runCrashMode(*nrecords, *seed, *out))
+	}
+	if *fleetOn {
+		os.Exit(runFleetMode(*nrecords, *seed, *out))
 	}
 
 	profiles := sampleview.FaultProfiles()

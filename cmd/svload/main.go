@@ -17,11 +17,17 @@
 // -writers is incompatible with -check (the served view diverges from the
 // static check file as soon as the first append lands).
 //
+// With -tenants N the clients spread round-robin across N tenant
+// identities (declared via set-tenant before the first stream), so the
+// server's — or a fleet router's — per-tenant admission and accounting are
+// exercised, and the report breaks latency percentiles down per tenant.
+//
 // Usage:
 //
 //	svload -connect 127.0.0.1:7070 -view sale -clients 64 -ops 10 \
 //	       -samples 2000 -check sale.view -out results/serve-bench.md
 //	svload -connect 127.0.0.1:7070 -view sale -clients 16 -writers 4
+//	svload -connect 127.0.0.1:7000 -view sale -clients 32 -tenants 8
 //
 // Throughput and open/batch latency percentiles are printed and, with
 // -out, appended as a markdown report.
@@ -50,6 +56,7 @@ import (
 var selectivities = []float64{0.0025, 0.025, 0.25}
 
 type clientResult struct {
+	tenant     string
 	ops        int
 	records    int64
 	openLat    []time.Duration
@@ -77,6 +84,7 @@ func main() {
 		wall    = flag.Bool("wall", false, "report wall-clock time-to-first-1000 per query")
 		writers = flag.Int("writers", 0, "concurrent writer connections appending/deleting/flushing for the run's duration")
 		wbatch  = flag.Int("write-batch", 128, "records per append batch")
+		tenants = flag.Int("tenants", 0, "spread clients round-robin across this many tenant identities (0 = untenanted)")
 	)
 	flag.Parse()
 	if *writers > 0 && *check != "" {
@@ -105,11 +113,15 @@ func main() {
 	var live, peak atomic.Int64
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
-		go func(c int) {
+		tenant := ""
+		if *tenants > 0 {
+			tenant = fmt.Sprintf("tenant-%02d", c%*tenants)
+		}
+		go func(c int, tenant string) {
 			defer wg.Done()
-			results[c] = runClient(*connect, *view, *check, dims,
+			results[c] = runClient(*connect, *view, *check, tenant, dims,
 				*seed+uint64(c)*1000003, *ops, *samples, *batch, &live, &peak)
-		}(c)
+		}(c, tenant)
 	}
 
 	// Writers race the readers for the whole run, stopping when the last
@@ -139,8 +151,9 @@ func main() {
 		wtotal.failures = append(wtotal.failures, r.failures...)
 	}
 
-	// Aggregate.
+	// Aggregate, overall and per tenant identity.
 	var total clientResult
+	perTenant := map[string]*clientResult{}
 	for _, r := range results {
 		total.ops += r.ops
 		total.records += r.records
@@ -149,6 +162,18 @@ func main() {
 		total.batchLat = append(total.batchLat, r.batchLat...)
 		total.ttf = append(total.ttf, r.ttf...)
 		total.failures = append(total.failures, r.failures...)
+		if r.tenant != "" {
+			tr := perTenant[r.tenant]
+			if tr == nil {
+				tr = &clientResult{tenant: r.tenant}
+				perTenant[r.tenant] = tr
+			}
+			tr.ops += r.ops
+			tr.records += r.records
+			tr.rejections += r.rejections
+			tr.openLat = append(tr.openLat, r.openLat...)
+			tr.batchLat = append(tr.batchLat, r.batchLat...)
+		}
 	}
 	snap, err := probe.ServerStats()
 	if err != nil {
@@ -159,7 +184,7 @@ func main() {
 
 	total.failures = append(total.failures, wtotal.failures...)
 	report := buildReport(*connect, *view, *clients, *ops, *samples, *batch, *seed,
-		*check != "", *wall, int(peak.Load()), elapsed, &total, *writers, &wtotal, snap)
+		*check != "", *wall, int(peak.Load()), elapsed, &total, perTenant, *writers, &wtotal, snap)
 	fmt.Print(report)
 	if *out != "" {
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -256,10 +281,12 @@ func runWriter(addr, view string, id int, seed uint64, batchSize int, stop <-cha
 	}
 }
 
-// runClient drives one connection through its operations.
-func runClient(addr, view, check string, dims int, seed uint64, ops, samples, batchSize int,
+// runClient drives one connection through its operations. A non-empty
+// tenant is declared to the server before any stream opens, so admission
+// and accounting run under that identity.
+func runClient(addr, view, check, tenant string, dims int, seed uint64, ops, samples, batchSize int,
 	live, peak *atomic.Int64) clientResult {
-	var res clientResult
+	res := clientResult{tenant: tenant}
 	fail := func(format string, args ...any) {
 		res.failures = append(res.failures, fmt.Sprintf(format, args...))
 	}
@@ -269,6 +296,12 @@ func runClient(addr, view, check string, dims int, seed uint64, ops, samples, ba
 		return res
 	}
 	defer cl.Close()
+	if tenant != "" {
+		if err := cl.SetTenant(tenant); err != nil {
+			fail("set tenant %q: %v", tenant, err)
+			return res
+		}
+	}
 	rv, err := cl.OpenView(view)
 	if err != nil {
 		fail("open view: %v", err)
@@ -400,6 +433,7 @@ func latRow(name string, lat []time.Duration) string {
 
 func buildReport(addr, view string, clients, ops, samples, batch int, seed uint64,
 	checked, wall bool, peak int, elapsed time.Duration, total *clientResult,
+	perTenant map[string]*clientResult,
 	writers int, wtotal *writerResult, snap *server.StatsSnapshot) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "\n## svload run: %d clients against %s\n\n", clients, addr)
@@ -432,6 +466,25 @@ func buildReport(addr, view string, clients, ops, samples, batch int, seed uint6
 	b.WriteString(latRow("next-batch", total.batchLat))
 	if wall {
 		b.WriteString(latRow(fmt.Sprintf("ttf-%d (wall)", wallTarget), total.ttf))
+	}
+	if len(perTenant) > 0 {
+		names := make([]string, 0, len(perTenant))
+		for name := range perTenant {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "\nPer-tenant breakdown (%d tenants):\n", len(names))
+		fmt.Fprintf(&b, "\n| tenant | queries | records | rejections | batch p50 | batch p99 | open p99 |\n|---|---|---|---|---|---|---|\n")
+		for _, name := range names {
+			tr := perTenant[name]
+			sort.Slice(tr.batchLat, func(i, j int) bool { return tr.batchLat[i] < tr.batchLat[j] })
+			sort.Slice(tr.openLat, func(i, j int) bool { return tr.openLat[i] < tr.openLat[j] })
+			fmt.Fprintf(&b, "| %s | %d | %d | %d | %v | %v | %v |\n",
+				name, tr.ops, tr.records, tr.rejections,
+				percentile(tr.batchLat, 0.50).Round(time.Microsecond),
+				percentile(tr.batchLat, 0.99).Round(time.Microsecond),
+				percentile(tr.openLat, 0.99).Round(time.Microsecond))
+		}
 	}
 	fmt.Fprintf(&b, "\nServer counters after the run:\n\n```\n")
 	snap.Dump(&b)

@@ -38,6 +38,8 @@ func main() {
 		listen      = flag.String("listen", "127.0.0.1:7070", "address to listen on")
 		maxStreams  = flag.Int("max-streams", 256, "server-wide cap on open streams")
 		connStreams = flag.Int("conn-streams", 16, "per-connection cap on open streams")
+		tenStreams  = flag.Int("tenant-streams", 0, "per-tenant cap on open streams, summed across connections (0 = -max-streams)")
+		replicaID   = flag.String("replica-id", "", "name this server in a fleet (reported via replica-info)")
 		maxBatch    = flag.Int("max-batch", 4096, "cap on records per batch response")
 		idle        = flag.Duration("idle", 0, "reap streams idle this long on the simulated disk clock (0 = never)")
 		reqTimeout  = flag.Duration("req-timeout", 0, "wall-clock deadline per in-flight request (0 = none)")
@@ -88,14 +90,16 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		MaxStreams:        *maxStreams,
-		MaxStreamsPerConn: *connStreams,
-		MaxBatch:          *maxBatch,
-		IdleTimeout:       *idle,
-		RequestTimeout:    *reqTimeout,
-		MaxWriteBacklog:   *backlog,
-		WriteRate:         *writeRate,
-		WriteBurst:        *writeBurst,
+		MaxStreams:          *maxStreams,
+		MaxStreamsPerConn:   *connStreams,
+		MaxStreamsPerTenant: *tenStreams,
+		ReplicaID:           *replicaID,
+		MaxBatch:            *maxBatch,
+		IdleTimeout:         *idle,
+		RequestTimeout:      *reqTimeout,
+		MaxWriteBacklog:     *backlog,
+		WriteRate:           *writeRate,
+		WriteBurst:          *writeBurst,
 	})
 	for name, path := range views {
 		v, err := sampleview.Open(path, sampleview.Options{

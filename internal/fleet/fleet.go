@@ -1,0 +1,543 @@
+// Package fleet is the replicated multi-tenant serving tier: a router
+// process that fronts N svserve replicas, each hosting the same views over
+// independent simulated disks, behind the exact wire protocol a single
+// server speaks — clients need no changes to talk to a fleet.
+//
+// The tier leans on one property the storage layers were built to provide:
+// a sample stream is a pure function of (view bytes, query, seed), so its
+// entire client-visible state is a seed and a prefix position — a few bytes.
+// That makes the expensive problems of replicated serving almost free here:
+//
+//   - Placement: open-stream requests land on a replica chosen by
+//     consistent-hash over (tenant, view) with load-aware spill, so a
+//     tenant's streams concentrate (cache locality) until a replica is hot,
+//     then overflow along the ring walk.
+//   - Hedged reads: when a replica takes longer than a latency budget to
+//     answer a pull, the router issues the same positioned pull on a second
+//     replica and forwards whichever answers first. Determinism makes the
+//     two responses byte-identical; positions make the duplicate prefix
+//     suppressible server-side (the loser fast-forwards, never re-sending).
+//   - Migration: when a replica dies or drains, the router reopens each of
+//     its streams on a surviving replica at the same (seed, position) and
+//     the client sees the same record sequence continue — no gap, no
+//     duplicates, no visible failover at all.
+//
+// Quotas are per tenant, not per connection: the router tracks every
+// tenant's open streams and write tokens across all of its connections and
+// replicas, admitting by a fixed cap or by fair share of fleet capacity.
+//
+// The replica-consistency invariant: replicas of a view must hold
+// byte-identical storage state for seeded streams to agree. The router
+// preserves it by serializing writes per view and fanning them out to every
+// replica in the same order; replica-local background maintenance
+// (compaction schedules that depend on idle timing) must be disabled or
+// coordinated for fleet-replicated views, which the fleet tools do by
+// serving static views or catalogs with maintenance thresholds the drill
+// never crosses.
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sampleview/internal/server"
+)
+
+// Config tunes the router. Replicas is required; everything else defaults.
+type Config struct {
+	// Replicas lists the replica server addresses ("host:port"). Their
+	// order is the fleet's replica index space, so every router configured
+	// with the same list computes the same placement ring.
+	Replicas []string
+	// HedgeAfter is the latency budget a primary replica gets to answer a
+	// pull before the router hedges it against a second replica. 0
+	// disables hedging.
+	HedgeAfter time.Duration
+	// SpillThreshold is the replica-load fraction (of the replica's own
+	// stream cap) past which placement spills to the next replica on the
+	// ring walk (default 0.8).
+	SpillThreshold float64
+	// TenantStreams caps open streams per tenant fleet-wide. 0 selects
+	// fair share: the fleet's total stream capacity divided by the number
+	// of active tenants, re-evaluated at each admission.
+	TenantStreams int
+	// TenantWriteRate / TenantWriteBurst are the per-tenant write token
+	// bucket, enforced at the router so every replica sees exactly the
+	// batches that were admitted (replica-side rate admission would let
+	// replicas disagree about which batch was throttled, diverging their
+	// state). 0 disables write-rate admission.
+	TenantWriteRate  float64
+	TenantWriteBurst int
+	// VNodes is the consistent-hash ring's virtual nodes per replica
+	// (default 64).
+	VNodes int
+	// Seed drives stream-seed derivation. Fixed seed, fixed stream seeds.
+	Seed uint64
+	// MaxBatch caps records per proxied batch (default 4096).
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SpillThreshold <= 0 || c.SpillThreshold > 1 {
+		c.SpillThreshold = 0.8
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.TenantWriteRate > 0 && c.TenantWriteBurst <= 0 {
+		c.TenantWriteBurst = c.MaxBatch
+		if r := int(c.TenantWriteRate); r > c.TenantWriteBurst {
+			c.TenantWriteBurst = r
+		}
+	}
+	return c
+}
+
+// replica is the router's view of one replica server: its shared metadata
+// connection (estimates, writes, list-views — per-stream traffic uses
+// dedicated connections), its last known identity and load, and whether
+// the router still considers it alive.
+type replica struct {
+	idx  int
+	addr string
+
+	mu      sync.Mutex
+	cl      *server.Client                // guarded by mu; shared metadata/write conn, nil until dialed
+	views   map[string]*server.RemoteView // guarded by mu; views resolved on the shared conn
+	id      string                        // guarded by mu; ReplicaID from the last replica-info
+	maxStr  int                           // guarded by mu; the replica's stream cap
+	alive   bool                          // guarded by mu
+	streams int                           // guarded by mu; streams the router currently places here
+}
+
+// routerCounters is the router's live observability surface.
+type routerCounters struct {
+	ConnsAccepted    atomic.Int64
+	ConnsClosed      atomic.Int64
+	StreamsOpened    atomic.Int64
+	StreamsClosed    atomic.Int64
+	BatchesServed    atomic.Int64
+	RecordsServed    atomic.Int64
+	RejectedTenant   atomic.Int64
+	RejectedServer   atomic.Int64
+	RejectedDrain    atomic.Int64
+	HedgedReads      atomic.Int64
+	HedgeWins        atomic.Int64
+	Migrations       atomic.Int64
+	BadFrames        atomic.Int64
+	RecordsIngested  atomic.Int64
+	RejectedThrottle atomic.Int64
+}
+
+// tenantQuota is one tenant's fleet-wide accounting at the router.
+type tenantQuota struct {
+	mu      sync.Mutex
+	streams int // guarded by mu
+	conns   int // guarded by mu; sessions attached to this key
+
+	tbMu     sync.Mutex
+	tbTokens float64   // guarded by tbMu
+	tbLast   time.Time // guarded by tbMu
+	tbInit   bool      // guarded by tbMu
+}
+
+// Router fronts a fleet of replicas behind the single-server wire
+// protocol. Create with New, call Connect to dial the fleet, then Serve.
+type Router struct {
+	cfg   Config
+	ring  *ring
+	reps  []*replica
+	stats routerCounters
+
+	mu        sync.Mutex
+	tenants   map[string]*tenantQuota // guarded by mu
+	viewIDs   map[string]uint32       // guarded by mu; view name -> router view id
+	viewNames map[uint32]string       // guarded by mu
+	viewMeta  map[string]viewMeta     // guarded by mu; cached open-view info
+	writeMu   map[string]*sync.Mutex  // guarded by mu; per-view write serialization
+	listeners []net.Listener          // guarded by mu
+	conns     map[net.Conn]struct{}   // guarded by mu; accepted client connections
+	nextView  uint32                  // guarded by mu
+	draining  bool                    // guarded by mu
+
+	seedCtr  atomic.Uint64
+	wg       sync.WaitGroup
+	shutOnce sync.Once
+	done     chan struct{}
+}
+
+type viewMeta struct {
+	dims   int
+	height int
+	count  int64
+}
+
+// New returns a router for the given fleet. Call Connect before Serve.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("fleet: no replicas configured")
+	}
+	r := &Router{
+		cfg:       cfg,
+		ring:      newRing(len(cfg.Replicas), cfg.VNodes),
+		tenants:   make(map[string]*tenantQuota),
+		viewIDs:   make(map[string]uint32),
+		viewNames: make(map[uint32]string),
+		viewMeta:  make(map[string]viewMeta),
+		writeMu:   make(map[string]*sync.Mutex),
+		conns:     make(map[net.Conn]struct{}),
+		done:      make(chan struct{}),
+	}
+	for i, addr := range cfg.Replicas {
+		r.reps = append(r.reps, &replica{idx: i, addr: addr, views: make(map[string]*server.RemoteView)})
+	}
+	return r, nil
+}
+
+// Connect dials every replica and fetches its identity. At least one
+// replica must answer for Connect to succeed; the rest are retried lazily.
+func (r *Router) Connect() error {
+	live := 0
+	var firstErr error
+	for _, rep := range r.reps {
+		if err := r.probeReplica(rep); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		live++
+	}
+	if live == 0 {
+		return fmt.Errorf("fleet: no replica reachable: %w", firstErr)
+	}
+	return nil
+}
+
+// probeReplica (re)dials a replica's shared connection and refreshes its
+// identity and load, marking it alive on success.
+func (r *Router) probeReplica(rep *replica) error {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.cl == nil {
+		cl, err := server.Dial(rep.addr)
+		if err != nil {
+			rep.alive = false
+			return fmt.Errorf("fleet: replica %s: %w", rep.addr, err)
+		}
+		rep.cl = cl
+		rep.views = make(map[string]*server.RemoteView)
+	}
+	info, err := rep.cl.ReplicaInfo()
+	if err != nil {
+		rep.cl.Close()
+		rep.cl = nil
+		rep.alive = false
+		return fmt.Errorf("fleet: replica %s: %w", rep.addr, err)
+	}
+	rep.id = info.ReplicaID
+	if rep.id == "" {
+		rep.id = rep.addr
+	}
+	rep.maxStr = info.MaxStreams
+	rep.alive = !info.Draining
+	return nil
+}
+
+// markDead drops a replica from serving after a transport failure. Its
+// streams migrate as their next pulls fail over.
+func (r *Router) markDead(rep *replica) {
+	rep.mu.Lock()
+	if rep.cl != nil {
+		rep.cl.Close()
+		rep.cl = nil
+	}
+	rep.alive = false
+	rep.mu.Unlock()
+}
+
+// aliveFor walks the placement ring for key and returns the candidate
+// replicas: alive ones in walk order, the under-threshold ones first. The
+// walk embodies the placement policy — prefer the key's owner, spill past
+// hot replicas, never place on the dead.
+func (r *Router) aliveFor(key string) []*replica {
+	order := r.ring.walk(key)
+	var cool, hot []*replica
+	for _, idx := range order {
+		rep := r.reps[idx]
+		rep.mu.Lock()
+		alive, load, capacity := rep.alive, rep.streams, rep.maxStr
+		rep.mu.Unlock()
+		if !alive {
+			continue
+		}
+		if capacity > 0 && float64(load) >= r.cfg.SpillThreshold*float64(capacity) {
+			hot = append(hot, rep)
+			continue
+		}
+		cool = append(cool, rep)
+	}
+	return append(cool, hot...)
+}
+
+// liveReplicas returns every alive replica in index order (write fan-out
+// must hit them all, in a stable order).
+func (r *Router) liveReplicas() []*replica {
+	var out []*replica
+	for _, rep := range r.reps {
+		rep.mu.Lock()
+		alive := rep.alive
+		rep.mu.Unlock()
+		if alive {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// ReplicasLive reports how many replicas the router currently serves from.
+func (r *Router) ReplicasLive() int { return len(r.liveReplicas()) }
+
+// streamSeed derives the next stream's seed deterministically from the
+// router's config seed and a counter — reproducible runs, no shared rng.
+func (r *Router) streamSeed() uint64 {
+	return mix64(r.cfg.Seed ^ mix64(r.seedCtr.Add(1)))
+}
+
+// tenantFor returns tenant's quota bucket, creating it on first use.
+func (r *Router) tenantFor(tenant string) *tenantQuota {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tq, ok := r.tenants[tenant]
+	if !ok {
+		tq = &tenantQuota{}
+		r.tenants[tenant] = tq
+	}
+	return tq
+}
+
+// tenantCap resolves the per-tenant stream cap at this instant: the
+// configured cap, or a fair share of fleet capacity over active tenants.
+func (r *Router) tenantCap() int {
+	if r.cfg.TenantStreams > 0 {
+		return r.cfg.TenantStreams
+	}
+	capacity := 0
+	for _, rep := range r.reps {
+		rep.mu.Lock()
+		if rep.alive {
+			capacity += rep.maxStr
+		}
+		rep.mu.Unlock()
+	}
+	r.mu.Lock()
+	tenants := len(r.tenants)
+	r.mu.Unlock()
+	if tenants < 1 {
+		tenants = 1
+	}
+	share := capacity / tenants
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// admitTenantStream claims one stream slot of tenant's fleet-wide cap.
+func (r *Router) admitTenantStream(tenant string) bool {
+	tq := r.tenantFor(tenant)
+	cap := r.tenantCap()
+	tq.mu.Lock()
+	defer tq.mu.Unlock()
+	if tq.streams >= cap {
+		return false
+	}
+	tq.streams++
+	return true
+}
+
+// releaseTenantStream returns one slot to tenant's cap.
+func (r *Router) releaseTenantStream(tenant string) {
+	tq := r.tenantFor(tenant)
+	tq.mu.Lock()
+	tq.streams--
+	tq.mu.Unlock()
+}
+
+// attachTenant records one live session on the tenant's accounting key.
+func (r *Router) attachTenant(key string) {
+	tq := r.tenantFor(key)
+	tq.mu.Lock()
+	tq.conns++
+	tq.mu.Unlock()
+}
+
+// detachTenant drops one session from the key, deleting the bucket once
+// nothing references it — so fair-share capacity flows back to the tenants
+// that are actually present.
+func (r *Router) detachTenant(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tq, ok := r.tenants[key]
+	if !ok {
+		return
+	}
+	tq.mu.Lock()
+	tq.conns--
+	gone := tq.conns <= 0 && tq.streams <= 0
+	tq.mu.Unlock()
+	if gone {
+		delete(r.tenants, key)
+	}
+}
+
+// admitTenantWrite draws n entries from tenant's write token bucket. Like
+// the single server's rate admission, the bucket deliberately refills on
+// the "wall clock": it paces real client traffic. Always true when write
+// rate admission is off.
+func (r *Router) admitTenantWrite(tenant string, n int) bool {
+	rate := r.cfg.TenantWriteRate
+	if rate <= 0 || n <= 0 {
+		return true
+	}
+	tq := r.tenantFor(tenant)
+	burst := float64(r.cfg.TenantWriteBurst)
+	tq.tbMu.Lock()
+	defer tq.tbMu.Unlock()
+	now := time.Now()
+	if !tq.tbInit {
+		tq.tbTokens, tq.tbInit = burst, true
+	} else {
+		tq.tbTokens += now.Sub(tq.tbLast).Seconds() * rate
+		if tq.tbTokens > burst {
+			tq.tbTokens = burst
+		}
+	}
+	tq.tbLast = now
+	if tq.tbTokens < float64(n) {
+		return false
+	}
+	tq.tbTokens -= float64(n)
+	return true
+}
+
+// viewWriteMu returns the per-view write-serialization lock: fan-out holds
+// it across every replica, so all replicas apply the fleet's writes in one
+// order and stay byte-identical.
+func (r *Router) viewWriteMu(name string) *sync.Mutex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.writeMu[name]
+	if !ok {
+		m = &sync.Mutex{}
+		r.writeMu[name] = m
+	}
+	return m
+}
+
+// Serve accepts client connections on ln until Shutdown.
+func (r *Router) Serve(ln net.Listener) error {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	r.listeners = append(r.listeners, ln)
+	r.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if r.isDraining() {
+				return nil
+			}
+			return fmt.Errorf("fleet: accept: %w", err)
+		}
+		r.mu.Lock()
+		if r.draining {
+			r.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		r.conns[conn] = struct{}{}
+		r.mu.Unlock()
+		r.stats.ConnsAccepted.Add(1)
+		r.wg.Add(1)
+		go r.serveConn(conn)
+	}
+}
+
+func (r *Router) isDraining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
+}
+
+// Shutdown closes the listeners and every client connection, waits for
+// the sessions and in-flight pulls to wind down, and tears down the
+// replica connections. Idempotent.
+func (r *Router) Shutdown() {
+	r.shutOnce.Do(func() {
+		r.mu.Lock()
+		r.draining = true
+		lns := append([]net.Listener(nil), r.listeners...)
+		conns := make([]net.Conn, 0, len(r.conns))
+		for c := range r.conns {
+			conns = append(conns, c)
+		}
+		r.mu.Unlock()
+		for _, ln := range lns {
+			ln.Close()
+		}
+		for _, c := range conns {
+			c.Close()
+		}
+		r.wg.Wait()
+		for _, rep := range r.reps {
+			rep.mu.Lock()
+			if rep.cl != nil {
+				rep.cl.Close()
+				rep.cl = nil
+			}
+			rep.mu.Unlock()
+		}
+		close(r.done)
+	})
+	<-r.done
+}
+
+// Snapshot renders the router's counters as a StatsSnapshot, so the
+// standard stats frame and svload work against a router unchanged. The
+// serving counters are fleet-wide as seen at the router; the fleet fields
+// report hedging, migration, and replica health.
+func (r *Router) Snapshot() *server.StatsSnapshot {
+	c := &r.stats
+	r.mu.Lock()
+	tenants := int64(len(r.tenants))
+	r.mu.Unlock()
+	return &server.StatsSnapshot{
+		ConnsAccepted:    c.ConnsAccepted.Load(),
+		StreamsOpened:    c.StreamsOpened.Load(),
+		StreamsClosed:    c.StreamsClosed.Load(),
+		BatchesServed:    c.BatchesServed.Load(),
+		RecordsServed:    c.RecordsServed.Load(),
+		RejectedServer:   c.RejectedServer.Load(),
+		RejectedDrain:    c.RejectedDrain.Load(),
+		BadFrames:        c.BadFrames.Load(),
+		RecordsIngested:  c.RecordsIngested.Load(),
+		RejectedThrottle: c.RejectedThrottle.Load(),
+		RejectedTenant:   c.RejectedTenant.Load(),
+		TenantsActive:    tenants,
+		HedgedReads:      c.HedgedReads.Load(),
+		HedgeWins:        c.HedgeWins.Load(),
+		Migrations:       c.Migrations.Load(),
+		ReplicasLive:     int64(r.ReplicasLive()),
+	}
+}

@@ -251,6 +251,54 @@ func (c *Client) ServerStats() (*StatsSnapshot, error) {
 	return decodeStatsSnapshot(rbody)
 }
 
+// SetTenant attributes this connection's quota usage to a named tenant:
+// streams opened and writes landed afterwards draw from the tenant's caps,
+// shared across every connection that set the same tenant, instead of
+// per-connection accounting. It must be called before the connection's
+// first stream opens and at most once per connection (repeating the same
+// tenant is an idempotent no-op).
+func (c *Client) SetTenant(tenant string) error {
+	rbody, err := c.expect(FSetTenant, setTenantReq{Tenant: tenant}.encode(), FTenantOK)
+	if err != nil {
+		return err
+	}
+	ack, err := decodeSetTenantReq(rbody)
+	if err != nil {
+		return err
+	}
+	if ack.Tenant != tenant {
+		return fmt.Errorf("server: set-tenant acked %q, want %q", ack.Tenant, tenant)
+	}
+	return nil
+}
+
+// ReplicaInfo identifies a server in a fleet and reports its live load; a
+// router polls it for placement and health.
+type ReplicaInfo struct {
+	ReplicaID   string
+	OpenStreams int
+	MaxStreams  int
+	Draining    bool
+}
+
+// ReplicaInfo fetches the server's fleet identity and load.
+func (c *Client) ReplicaInfo() (ReplicaInfo, error) {
+	rbody, err := c.expect(FReplicaInfo, nil, FReplicaInfoResult)
+	if err != nil {
+		return ReplicaInfo{}, err
+	}
+	resp, err := decodeReplicaInfoResp(rbody)
+	if err != nil {
+		return ReplicaInfo{}, err
+	}
+	return ReplicaInfo{
+		ReplicaID:   resp.ReplicaID,
+		OpenStreams: int(resp.OpenStreams),
+		MaxStreams:  int(resp.MaxStreams),
+		Draining:    resp.Draining,
+	}, nil
+}
+
 // RemoteView is a served view resolved over a client connection.
 type RemoteView struct {
 	c      *Client
@@ -361,6 +409,30 @@ func (v *RemoteView) Query(q record.Box) (*RemoteStream, error) {
 	return &RemoteStream{v: v, id: resp.StreamID, batch: 256}, nil
 }
 
+// QueryAt is Query with the stream's randomness pinned to seed and the
+// stream fast-forwarded to position pos (records to skip) before the first
+// batch. The record sequence it serves is a pure function of (view state,
+// query, seed), so the same call against any replica holding the same view
+// bytes continues the same sample — the primitive fleet routers build
+// hedging and live migration on. Pulls on the returned stream are
+// position-checked: the server discards anything another replica already
+// delivered, never re-sending it.
+func (v *RemoteView) QueryAt(q record.Box, seed uint64, pos int64) (*RemoteStream, error) {
+	if pos < 0 {
+		pos = 0
+	}
+	req := openStreamReq{ViewID: v.id, Query: q, Seeded: true, Seed: seed, StartPos: pos}
+	rbody, err := v.c.expectRetry(FOpenStream, req.encode(), FStreamOpened)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := decodeStreamOpened(rbody)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteStream{v: v, id: resp.StreamID, batch: 256, checked: true, pos: pos}, nil
+}
+
 // SampleStream implements the aqp engine's Source interface, so a remote
 // view can back an approximate aggregate query exactly like a local one.
 func (v *RemoteView) SampleStream(q record.Box) (aqp.Stream, error) { return v.Query(q) }
@@ -382,6 +454,23 @@ type RemoteStream struct {
 	eof    bool            // guarded by mu
 	closed bool            // guarded by mu
 	batch  int             // guarded by mu
+	// checked marks a position-checked stream (opened with QueryAt): every
+	// pull names the expected server position, and pos tracks the position
+	// after the last batch — the stream's resume point on another replica.
+	checked bool  // guarded by mu
+	pos     int64 // guarded by mu
+}
+
+// Pos returns the stream's server position after the last pulled batch:
+// how many records of the seeded sequence the server has served or
+// skipped. Meaningful for position-checked streams (QueryAt); plain Query
+// streams report the positions the server exports, or 0 against a server
+// that predates position export. Records buffered client-side but not yet
+// read are included — Pos is the wire position, not the read position.
+func (s *RemoteStream) Pos() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pos
 }
 
 // SetBatchSize sets how many records each network pull requests (the
@@ -451,7 +540,11 @@ func (s *RemoteStream) NextBatch() ([]record.Record, error) {
 // (CodeDegraded and the rest) surface to the caller; the stream itself
 // stays usable, mirroring the in-process Stream's degraded semantics.
 func (s *RemoteStream) pullLocked(max int) error {
-	rbody, err := s.v.c.expectRetry(FNextBatch, nextBatchReq{StreamID: s.id, Max: uint32(max)}.encode(), FBatch)
+	req := nextBatchReq{StreamID: s.id, Max: uint32(max), Pos: -1}
+	if s.checked {
+		req.Pos = s.pos
+	}
+	rbody, err := s.v.c.expectRetry(FNextBatch, req.encode(), FBatch)
 	if err != nil {
 		return err
 	}
@@ -460,10 +553,50 @@ func (s *RemoteStream) pullLocked(max int) error {
 		return err
 	}
 	s.buf = append(s.buf, resp.Records...)
+	if resp.Pos >= 0 {
+		s.pos = resp.Pos
+	} else {
+		s.pos += int64(len(resp.Records))
+	}
 	if resp.EOF {
 		s.eof = true
 	}
 	return nil
+}
+
+// PullAt performs one position-checked wire pull: up to max records of the
+// stream's sequence starting at position pos, bypassing the client-side
+// buffer entirely. The server fast-forwards (discarding records this caller
+// already holds from another replica) when the stream is behind pos, and
+// rejects with CodeStreamPosition (IsStreamPosition) when it is ahead — the
+// caller then reopens at pos. It returns the records, whether the sequence
+// is exhausted, and the stream's position after the batch. PullAt is the
+// fleet router's primitive for hedged reads and migration; do not mix it
+// with the buffered Next/NextBatch on the same stream.
+func (s *RemoteStream) PullAt(pos int64, max int) ([]record.Record, bool, int64, error) {
+	if max <= 0 {
+		max = 256
+	}
+	req := nextBatchReq{StreamID: s.id, Max: uint32(max), Pos: pos}
+	rbody, err := s.v.c.expectRetry(FNextBatch, req.encode(), FBatch)
+	if err != nil {
+		return nil, false, pos, err
+	}
+	resp, err := decodeBatchResp(rbody)
+	if err != nil {
+		return nil, false, pos, err
+	}
+	end := resp.Pos
+	if end < 0 {
+		end = pos + int64(len(resp.Records))
+	}
+	s.mu.Lock()
+	s.pos = end
+	if resp.EOF {
+		s.eof = true
+	}
+	s.mu.Unlock()
+	return resp.Records, resp.EOF, end, nil
 }
 
 // Sample collects up to n records (fewer if the predicate exhausts first),

@@ -56,29 +56,33 @@ type FrameType uint8
 
 const (
 	// Client → server.
-	FOpenView   FrameType = 0x01 // body: name — resolve a served view by name
-	FOpenStream FrameType = 0x02 // body: viewID, box — start an online sample stream
-	FNextBatch  FrameType = 0x03 // body: streamID, max — pull up to max records
-	FEstimate   FrameType = 0x04 // body: viewID, box — estimate matching-record count
-	FCancel     FrameType = 0x05 // body: streamID — close a stream early
-	FStats      FrameType = 0x06 // body: empty — snapshot server/session counters
-	FListViews  FrameType = 0x07 // body: empty — enumerate servable views
-	FAppend     FrameType = 0x08 // body: viewID, records — ingest into the live write path
-	FDeleteRecs FrameType = 0x09 // body: viewID, records — tombstone records in the write path
-	FFlushView  FrameType = 0x0a // body: viewID — persist the memview as a delta level
+	FOpenView    FrameType = 0x01 // body: name — resolve a served view by name
+	FOpenStream  FrameType = 0x02 // body: viewID, box — start an online sample stream
+	FNextBatch   FrameType = 0x03 // body: streamID, max — pull up to max records
+	FEstimate    FrameType = 0x04 // body: viewID, box — estimate matching-record count
+	FCancel      FrameType = 0x05 // body: streamID — close a stream early
+	FStats       FrameType = 0x06 // body: empty — snapshot server/session counters
+	FListViews   FrameType = 0x07 // body: empty — enumerate servable views
+	FAppend      FrameType = 0x08 // body: viewID, records — ingest into the live write path
+	FDeleteRecs  FrameType = 0x09 // body: viewID, records — tombstone records in the write path
+	FFlushView   FrameType = 0x0a // body: viewID — persist the memview as a delta level
+	FSetTenant   FrameType = 0x0b // body: tenant — attribute this connection's quota usage to a tenant
+	FReplicaInfo FrameType = 0x0c // body: empty — identify the replica and its live load
 
 	// Server → client.
-	FViewInfo       FrameType = 0x81 // body: viewID, dims, height, count
-	FStreamOpened   FrameType = 0x82 // body: streamID
-	FBatch          FrameType = 0x83 // body: streamID, eof, records
-	FEstimateResult FrameType = 0x84 // body: float64 count
-	FCancelOK       FrameType = 0x85 // body: streamID
-	FStatsResult    FrameType = 0x86 // body: encoded StatsSnapshot
-	FViewList       FrameType = 0x87 // body: view-list entries (name, shape, health)
-	FAppendOK       FrameType = 0x88 // body: viewID, records accepted
-	FDeleteOK       FrameType = 0x89 // body: viewID, tombstones recorded
-	FFlushOK        FrameType = 0x8a // body: viewID, buffered entries persisted
-	FError          FrameType = 0xff // body: code, message
+	FViewInfo          FrameType = 0x81 // body: viewID, dims, height, count
+	FStreamOpened      FrameType = 0x82 // body: streamID
+	FBatch             FrameType = 0x83 // body: streamID, eof, records
+	FEstimateResult    FrameType = 0x84 // body: float64 count
+	FCancelOK          FrameType = 0x85 // body: streamID
+	FStatsResult       FrameType = 0x86 // body: encoded StatsSnapshot
+	FViewList          FrameType = 0x87 // body: view-list entries (name, shape, health)
+	FAppendOK          FrameType = 0x88 // body: viewID, records accepted
+	FDeleteOK          FrameType = 0x89 // body: viewID, tombstones recorded
+	FFlushOK           FrameType = 0x8a // body: viewID, buffered entries persisted
+	FTenantOK          FrameType = 0x8b // body: tenant — per-tenant accounting now in effect
+	FReplicaInfoResult FrameType = 0x8c // body: replica id, open streams, stream cap, draining flag
+	FError             FrameType = 0xff // body: code, message
 )
 
 func (t FrameType) String() string {
@@ -103,6 +107,10 @@ func (t FrameType) String() string {
 		return "DeleteRecs"
 	case FFlushView:
 		return "FlushView"
+	case FSetTenant:
+		return "SetTenant"
+	case FReplicaInfo:
+		return "ReplicaInfo"
 	case FViewInfo:
 		return "ViewInfo"
 	case FStreamOpened:
@@ -123,6 +131,10 @@ func (t FrameType) String() string {
 		return "DeleteOK"
 	case FFlushOK:
 		return "FlushOK"
+	case FTenantOK:
+		return "TenantOK"
+	case FReplicaInfoResult:
+		return "ReplicaInfoResult"
 	case FError:
 		return "Error"
 	default:

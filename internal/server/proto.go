@@ -53,6 +53,16 @@ const (
 	// applied, so retrying the identical batch after a short backoff is
 	// safe; the client library does so automatically.
 	CodeWriteThrottled uint16 = 13
+	// CodeTenantStreams: admission control — the tenant this connection is
+	// attributed to has reached its stream cap. Like the other admission
+	// rejections, the session stays usable and the request may be retried
+	// once one of the tenant's streams closes.
+	CodeTenantStreams uint16 = 14
+	// CodeStreamPosition: a next-batch request named a position behind the
+	// stream's current one. Samples are served exactly once and cannot be
+	// rewound in place; the caller must reopen the stream at the desired
+	// position (the open-stream request accepts a start position).
+	CodeStreamPosition uint16 = 15
 )
 
 // Error is a typed failure returned by the server as an FError frame and
@@ -69,10 +79,18 @@ func (e *Error) Error() string {
 }
 
 // IsAdmissionReject reports whether err is a typed admission-control
-// rejection (server-wide or per-connection stream cap).
+// rejection (server-wide, per-connection or per-tenant stream cap).
 func IsAdmissionReject(err error) bool {
 	se, ok := err.(*Error)
-	return ok && (se.Code == CodeServerStreams || se.Code == CodeConnStreams)
+	return ok && (se.Code == CodeServerStreams || se.Code == CodeConnStreams || se.Code == CodeTenantStreams)
+}
+
+// IsStreamPosition reports whether err is a typed position-rewind
+// rejection: the stream cannot serve records behind its current position
+// and must be reopened at the position the caller wants.
+func IsStreamPosition(err error) bool {
+	se, ok := err.(*Error)
+	return ok && se.Code == CodeStreamPosition
 }
 
 // IsTransient reports whether err is a typed transient server failure:
@@ -244,13 +262,32 @@ func decodeOpenViewReq(b []byte) (openViewReq, error) {
 	return openViewReq{Name: name}, nil
 }
 
+// openStreamFlagSeeded marks an open-stream request that pins the stream's
+// randomness to an explicit seed (and optionally fast-forwards to a start
+// position), so the identical sample sequence can be reopened on any
+// replica holding the same view bytes.
+const openStreamFlagSeeded = 0x01
+
 type openStreamReq struct {
 	ViewID uint32
 	Query  record.Box
+	// Seeded pins the stream's randomness to Seed; StartPos (records to
+	// skip before the first batch) lets a migrated or hedged stream resume
+	// mid-sequence. Absent on the wire for unseeded opens, so pre-fleet
+	// peers interoperate unchanged.
+	Seeded   bool
+	Seed     uint64
+	StartPos int64
 }
 
 func (m openStreamReq) encode() []byte {
-	return appendBox(appendU32(nil, m.ViewID), m.Query)
+	b := appendBox(appendU32(nil, m.ViewID), m.Query)
+	if m.Seeded {
+		b = append(b, openStreamFlagSeeded)
+		b = appendI64(b, int64(m.Seed))
+		b = appendI64(b, m.StartPos)
+	}
+	return b
 }
 
 func decodeOpenStreamReq(b []byte) (openStreamReq, error) {
@@ -262,6 +299,24 @@ func decodeOpenStreamReq(b []byte) (openStreamReq, error) {
 	if m.Query, b, err = consumeBox(b); err != nil {
 		return m, err
 	}
+	if len(b) == 0 {
+		return m, nil // legacy unseeded open
+	}
+	if b[0] != openStreamFlagSeeded {
+		return m, fmt.Errorf("server: open-stream flags 0x%02x unknown", b[0])
+	}
+	m.Seeded = true
+	var seed int64
+	if seed, b, err = consumeI64(b[1:]); err != nil {
+		return m, err
+	}
+	m.Seed = uint64(seed)
+	if m.StartPos, b, err = consumeI64(b); err != nil {
+		return m, err
+	}
+	if m.StartPos < 0 {
+		return m, fmt.Errorf("server: open-stream start position %d negative", m.StartPos)
+	}
 	if len(b) != 0 {
 		return m, errTrailing
 	}
@@ -271,20 +326,40 @@ func decodeOpenStreamReq(b []byte) (openStreamReq, error) {
 type nextBatchReq struct {
 	StreamID uint32
 	Max      uint32
+	// Pos is the stream position (records already consumed) the caller
+	// expects the batch to start at, or -1 for unchecked pulls. When the
+	// stream is ahead the request is rejected with CodeStreamPosition;
+	// when behind, the server fast-forwards (hedged duplicates are
+	// discarded server-side, never re-sent). Absent on the wire for
+	// legacy pulls.
+	Pos int64
 }
 
 func (m nextBatchReq) encode() []byte {
-	return appendU32(appendU32(nil, m.StreamID), m.Max)
+	b := appendU32(appendU32(nil, m.StreamID), m.Max)
+	if m.Pos >= 0 {
+		b = appendI64(b, m.Pos)
+	}
+	return b
 }
 
 func decodeNextBatchReq(b []byte) (nextBatchReq, error) {
-	var m nextBatchReq
+	m := nextBatchReq{Pos: -1}
 	var err error
 	if m.StreamID, b, err = consumeU32(b); err != nil {
 		return m, err
 	}
 	if m.Max, b, err = consumeU32(b); err != nil {
 		return m, err
+	}
+	if len(b) == 0 {
+		return m, nil // legacy unchecked pull
+	}
+	if m.Pos, b, err = consumeI64(b); err != nil {
+		return m, err
+	}
+	if m.Pos < 0 {
+		return m, fmt.Errorf("server: next-batch position %d negative", m.Pos)
 	}
 	if len(b) != 0 {
 		return m, errTrailing
@@ -399,6 +474,69 @@ func decodeFlushViewReq(b []byte) (flushViewReq, error) {
 		return m, err
 	}
 	if len(b) != 0 {
+		return m, errTrailing
+	}
+	return m, nil
+}
+
+// setTenantReq attributes a connection's quota usage to a named tenant.
+// Sessions that never send it are accounted per-connection (the pre-fleet
+// behaviour); the fleet router sends it on every replica connection so all
+// of a tenant's connections draw from one stream cap and one write bucket.
+type setTenantReq struct{ Tenant string }
+
+func (m setTenantReq) encode() []byte { return appendString(nil, m.Tenant) }
+
+func decodeSetTenantReq(b []byte) (setTenantReq, error) {
+	t, rest, err := consumeString(b)
+	if err != nil {
+		return setTenantReq{}, err
+	}
+	if len(rest) != 0 {
+		return setTenantReq{}, errTrailing
+	}
+	return setTenantReq{Tenant: t}, nil
+}
+
+// replicaInfoResp identifies a replica and reports its live load, the
+// signal the fleet router's placement and health checks run on.
+type replicaInfoResp struct {
+	ReplicaID   string
+	OpenStreams uint32
+	MaxStreams  uint32
+	Draining    bool
+}
+
+func (m replicaInfoResp) encode() []byte {
+	b := appendString(nil, m.ReplicaID)
+	b = appendU32(b, m.OpenStreams)
+	b = appendU32(b, m.MaxStreams)
+	if m.Draining {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func decodeReplicaInfoResp(b []byte) (replicaInfoResp, error) {
+	var m replicaInfoResp
+	var err error
+	if m.ReplicaID, b, err = consumeString(b); err != nil {
+		return m, err
+	}
+	if m.OpenStreams, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if m.MaxStreams, b, err = consumeU32(b); err != nil {
+		return m, err
+	}
+	if len(b) < 1 {
+		return m, errShort
+	}
+	if b[0] > 1 {
+		return m, fmt.Errorf("server: replica draining flag %d, want 0 or 1", b[0])
+	}
+	m.Draining = b[0] == 1
+	if len(b) != 1 {
 		return m, errTrailing
 	}
 	return m, nil
@@ -533,6 +671,10 @@ type batchResp struct {
 	StreamID uint32
 	EOF      bool
 	Records  []record.Record
+	// Pos is the stream position after this batch (total records served),
+	// or -1 when the server predates position export. Fleet routers use it
+	// as the canonical resume point for hedging and migration.
+	Pos int64
 }
 
 func (m batchResp) encode() []byte {
@@ -542,11 +684,15 @@ func (m batchResp) encode() []byte {
 	} else {
 		b = append(b, 0)
 	}
-	return appendRecords(b, m.Records)
+	b = appendRecords(b, m.Records)
+	if m.Pos >= 0 {
+		b = appendI64(b, m.Pos)
+	}
+	return b
 }
 
 func decodeBatchResp(b []byte) (batchResp, error) {
-	var m batchResp
+	m := batchResp{Pos: -1}
 	var err error
 	if m.StreamID, b, err = consumeU32(b); err != nil {
 		return m, err
@@ -560,6 +706,15 @@ func decodeBatchResp(b []byte) (batchResp, error) {
 	m.EOF = b[0] == 1
 	if m.Records, b, err = consumeRecords(b[1:]); err != nil {
 		return m, err
+	}
+	if len(b) == 0 {
+		return m, nil // legacy response without position export
+	}
+	if m.Pos, b, err = consumeI64(b); err != nil {
+		return m, err
+	}
+	if m.Pos < 0 {
+		return m, fmt.Errorf("server: batch position %d negative", m.Pos)
 	}
 	if len(b) != 0 {
 		return m, errTrailing

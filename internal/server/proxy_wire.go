@@ -1,0 +1,154 @@
+package server
+
+import "sampleview/internal/record"
+
+// Proxy wire surface: exported request decoders and response encoders for
+// protocol-compatible intermediaries — the fleet router terminates client
+// connections with these, rewrites ids, and re-issues requests to replicas
+// through the Client API, without duplicating (or drifting from) the wire
+// codecs the server and client share. Intermediaries never need the
+// session-layer internals, only the message shapes.
+
+// OpenViewRequest mirrors an FOpenView body.
+type OpenViewRequest struct{ Name string }
+
+// DecodeOpenViewRequest decodes an FOpenView body.
+func DecodeOpenViewRequest(b []byte) (OpenViewRequest, error) {
+	m, err := decodeOpenViewReq(b)
+	return OpenViewRequest{Name: m.Name}, err
+}
+
+// EncodeViewInfo encodes an FViewInfo body.
+func EncodeViewInfo(viewID uint32, dims, height int, count int64) []byte {
+	return viewInfo{ViewID: viewID, Dims: uint8(dims), Height: uint8(height), Count: count}.encode()
+}
+
+// OpenStreamRequest mirrors an FOpenStream body, including the seeded
+// extension a fleet router uses to pin and resume streams.
+type OpenStreamRequest struct {
+	ViewID   uint32
+	Query    record.Box
+	Seeded   bool
+	Seed     uint64
+	StartPos int64
+}
+
+// DecodeOpenStreamRequest decodes an FOpenStream body.
+func DecodeOpenStreamRequest(b []byte) (OpenStreamRequest, error) {
+	m, err := decodeOpenStreamReq(b)
+	return OpenStreamRequest{
+		ViewID: m.ViewID, Query: m.Query,
+		Seeded: m.Seeded, Seed: m.Seed, StartPos: m.StartPos,
+	}, err
+}
+
+// EncodeStreamOpened encodes an FStreamOpened body.
+func EncodeStreamOpened(streamID uint32) []byte {
+	return streamOpened{StreamID: streamID}.encode()
+}
+
+// NextBatchRequest mirrors an FNextBatch body; Pos is -1 for unchecked
+// pulls.
+type NextBatchRequest struct {
+	StreamID uint32
+	Max      uint32
+	Pos      int64
+}
+
+// DecodeNextBatchRequest decodes an FNextBatch body.
+func DecodeNextBatchRequest(b []byte) (NextBatchRequest, error) {
+	m, err := decodeNextBatchReq(b)
+	return NextBatchRequest{StreamID: m.StreamID, Max: m.Max, Pos: m.Pos}, err
+}
+
+// EncodeBatch encodes an FBatch body. pos < 0 omits the position field
+// (the legacy shape).
+func EncodeBatch(streamID uint32, eof bool, recs []record.Record, pos int64) []byte {
+	return batchResp{StreamID: streamID, EOF: eof, Records: recs, Pos: pos}.encode()
+}
+
+// DecodeCancelRequest decodes an FCancel body into its stream id.
+func DecodeCancelRequest(b []byte) (uint32, error) {
+	m, err := decodeCancelReq(b)
+	return m.StreamID, err
+}
+
+// EncodeCancelOK encodes an FCancelOK body.
+func EncodeCancelOK(streamID uint32) []byte {
+	return cancelReq{StreamID: streamID}.encode()
+}
+
+// EstimateRequest mirrors an FEstimate body.
+type EstimateRequest struct {
+	ViewID uint32
+	Query  record.Box
+}
+
+// DecodeEstimateRequest decodes an FEstimate body.
+func DecodeEstimateRequest(b []byte) (EstimateRequest, error) {
+	m, err := decodeEstimateReq(b)
+	return EstimateRequest{ViewID: m.ViewID, Query: m.Query}, err
+}
+
+// EncodeEstimateResult encodes an FEstimateResult body.
+func EncodeEstimateResult(count float64) []byte {
+	return estimateResp{Count: count}.encode()
+}
+
+// WriteRequest mirrors an FAppend or FDeleteRecs body (they share the wire
+// shape: a view id and a record batch).
+type WriteRequest struct {
+	ViewID  uint32
+	Records []record.Record
+}
+
+// DecodeWriteRequest decodes an FAppend or FDeleteRecs body.
+func DecodeWriteRequest(b []byte) (WriteRequest, error) {
+	m, err := decodeAppendReq(b)
+	return WriteRequest{ViewID: m.ViewID, Records: m.Records}, err
+}
+
+// DecodeFlushRequest decodes an FFlushView body into its view id.
+func DecodeFlushRequest(b []byte) (uint32, error) {
+	m, err := decodeFlushViewReq(b)
+	return m.ViewID, err
+}
+
+// EncodeWriteAck encodes an FAppendOK / FDeleteOK / FFlushOK body.
+func EncodeWriteAck(viewID, n uint32) []byte {
+	return writeAck{ViewID: viewID, N: n}.encode()
+}
+
+// DecodeSetTenantRequest decodes an FSetTenant body into the tenant name.
+func DecodeSetTenantRequest(b []byte) (string, error) {
+	m, err := decodeSetTenantReq(b)
+	return m.Tenant, err
+}
+
+// EncodeTenantOK encodes an FTenantOK body.
+func EncodeTenantOK(tenant string) []byte {
+	return setTenantReq{Tenant: tenant}.encode()
+}
+
+// EncodeErrorBody encodes an FError body.
+func EncodeErrorBody(code uint16, msg string) []byte {
+	return errorResp{Code: code, Msg: msg}.encode()
+}
+
+// EncodeReplicaInfo encodes an FReplicaInfoResult body.
+func EncodeReplicaInfo(info ReplicaInfo) []byte {
+	return replicaInfoResp{
+		ReplicaID:   info.ReplicaID,
+		OpenStreams: uint32(info.OpenStreams),
+		MaxStreams:  uint32(info.MaxStreams),
+		Draining:    info.Draining,
+	}.encode()
+}
+
+// EncodeViewList encodes an FViewList body.
+func EncodeViewList(views []ViewListEntry) []byte {
+	return viewListResp{Views: views}.encode()
+}
+
+// Encode renders the snapshot as an FStatsResult body.
+func (s *StatsSnapshot) Encode() []byte { return s.encode() }

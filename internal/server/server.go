@@ -25,6 +25,17 @@ type Config struct {
 	// MaxStreamsPerConn caps open streams per connection; past it the
 	// request receives CodeConnStreams (default 16).
 	MaxStreamsPerConn int
+	// MaxStreamsPerTenant caps open streams per tenant, summed over every
+	// connection attributed to that tenant with a set-tenant frame; past it
+	// the request receives CodeTenantStreams. Connections that never set a
+	// tenant are each their own accounting unit, which preserves the
+	// pre-fleet per-connection semantics. Defaults to MaxStreams — the old
+	// server-wide flag doubles as the fleet-wide per-tenant default.
+	MaxStreamsPerTenant int
+	// ReplicaID names this server in a fleet; it travels in replica-info
+	// responses so a router can identify and health-check its replicas.
+	// Empty outside a fleet.
+	ReplicaID string
 	// MaxBatch caps records per batch response. Larger client requests are
 	// clamped, bounding per-request buffering — backpressure comes from the
 	// strict request/response alternation, not from queues (default 4096,
@@ -54,14 +65,17 @@ type Config struct {
 	// when the view flushes — explicitly, or via catalog maintenance in the
 	// gaps between request bursts (default 65536).
 	MaxWriteBacklog int
-	// WriteRate is per-connection write-rate admission: each connection's
-	// appends and deletes draw from a token bucket refilled at this many
-	// entries per second. A batch that finds the bucket dry receives a typed
-	// CodeWriteThrottled rejection before anything is applied, so the client
-	// can safely retry the identical batch. 0 disables rate admission.
+	// WriteRate is per-tenant write-rate admission: a tenant's appends and
+	// deletes — across all of its connections — draw from one token bucket
+	// refilled at this many entries per second. Connections that never set
+	// a tenant each get their own bucket (the pre-fleet per-connection
+	// behaviour). A batch that finds the bucket dry receives a typed
+	// CodeWriteThrottled rejection before anything is applied, so the
+	// client can safely retry the identical batch. 0 disables rate
+	// admission.
 	WriteRate float64
 	// WriteBurst is the token bucket's capacity: the largest write burst one
-	// connection may land instantly. Defaults to max(WriteRate, MaxBatch)
+	// tenant may land instantly. Defaults to max(WriteRate, MaxBatch)
 	// when rate admission is on, so a full-size batch is always admittable.
 	WriteBurst int
 }
@@ -76,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStreamsPerConn <= 0 {
 		c.MaxStreamsPerConn = 16
+	}
+	if c.MaxStreamsPerTenant <= 0 {
+		c.MaxStreamsPerTenant = c.MaxStreams
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 4096
@@ -134,11 +151,28 @@ type WritableSource interface {
 	WriteStats() lsm.WriteStats
 }
 
+// SeededSource is the optional seeded-open surface of a ViewSource: a
+// stream whose randomness is pinned to an explicit seed, so replicas
+// holding byte-identical view state serve byte-identical sample sequences
+// for the same (query, seed). Both built-in sources implement it; seeded
+// open requests against a source that does not are refused.
+type SeededSource interface {
+	OpenStreamSeeded(q record.Box, seed uint64) (ViewStream, error)
+}
+
 // localSource adapts an in-process unsharded view to ViewSource.
 type localSource struct{ *sampleview.View }
 
 func (v localSource) OpenStream(q record.Box) (ViewStream, error) {
 	s, err := v.View.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (v localSource) OpenStreamSeeded(q record.Box, seed uint64) (ViewStream, error) {
+	s, err := v.View.QuerySeeded(q, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -156,17 +190,51 @@ func (v shardedSource) OpenStream(q record.Box) (ViewStream, error) {
 	return s, nil
 }
 
+func (v shardedSource) OpenStreamSeeded(q record.Box, seed uint64) (ViewStream, error) {
+	s, err := v.View.QuerySeeded(q, seed)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // LocalSource adapts an unsharded view for AddSource.
 func LocalSource(v *sampleview.View) ViewSource { return localSource{v} }
 
 // ShardedSource adapts a sharded view for AddSource.
 func ShardedSource(v *shard.View) ViewSource { return shardedSource{v} }
 
-// Both built-in sources carry the live write path.
+// Both built-in sources carry the live write path and the seeded opens the
+// fleet tier's migration relies on.
 var (
 	_ WritableSource = localSource{}
 	_ WritableSource = shardedSource{}
+	_ SeededSource   = localSource{}
+	_ SeededSource   = shardedSource{}
 )
+
+// tenantState is one tenant's admission accounting: its open-stream count
+// and its write-rate token bucket, shared across every connection
+// attributed to the tenant. Connections without a tenant each get a
+// private tenantState under a per-connection key, which reduces to the
+// pre-fleet per-connection accounting.
+type tenantState struct {
+	// mu guards the admission tallies. It nests strictly inside Server.mu:
+	// every acquisition happens while the server lock is held, which keeps
+	// the tenant tally and the server-wide openStreams total moving in
+	// lockstep.
+	mu      sync.Mutex
+	streams int // guarded by mu
+	conns   int // guarded by mu; live sessions attributed via set-tenant
+
+	// Write-rate token bucket (Config.WriteRate / WriteBurst). The bucket
+	// starts full and refills continuously on the wall clock; tbLast is the
+	// instant of the last draw.
+	tbMu     sync.Mutex
+	tbTokens float64   // guarded by tbMu
+	tbLast   time.Time // guarded by tbMu
+	tbInit   bool      // guarded by tbMu
+}
 
 // servedView is one view registered with the server.
 type servedView struct {
@@ -186,15 +254,16 @@ type Server struct {
 	stats serverCounters
 
 	mu          sync.Mutex
-	views       map[string]*servedView // guarded by mu
-	viewsByID   map[uint32]*servedView // guarded by mu
-	sessions    map[*session]struct{}  // guarded by mu
-	listeners   []net.Listener         // guarded by mu
-	catalog     *catalog.Catalog       // guarded by mu
-	openStreams int                    // guarded by mu; admission-controlled total
-	nextSession uint64                 // guarded by mu
-	nextView    uint32                 // guarded by mu
-	draining    bool                   // guarded by mu
+	views       map[string]*servedView  // guarded by mu
+	viewsByID   map[uint32]*servedView  // guarded by mu
+	sessions    map[*session]struct{}   // guarded by mu
+	listeners   []net.Listener          // guarded by mu
+	catalog     *catalog.Catalog        // guarded by mu
+	tenants     map[string]*tenantState // guarded by mu; admission accounting per tenant key
+	openStreams int                     // guarded by mu; admission-controlled total
+	nextSession uint64                  // guarded by mu
+	nextView    uint32                  // guarded by mu
+	draining    bool                    // guarded by mu
 
 	// inFlight counts requests currently being handled across all sessions;
 	// background maintenance runs only when it drops to zero, so jobs fill
@@ -213,6 +282,7 @@ func New(cfg Config) *Server {
 		views:     make(map[string]*servedView),
 		viewsByID: make(map[uint32]*servedView),
 		sessions:  make(map[*session]struct{}),
+		tenants:   make(map[string]*tenantState),
 		done:      make(chan struct{}),
 	}
 }
@@ -392,7 +462,9 @@ func (s *Server) unregister(sess *session) {
 	delete(s.sessions, sess)
 	s.mu.Unlock()
 	closed := sess.closeAllStreams()
-	s.releaseStreams(closed)
+	key, named := sess.tenantKey()
+	s.releaseStreams(key, closed)
+	s.dropTenant(key, named)
 	s.stats.ConnsClosed.Add(1)
 }
 
@@ -426,9 +498,25 @@ func (s *Server) lookupViewID(id uint32) (*servedView, bool) {
 	return sv, ok
 }
 
-// admitStream claims one server-wide stream slot. It returns a rejection
-// code (and false) when the server is draining or at its cap.
-func (s *Server) admitStream() (uint16, bool) {
+// tenantKeyFor namespaces a tenant name so it can never collide with the
+// per-connection fallback keys ("conn:<session id>").
+func tenantKeyFor(name string) string { return "tenant:" + name }
+
+// tenantLocked returns key's accounting bucket, creating it on first use.
+// Callers hold s.mu.
+func (s *Server) tenantLocked(key string) *tenantState {
+	ts, ok := s.tenants[key]
+	if !ok {
+		ts = &tenantState{}
+		s.tenants[key] = ts
+	}
+	return ts
+}
+
+// admitStream claims one server-wide stream slot and one slot of the given
+// tenant key's cap. It returns a rejection code (and false) when the server
+// is draining or either cap is reached.
+func (s *Server) admitStream(key string) (uint16, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -437,18 +525,115 @@ func (s *Server) admitStream() (uint16, bool) {
 	if s.openStreams >= s.cfg.MaxStreams {
 		return CodeServerStreams, false
 	}
+	ts := s.tenantLocked(key)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.streams >= s.cfg.MaxStreamsPerTenant {
+		return CodeTenantStreams, false
+	}
 	s.openStreams++
+	ts.streams++
 	return 0, true
 }
 
-// releaseStreams returns n server-wide stream slots.
-func (s *Server) releaseStreams(n int) {
+// releaseStreams returns n stream slots, server-wide and to the tenant key
+// they were admitted under.
+func (s *Server) releaseStreams(key string, n int) {
 	if n == 0 {
 		return
 	}
 	s.mu.Lock()
 	s.openStreams -= n
+	if ts, ok := s.tenants[key]; ok {
+		ts.mu.Lock()
+		ts.streams -= n
+		ts.mu.Unlock()
+	}
 	s.mu.Unlock()
+}
+
+// admitRate draws n entries from the tenant key's write-rate token bucket,
+// reporting whether the batch is admitted. The bucket deliberately refills
+// on the "wall clock": rate admission paces real client traffic, a pressure
+// the simulated disk clock cannot see. Disabled (always true) when
+// Config.WriteRate is 0.
+func (s *Server) admitRate(key string, n int) bool {
+	rate := s.cfg.WriteRate
+	if rate <= 0 || n <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	ts := s.tenantLocked(key)
+	s.mu.Unlock()
+	burst := float64(s.cfg.WriteBurst)
+	ts.tbMu.Lock()
+	defer ts.tbMu.Unlock()
+	now := time.Now()
+	if !ts.tbInit {
+		ts.tbTokens, ts.tbInit = burst, true
+	} else {
+		ts.tbTokens += now.Sub(ts.tbLast).Seconds() * rate
+		if ts.tbTokens > burst {
+			ts.tbTokens = burst
+		}
+	}
+	ts.tbLast = now
+	if ts.tbTokens < float64(n) {
+		return false
+	}
+	ts.tbTokens -= float64(n)
+	return true
+}
+
+// attributeTenant binds a session to a named tenant for accounting.
+func (s *Server) attributeTenant(name string) {
+	s.mu.Lock()
+	ts := s.tenantLocked(tenantKeyFor(name))
+	ts.mu.Lock()
+	ts.conns++
+	ts.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// dropTenant releases a session's attribution at teardown, deleting the
+// accounting bucket once nothing references it (named tenants when their
+// last connection leaves; per-connection keys always, since only the owning
+// session ever used them).
+func (s *Server) dropTenant(key string, named bool) {
+	s.mu.Lock()
+	if ts, ok := s.tenants[key]; ok {
+		ts.mu.Lock()
+		if named {
+			ts.conns--
+		}
+		dead := ts.conns <= 0 && ts.streams <= 0
+		ts.mu.Unlock()
+		if dead {
+			delete(s.tenants, key)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// tenantsActive counts live tenant accounting buckets (named and
+// per-connection alike): the denominator of a fair share.
+func (s *Server) tenantsActive() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.tenants))
+}
+
+// replicaInfo answers a replica-info request with the server's identity and
+// live load.
+func (s *Server) replicaInfo() replicaInfoResp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return replicaInfoResp{
+		ReplicaID:   s.cfg.ReplicaID,
+		OpenStreams: uint32(s.openStreams),
+		MaxStreams:  uint32(s.cfg.MaxStreams),
+		Draining:    s.draining,
+	}
 }
 
 // reapIdle closes streams idle past IdleTimeout on their view's simulated
@@ -468,9 +653,13 @@ func (s *Server) reapIdle() {
 	s.mu.Unlock()
 	total := 0
 	for _, sess := range sessions {
-		total += sess.reapIdle(s.cfg.IdleTimeout)
+		n := sess.reapIdle(s.cfg.IdleTimeout)
+		if n > 0 {
+			key, _ := sess.tenantKey()
+			s.releaseStreams(key, n)
+			total += n
+		}
 	}
-	s.releaseStreams(total)
 	s.stats.StreamsReaped.Add(int64(total))
 	s.stats.StreamsClosed.Add(int64(total))
 }
@@ -547,6 +736,9 @@ func (s *Server) Snapshot() *StatsSnapshot {
 		WALFsyncs:        write.WALFsyncs,
 		WALReplayed:      write.WALReplayed,
 		WALSegments:      write.WALSegments,
+
+		RejectedTenant: c.RejectedTenant.Load(),
+		TenantsActive:  s.tenantsActive(),
 	}
 	for _, sess := range sessions {
 		snap.Sessions = append(snap.Sessions, sess.snapshot())

@@ -30,6 +30,10 @@ type servedStream struct {
 	// simSeen is the portion of the stream's own simulated I/O time already
 	// folded into the session and server counters.
 	simSeen atomic.Int64
+	// pos is the stream's position: records served (or skipped by a seeded
+	// open's fast-forward) so far. Exported in every batch response — it is
+	// the canonical resume point a fleet router migrates and hedges on.
+	pos atomic.Int64
 
 	// deferredMu guards deferred.
 	deferredMu sync.Mutex
@@ -88,16 +92,23 @@ type session struct {
 	streams    map[uint32]*servedStream // guarded by mu
 	reaped     map[uint32]struct{}      // guarded by mu; tombstones for typed errors
 	nextStream uint32                   // guarded by mu
-
-	// Write-rate token bucket (Config.WriteRate / WriteBurst). The bucket
-	// starts full and refills continuously; tbLast is the wall-clock instant
-	// of the last draw.
-	tbMu     sync.Mutex
-	tbTokens float64   // guarded by tbMu
-	tbLast   time.Time // guarded by tbMu
-	tbInit   bool      // guarded by tbMu
+	// tenant is the name this session's quota usage is attributed to, set
+	// once by a set-tenant frame before any stream opens; empty sessions
+	// fall back to a per-connection accounting key.
+	tenant string // guarded by mu
 
 	counters sessionCounters
+}
+
+// tenantKey returns the session's admission accounting key and whether it
+// is a named tenant (as opposed to the per-connection fallback).
+func (sess *session) tenantKey() (string, bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.tenant != "" {
+		return tenantKeyFor(sess.tenant), true
+	}
+	return fmt.Sprintf("conn:%d", sess.id), false
 }
 
 // countingConn counts bytes crossing the wire into both the session's and
@@ -254,6 +265,14 @@ func (sess *session) handle(t FrameType, body []byte) (FrameType, []byte) {
 		return sess.handleDeleteRecs(body)
 	case FFlushView:
 		return sess.handleFlushView(body)
+	case FSetTenant:
+		return sess.handleSetTenant(body)
+	case FReplicaInfo:
+		if len(body) != 0 {
+			sess.srv.stats.BadFrames.Add(1)
+			return reject(sess, CodeBadRequest, errTrailing.Error())
+		}
+		return FReplicaInfoResult, sess.srv.replicaInfo().encode()
 	case FListViews:
 		if len(body) != 0 {
 			sess.srv.stats.BadFrames.Add(1)
@@ -313,6 +332,36 @@ func (sess *session) handleOpenView(body []byte) (FrameType, []byte) {
 	}.encode()
 }
 
+func (sess *session) handleSetTenant(body []byte) (FrameType, []byte) {
+	req, err := decodeSetTenantReq(body)
+	if err != nil {
+		sess.srv.stats.BadFrames.Add(1)
+		return reject(sess, CodeBadRequest, err.Error())
+	}
+	if req.Tenant == "" {
+		return reject(sess, CodeBadRequest, "empty tenant name")
+	}
+	sess.mu.Lock()
+	switch {
+	case sess.tenant == req.Tenant:
+		sess.mu.Unlock() // idempotent re-attribution
+		return FTenantOK, setTenantReq{Tenant: req.Tenant}.encode()
+	case sess.tenant != "":
+		sess.mu.Unlock()
+		return reject(sess, CodeBadRequest, "connection already attributed to tenant "+sess.tenant)
+	case sess.nextStream > 0:
+		// Streams (and their quota slots) were already accounted under the
+		// per-connection key; re-attributing them mid-flight would corrupt
+		// both tallies.
+		sess.mu.Unlock()
+		return reject(sess, CodeBadRequest, "set-tenant must precede the connection's first stream")
+	}
+	sess.tenant = req.Tenant
+	sess.mu.Unlock()
+	sess.srv.attributeTenant(req.Tenant)
+	return FTenantOK, setTenantReq{Tenant: req.Tenant}.encode()
+}
+
 func (sess *session) handleOpenStream(body []byte) (FrameType, []byte) {
 	req, err := decodeOpenStreamReq(body)
 	if err != nil {
@@ -326,8 +375,15 @@ func (sess *session) handleOpenStream(body []byte) (FrameType, []byte) {
 	if req.Query.Dims() != sv.v.Dims() {
 		return reject(sess, CodeBadRequest, "query dimensions do not match the view")
 	}
+	var seeded SeededSource
+	if req.Seeded {
+		if seeded, ok = sv.v.(SeededSource); !ok {
+			return reject(sess, CodeBadRequest, "view "+sv.name+" does not support seeded streams")
+		}
+	}
 
-	code, ok := sess.srv.admitStream()
+	key, _ := sess.tenantKey()
+	code, ok := sess.srv.admitStream(key)
 	if !ok && code == CodeServerStreams {
 		// The server-wide cap is the one moment idle streams matter: reap
 		// abandoned ones and retry, so a saturated server sheds dead weight
@@ -336,26 +392,36 @@ func (sess *session) handleOpenStream(body []byte) (FrameType, []byte) {
 		// any single stream's activity, and an unconditional sweep would
 		// collect streams that are merely waiting their turn.
 		sess.srv.reapIdle()
-		code, ok = sess.srv.admitStream()
+		code, ok = sess.srv.admitStream(key)
 	}
 	if !ok {
-		if code == CodeServerStreams {
+		switch code {
+		case CodeServerStreams:
 			sess.srv.stats.RejectedServer.Add(1)
 			return reject(sess, code, "server stream limit reached")
+		case CodeTenantStreams:
+			sess.srv.stats.RejectedTenant.Add(1)
+			return reject(sess, code, "tenant stream limit reached")
+		default:
+			sess.srv.stats.RejectedDrain.Add(1)
+			return reject(sess, code, "server shutting down")
 		}
-		sess.srv.stats.RejectedDrain.Add(1)
-		return reject(sess, code, "server shutting down")
 	}
 	if !sess.claimConnSlot() {
-		sess.srv.releaseStreams(1)
+		sess.srv.releaseStreams(key, 1)
 		sess.srv.stats.RejectedConn.Add(1)
 		return reject(sess, CodeConnStreams, "connection stream limit reached")
 	}
 
-	stream, err := sv.v.OpenStream(req.Query)
+	var stream ViewStream
+	if req.Seeded {
+		stream, err = seeded.OpenStreamSeeded(req.Query, req.Seed)
+	} else {
+		stream, err = sv.v.OpenStream(req.Query)
+	}
 	if err != nil {
 		sess.dropConnSlot()
-		sess.srv.releaseStreams(1)
+		sess.srv.releaseStreams(key, 1)
 		// Opening a stream on a view with a live write path scans delta
 		// pages, so storage faults can strike here too: type them the same
 		// way batch failures are, so clients retry transients and tolerate
@@ -363,6 +429,18 @@ func (sess *session) handleOpenStream(body []byte) (FrameType, []byte) {
 		return reject(sess, sess.classifyStreamErr(err), err.Error())
 	}
 	st := &servedStream{view: sv, s: stream}
+	if req.Seeded && req.StartPos > 0 {
+		// A migrated or hedged stream resumes mid-sequence: fast-forward
+		// past the prefix the client already holds before registering the
+		// stream. A failure here closes the stream and surfaces typed, so
+		// the router can retry the open elsewhere.
+		if err := st.skipTo(req.StartPos); err != nil {
+			st.s.Close()
+			sess.dropConnSlot()
+			sess.srv.releaseStreams(key, 1)
+			return reject(sess, sess.classifyStreamErr(err), err.Error())
+		}
+	}
 	st.touch()
 	sess.mu.Lock()
 	sess.nextStream++
@@ -372,6 +450,32 @@ func (sess *session) handleOpenStream(body []byte) (FrameType, []byte) {
 	sess.counters.StreamsOpened.Add(1)
 	sess.srv.stats.StreamsOpened.Add(1)
 	return FStreamOpened, streamOpened{StreamID: st.id}.encode()
+}
+
+// skipTo fast-forwards the stream to position target by sampling and
+// discarding. Positions already passed are never revisited; a predicate
+// that exhausts before target simply leaves the stream at its end. The
+// position advances through partial progress, so a transient fault leaves
+// the skip resumable exactly where it struck.
+func (st *servedStream) skipTo(target int64) error {
+	for {
+		cur := st.pos.Load()
+		if cur >= target {
+			return nil
+		}
+		chunk := target - cur
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		recs, err := st.s.Sample(int(chunk))
+		st.pos.Add(int64(len(recs)))
+		if err != nil {
+			return err
+		}
+		if int64(len(recs)) < chunk {
+			return nil // exhausted before target
+		}
+	}
 }
 
 // claimConnSlot reserves one per-connection stream slot.
@@ -425,6 +529,29 @@ func (sess *session) handleNextBatch(body []byte) (FrameType, []byte) {
 	if derr := st.takeErr(); derr != nil {
 		return reject(sess, sess.classifyStreamErr(derr), derr.Error())
 	}
+	if req.Pos >= 0 {
+		// Position-checked pull: samples are served exactly once, so a
+		// request behind the stream is unservable — the caller must reopen
+		// at the position it wants. A request ahead of the stream (the
+		// losing half of a hedged pair, reconciling) fast-forwards: the
+		// skipped records were already delivered by the other replica.
+		cur := st.pos.Load()
+		if req.Pos < cur {
+			return reject(sess, CodeStreamPosition, fmt.Sprintf(
+				"stream at position %d, requested position %d is behind it", cur, req.Pos))
+		}
+		if req.Pos > cur {
+			if err := st.skipTo(req.Pos); err != nil {
+				st.chargeSim(sess)
+				st.touch()
+				if isStreamClosed(err) {
+					sess.removeStream(req.StreamID, true)
+					return reject(sess, CodeStreamReaped, "stream reaped after simulated-clock idle timeout")
+				}
+				return reject(sess, sess.classifyStreamErr(err), err.Error())
+			}
+		}
+	}
 	max := int(req.Max)
 	if max <= 0 || max > sess.srv.cfg.MaxBatch {
 		max = sess.srv.cfg.MaxBatch
@@ -432,6 +559,7 @@ func (sess *session) handleNextBatch(body []byte) (FrameType, []byte) {
 	recs, err := st.s.Sample(max)
 	st.chargeSim(sess)
 	st.touch()
+	pos := st.pos.Add(int64(len(recs)))
 	if err != nil {
 		if isStreamClosed(err) {
 			// Lost a race with the reaper between lookup and Sample.
@@ -454,7 +582,7 @@ func (sess *session) handleNextBatch(body []byte) (FrameType, []byte) {
 		sess.counters.Records.Add(int64(len(recs)))
 		sess.srv.stats.BatchesServed.Add(1)
 		sess.srv.stats.RecordsServed.Add(int64(len(recs)))
-		return FBatch, batchResp{StreamID: req.StreamID, EOF: false, Records: recs}.encode()
+		return FBatch, batchResp{StreamID: req.StreamID, EOF: false, Records: recs, Pos: pos}.encode()
 	}
 	eof := len(recs) < max
 	if eof {
@@ -464,14 +592,15 @@ func (sess *session) handleNextBatch(body []byte) (FrameType, []byte) {
 			st.s.Close()
 			sess.counters.StreamsClosed.Add(1)
 			sess.srv.stats.StreamsClosed.Add(1)
-			sess.srv.releaseStreams(1)
+			key, _ := sess.tenantKey()
+			sess.srv.releaseStreams(key, 1)
 		}
 	}
 	sess.counters.Batches.Add(1)
 	sess.counters.Records.Add(int64(len(recs)))
 	sess.srv.stats.BatchesServed.Add(1)
 	sess.srv.stats.RecordsServed.Add(int64(len(recs)))
-	return FBatch, batchResp{StreamID: req.StreamID, EOF: eof, Records: recs}.encode()
+	return FBatch, batchResp{StreamID: req.StreamID, EOF: eof, Records: recs, Pos: pos}.encode()
 }
 
 func (sess *session) handleEstimate(body []byte) (FrameType, []byte) {
@@ -521,41 +650,19 @@ func (sess *session) rejectWrite(code uint16, msg string) (FrameType, []byte) {
 	return reject(sess, code, msg)
 }
 
-// admitRate draws n entries from the connection's write-rate token bucket,
-// reporting whether the batch is admitted. The bucket refills on the
-// wall clock by design: rate admission paces real client traffic, a
-// pressure the simulated disk clock cannot see. Disabled (always true)
-// when Config.WriteRate is 0.
+// admitRate draws n entries from the write-rate token bucket of the tenant
+// this session is attributed to (its own bucket when no tenant is set —
+// the pre-fleet per-connection behaviour).
 func (sess *session) admitRate(n int) bool {
-	rate := sess.srv.cfg.WriteRate
-	if rate <= 0 || n <= 0 {
-		return true
-	}
-	burst := float64(sess.srv.cfg.WriteBurst)
-	sess.tbMu.Lock()
-	defer sess.tbMu.Unlock()
-	now := time.Now()
-	if !sess.tbInit {
-		sess.tbTokens, sess.tbInit = burst, true
-	} else {
-		sess.tbTokens += now.Sub(sess.tbLast).Seconds() * rate
-		if sess.tbTokens > burst {
-			sess.tbTokens = burst
-		}
-	}
-	sess.tbLast = now
-	if sess.tbTokens < float64(n) {
-		return false
-	}
-	sess.tbTokens -= float64(n)
-	return true
+	key, _ := sess.tenantKey()
+	return sess.srv.admitRate(key, n)
 }
 
 // rejectThrottled is the typed write-rate rejection.
 func (sess *session) rejectThrottled(n int) (FrameType, []byte) {
 	sess.srv.stats.RejectedThrottle.Add(1)
 	return reject(sess, CodeWriteThrottled, fmt.Sprintf(
-		"write rate limit: batch of %d exceeds the connection's available tokens; retry after backoff", n))
+		"write rate limit: batch of %d exceeds the tenant's available tokens; retry after backoff", n))
 }
 
 func (sess *session) handleAppend(body []byte) (FrameType, []byte) {
@@ -679,7 +786,8 @@ func (sess *session) handleCancel(body []byte) (FrameType, []byte) {
 	st.s.Close()
 	sess.counters.StreamsClosed.Add(1)
 	sess.srv.stats.StreamsClosed.Add(1)
-	sess.srv.releaseStreams(1)
+	key, _ := sess.tenantKey()
+	sess.srv.releaseStreams(key, 1)
 	return FCancelOK, cancelReq{StreamID: req.StreamID}.encode()
 }
 

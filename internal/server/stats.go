@@ -37,6 +37,7 @@ type serverCounters struct {
 	FlushesServed    atomic.Int64 // explicit flush frames honored
 	RejectedWrites   atomic.Int64 // CodeReadOnly + CodeWriteBacklog rejections
 	RejectedThrottle atomic.Int64 // CodeWriteThrottled rejections (rate admission)
+	RejectedTenant   atomic.Int64 // CodeTenantStreams rejections (per-tenant stream cap)
 }
 
 // sessionCounters is the per-session slice of the same surface.
@@ -102,6 +103,19 @@ type StatsSnapshot struct {
 	WALReplayed      int64
 	WALSegments      int64
 
+	// Fleet counters (wire version 4 fields). A replica fills the first
+	// two: per-tenant stream-cap rejections and live tenant accounting
+	// buckets. A fleet router answering a stats request fills the rest:
+	// hedged pulls issued, hedges whose second replica answered first,
+	// streams migrated to a surviving replica, and replicas currently
+	// considered live.
+	RejectedTenant int64
+	TenantsActive  int64
+	HedgedReads    int64
+	HedgeWins      int64
+	Migrations     int64
+	ReplicasLive   int64
+
 	Sessions []SessionSnapshot
 }
 
@@ -124,9 +138,11 @@ type SessionSnapshot struct {
 // scope, so decoders can stay compatible with older servers that send
 // fewer fields. Fields 21..28 are the write-path counters added with the
 // ingest frames (wire version 2 of the stats snapshot); fields 29..33 are
-// the durability counters added with the write-ahead log (wire version 3).
+// the durability counters added with the write-ahead log (wire version 3);
+// fields 34..39 are the fleet counters added with the serving tier (wire
+// version 4).
 const (
-	serverFieldCount  = 34
+	serverFieldCount  = 40
 	sessionFieldCount = 10
 )
 
@@ -142,6 +158,8 @@ func (s *StatsSnapshot) serverFields() []int64 {
 		s.RecordsIngested, s.RecordsDeleted, s.FlushesServed, s.RejectedWrites,
 		s.MemViewRecords, s.TombstonesPending, s.DeltaLevels, s.CompactionsRun,
 		s.RejectedThrottle, s.WALBytes, s.WALFsyncs, s.WALReplayed, s.WALSegments,
+		s.RejectedTenant, s.TenantsActive,
+		s.HedgedReads, s.HedgeWins, s.Migrations, s.ReplicasLive,
 	}
 }
 
@@ -156,6 +174,8 @@ func (s *StatsSnapshot) setServerFields(f []int64) {
 	s.RecordsIngested, s.RecordsDeleted, s.FlushesServed, s.RejectedWrites = f[21], f[22], f[23], f[24]
 	s.MemViewRecords, s.TombstonesPending, s.DeltaLevels, s.CompactionsRun = f[25], f[26], f[27], f[28]
 	s.RejectedThrottle, s.WALBytes, s.WALFsyncs, s.WALReplayed, s.WALSegments = f[29], f[30], f[31], f[32], f[33]
+	s.RejectedTenant, s.TenantsActive = f[34], f[35]
+	s.HedgedReads, s.HedgeWins, s.Migrations, s.ReplicasLive = f[36], f[37], f[38], f[39]
 }
 
 func (s *SessionSnapshot) fields() []int64 {
@@ -263,6 +283,8 @@ func (s *StatsSnapshot) Dump(w io.Writer) {
 		s.MemViewRecords, s.TombstonesPending, s.DeltaLevels, s.CompactionsRun)
 	fmt.Fprintf(w, "durability:      %d wal bytes, %d fsyncs, %d ops replayed, %d segments\n",
 		s.WALBytes, s.WALFsyncs, s.WALReplayed, s.WALSegments)
+	fmt.Fprintf(w, "fleet:           %d tenants, %d tenant-cap rejections, %d hedged (%d wins), %d migrations, %d replicas live\n",
+		s.TenantsActive, s.RejectedTenant, s.HedgedReads, s.HedgeWins, s.Migrations, s.ReplicasLive)
 	for i := range s.Sessions {
 		ss := &s.Sessions[i]
 		fmt.Fprintf(w, "session %-6d   %d open, %d opened (%d reaped), %d records / %d batches, %d rej, %dB in / %dB out, sim %v\n",

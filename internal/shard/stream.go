@@ -98,6 +98,26 @@ type Stream struct {
 func (v *View) Query(q record.Box) (*Stream, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	return v.queryLocked(q, v.rng)
+}
+
+// QuerySeeded is Query with an explicit stream seed: every random draw the
+// merged stream needs — per-shard batch shuffles, write-path merge rngs and
+// the K-way hypergeometric interleave — is derived from seed alone, in a
+// fixed order, instead of from the view's shared rng. Two sharded views
+// holding byte-identical shard storage produce byte-identical record
+// sequences for the same (query, seed), which is what lets the fleet tier
+// resume a stream on another replica at an exact position.
+func (v *View) QuerySeeded(q record.Box, seed uint64) (*Stream, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	src := rand.New(rand.NewPCG(seed^0x51ee0c0de, seed*0x9e3779b97f4a7c15+1))
+	return v.queryLocked(q, src)
+}
+
+// queryLocked opens the merged stream, drawing every rng seed from src in a
+// fixed per-shard order. Callers hold v.mu.
+func (v *View) queryLocked(q record.Box, src *rand.Rand) (*Stream, error) {
 	subs := make([]*sub, len(v.shards))
 	clocks := make([]*iosim.Clock, len(v.shards))
 	rem := make([]float64, len(v.shards))
@@ -110,7 +130,7 @@ func (v *View) Query(q record.Box) (*Stream, error) {
 		u := &sub{
 			clock: ck,
 			est0:  est,
-			rng:   rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64())),
+			rng:   rand.New(rand.NewPCG(src.Uint64(), src.Uint64())),
 		}
 		if sp.live.Empty() {
 			cs, err := sp.live.Main().WithClock(ck).Query(q)
@@ -119,7 +139,7 @@ func (v *View) Query(q record.Box) (*Stream, error) {
 			}
 			u.core, u.queryLeaves = cs, cs.QueryLeaves()
 		} else {
-			ls, err := sp.live.QueryClocked(ck, q, rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64())))
+			ls, err := sp.live.QueryClocked(ck, q, rand.New(rand.NewPCG(src.Uint64(), src.Uint64())))
 			if err != nil {
 				return nil, fmt.Errorf("shard: opening shard %d stream: %w", i, err)
 			}
@@ -128,7 +148,7 @@ func (v *View) Query(q record.Box) (*Stream, error) {
 		subs[i], clocks[i], rem[i] = u, ck, est
 	}
 	return &Stream{
-		merge:    interleave.New(rand.New(rand.NewPCG(v.rng.Uint64(), v.rng.Uint64())), rem),
+		merge:    interleave.New(rand.New(rand.NewPCG(src.Uint64(), src.Uint64())), rem),
 		subs:     subs,
 		clocks:   clocks,
 		degShard: make(map[int]bool),

@@ -605,6 +605,33 @@ func (v *View) Query(q Box) (*Stream, error) {
 	return &Stream{clock: ck, live: ls, write: v.live.WriteStats()}, nil
 }
 
+// QuerySeeded is Query with an explicit stream seed: the randomness that
+// merges the write path into the stream (batch shuffles, hypergeometric
+// interleave draws) is derived from seed alone instead of the view's shared
+// rng. Two views holding byte-identical storage state produce byte-identical
+// record sequences from QuerySeeded with the same seed and query — the
+// property the fleet tier's replica migration relies on: a stream is fully
+// described by (view, query, seed, position), so it can resume on another
+// replica with no visible gap. Views with an empty write path are already
+// deterministic (the shuttle draws nothing at query time); the seed is
+// simply recorded by convention.
+func (v *View) QuerySeeded(q Box, seed uint64) (*Stream, error) {
+	ck := v.sim.Fork()
+	if v.live.Empty() {
+		cs, err := v.tree.WithClock(ck).Query(q)
+		if err != nil {
+			return nil, err
+		}
+		return &Stream{clock: ck, core: cs}, nil
+	}
+	rng := rand.New(rand.NewPCG(seed^0x51ee0c0de, seed*0x9e3779b97f4a7c15+1))
+	ls, err := v.live.QueryClocked(ck, q, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{clock: ck, live: ls, write: v.live.WriteStats()}, nil
+}
+
 // Next returns the next sample record, io.EOF when the predicate is
 // exhausted, or ErrStreamClosed after Close.
 func (s *Stream) Next() (Record, error) {
